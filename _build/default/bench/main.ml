@@ -1,0 +1,229 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (DESIGN.md §3) and, with --bechamel, times the synthesis
+   pipelines with Bechamel (one Test.make per table).
+
+   Default run: Figure 1, Tables 1-3, Figures 2-3, the extra-benchmark
+   table (X1) and both ablations (X2, X3). Deterministic for a fixed
+   --seed. *)
+
+module Flows = Hlts_synth.Flows
+module Eval = Hlts_eval.Eval
+module Render = Hlts_eval.Render
+module Experiments = Hlts_eval.Experiments
+
+let usage =
+  "bench/main.exe [--table 1|2|3|extra] [--figure 1|2|3] \
+   [--ablation params|balance] [--bechamel] [--seed N] [--all]"
+
+let atpg_config seed = { Hlts_atpg.Atpg.default_config with Hlts_atpg.Atpg.seed }
+
+let elapsed f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Printf.printf "[%.1fs]\n%!" (Unix.gettimeofday () -. t0)
+
+let run_table seed which =
+  let atpg = atpg_config seed in
+  match which with
+  | "1" ->
+    elapsed (fun () ->
+        Render.table Format.std_formatter
+          ~title:"Table 1: area-optimized Ex benchmark"
+          (Experiments.table1 ~atpg ()))
+  | "2" ->
+    elapsed (fun () ->
+        Render.table Format.std_formatter ~with_area:true
+          ~title:"Table 2: area-optimized Dct benchmark"
+          (Experiments.table2 ~atpg ()))
+  | "3" ->
+    elapsed (fun () ->
+        Render.table Format.std_formatter ~with_area:true
+          ~title:"Table 3: area-optimized Diffeq benchmark"
+          (Experiments.table3 ~atpg ()))
+  | "extra" ->
+    elapsed (fun () ->
+        List.iter
+          (fun (name, rows) ->
+            Render.table Format.std_formatter ~with_area:true
+              ~title:(Printf.sprintf "Extra (X1): %s benchmark at 8 bit" name)
+              rows)
+          (Experiments.extra_rows ~atpg ()))
+  | other -> Printf.eprintf "unknown table %S\n" other
+
+let run_figure which =
+  (* same canonical parameters as the tables *)
+  let params = { Hlts_synth.Synth.default_params with Hlts_synth.Synth.bits = 8 } in
+  let show d =
+    Render.schedule_figure Format.std_formatter d
+      (Eval.outcome ~params Flows.Ours d ~bits:8)
+  in
+  match which with
+  | "1" -> Render.figure1 Format.std_formatter
+  | "2" ->
+    Printf.printf "Figure 2: the schedule for the Ex benchmark\n";
+    show Hlts_dfg.Benchmarks.ex
+  | "3" ->
+    Printf.printf "Figure 3: the schedules for Dct and Diffeq\n";
+    show Hlts_dfg.Benchmarks.dct;
+    show Hlts_dfg.Benchmarks.diffeq
+  | other -> Printf.eprintf "unknown figure %S\n" other
+
+let run_ablation seed which =
+  let atpg = atpg_config seed in
+  match which with
+  | "params" ->
+    Printf.printf
+      "Ablation X2: (k, alpha, beta) sweep of Ours on Ex at 8 bit\n\
+       (the paper: \"the chosen parameters do not influence so much the \
+       final results\")\n";
+    elapsed (fun () ->
+        List.iter
+          (fun ((k, alpha, beta), row) ->
+            Printf.printf
+              "  k=%d a=%4.1f b=%4.1f: cov=%6.2f%% area=%.3f steps=%d regs=%d \
+               units=%d mux=%d\n"
+              k alpha beta row.Eval.fault_coverage_pct row.Eval.area_mm2
+              row.Eval.schedule_length row.Eval.n_registers row.Eval.n_fus
+              row.Eval.n_mux)
+          (Experiments.ablation_params ~atpg ()))
+  | "balance" ->
+    Printf.printf
+      "Ablation X3: balance vs connectivity candidate selection (same engine)\n";
+    elapsed (fun () ->
+        List.iter
+          (fun (label, row) ->
+            Printf.printf
+              "  %-20s cov=%6.2f%% seq-depth=%5.1f mux=%2d area=%.3f cycles=%d\n"
+              label row.Eval.fault_coverage_pct row.Eval.seq_depth
+              row.Eval.n_mux row.Eval.area_mm2 row.Eval.test_cycles)
+          (Experiments.ablation_balance ~atpg ()))
+  | "latency" ->
+    Printf.printf
+      "Ablation X5 (extension): latency budget sweep of Ours at 8 bit\n";
+    elapsed (fun () ->
+        List.iter
+          (fun ((name, factor), row) ->
+            Printf.printf
+              "  %-7s %4.2fx: steps=%d area=%.3f cov=%6.2f%% regs=%d units=%d\n"
+              name factor row.Eval.schedule_length row.Eval.area_mm2
+              row.Eval.fault_coverage_pct row.Eval.n_registers row.Eval.n_fus)
+          (Experiments.ablation_latency ~atpg ()))
+  | "bist" ->
+    Printf.printf
+      "Ablation X7 (extension): BIST-mode coverage (LFSR + MISR, 48 cycles)\n";
+    elapsed (fun () ->
+        List.iter
+          (fun (name, covs) ->
+            Printf.printf "  %-7s %s\n" name
+              (String.concat "  "
+                 (List.map (fun (a, c) -> Printf.sprintf "%s=%.2f%%" a c) covs)))
+          (Experiments.bist_comparison ~seed ()))
+  | "scan" ->
+    Printf.printf
+      "Ablation X6 (extension): non-scan (the paper's setting) vs full scan\n";
+    elapsed (fun () ->
+        List.iter
+          (fun (name, base, scan_cov, scan_effort) ->
+            Printf.printf
+              "  %-7s non-scan cov %6.2f%% (effort %6d)  full-scan cov %6.2f%% (effort %6d)\n"
+              name base.Eval.fault_coverage_pct base.Eval.tg_effort scan_cov
+              scan_effort)
+          (Experiments.scan_comparison ~atpg ()))
+  | "testpoints" ->
+    Printf.printf
+      "Ablation X4 (extension): CAMAD designs at 8 bit, without and with\n\
+       two analysis-recommended observation points\n";
+    elapsed (fun () ->
+        List.iter
+          (fun (name, base, tapped) ->
+            Printf.printf
+              "  %-7s cov %6.2f%% -> %6.2f%%   cycles %4d -> %4d   effort %6d -> %6d\n"
+              name base.Eval.fault_coverage_pct tapped.Eval.fault_coverage_pct
+              base.Eval.test_cycles tapped.Eval.test_cycles base.Eval.tg_effort
+              tapped.Eval.tg_effort)
+          (Experiments.test_points ~atpg ()))
+  | other -> Printf.eprintf "unknown ablation %S\n" other
+
+(* --- Bechamel timing: one Test.make per table ----------------------- *)
+
+let bechamel_tests =
+  let open Bechamel in
+  let pipeline name dfg =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let o = Flows.synthesize Flows.Ours dfg in
+           ignore (Hlts_netlist.Expand.circuit o.Flows.etpn ~bits:8)))
+  in
+  [
+    pipeline "table1-ex-synthesis" Hlts_dfg.Benchmarks.ex;
+    pipeline "table2-dct-synthesis" Hlts_dfg.Benchmarks.dct;
+    pipeline "table3-diffeq-synthesis" Hlts_dfg.Benchmarks.diffeq;
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  Printf.printf "Bechamel: synthesis + expansion cost per table workload\n%!";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 2.0) ~kde:None () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raw ->
+          match
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false
+                 ~predictors:[| Measure.run |])
+              Instance.monotonic_clock raw
+          with
+          | ols -> (
+            match Analyze.OLS.estimates ols with
+            | Some [ t ] ->
+              Printf.printf "  %-28s %12.1f ns/run (%.2f ms)\n%!" name t
+                (t /. 1e6)
+            | Some _ | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
+          | exception _ -> Printf.printf "  %-28s (failed)\n%!" name)
+        results)
+    bechamel_tests
+
+let () =
+  let seed = ref 1 in
+  let actions : (unit -> unit) list ref = ref [] in
+  let add f = actions := f :: !actions in
+  let all seed =
+    run_figure "1";
+    List.iter (run_table seed) [ "1"; "2"; "3" ];
+    List.iter run_figure [ "2"; "3" ];
+    run_table seed "extra";
+    run_ablation seed "params";
+    run_ablation seed "balance";
+    run_ablation seed "latency";
+    run_ablation seed "testpoints";
+    run_ablation seed "scan";
+    run_ablation seed "bist"
+  in
+  let spec =
+    [
+      ( "--table",
+        Arg.String (fun s -> add (fun () -> run_table !seed s)),
+        "TABLE  regenerate one table (1|2|3|extra)" );
+      ( "--figure",
+        Arg.String (fun s -> add (fun () -> run_figure s)),
+        "FIG    regenerate one figure (1|2|3)" );
+      ( "--ablation",
+        Arg.String (fun s -> add (fun () -> run_ablation !seed s)),
+        "ABL    run one ablation (params|balance|latency|testpoints|scan|bist)" );
+      ( "--bechamel",
+        Arg.Unit (fun () -> add run_bechamel),
+        "       time the synthesis pipelines with Bechamel" );
+      ("--seed", Arg.Set_int seed, "N      ATPG random seed (default 1)");
+      ( "--all",
+        Arg.Unit (fun () -> add (fun () -> all !seed)),
+        "       run everything (the default)" );
+    ]
+  in
+  Arg.parse spec (fun s -> Printf.eprintf "unexpected argument %S\n" s) usage;
+  match List.rev !actions with
+  | [] -> all !seed
+  | actions -> List.iter (fun f -> f ()) actions

@@ -1,0 +1,326 @@
+(* Command-line driver for the high-level test synthesis system. *)
+
+open Cmdliner
+module Flows = Hlts_synth.Flows
+module Eval = Hlts_eval.Eval
+module Render = Hlts_eval.Render
+module Experiments = Hlts_eval.Experiments
+
+let find_bench name =
+  match Hlts_dfg.Benchmarks.find name with
+  | Some d -> Ok d
+  | None ->
+    Error
+      (Printf.sprintf "unknown benchmark %S (try: %s)" name
+         (String.concat ", " (List.map fst Hlts_dfg.Benchmarks.all)))
+
+let find_approach name =
+  match Flows.approach_of_string name with
+  | Some a -> Ok a
+  | None ->
+    Error
+      (Printf.sprintf "unknown approach %S (camad | approach1 | approach2 | ours)"
+         name)
+
+(* --- common options --- *)
+
+let bench_arg =
+  let doc = "Benchmark name (ex, dct, diffeq, ewf, paulin, tseng, toy)." in
+  Arg.(value & opt string "diffeq" & info [ "b"; "bench" ] ~docv:"NAME" ~doc)
+
+let approach_arg =
+  let doc = "Synthesis flow: camad, approach1, approach2 or ours." in
+  Arg.(value & opt string "ours" & info [ "a"; "approach" ] ~docv:"FLOW" ~doc)
+
+let bits_arg =
+  let doc = "Data-path bit width." in
+  Arg.(value & opt int 8 & info [ "w"; "bits" ] ~docv:"BITS" ~doc)
+
+let seed_arg =
+  let doc = "ATPG random seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let atpg_config seed = { Hlts_atpg.Atpg.default_config with Hlts_atpg.Atpg.seed }
+
+let with_errors f =
+  match f () with
+  | Ok () -> 0
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+
+let ( let* ) = Result.bind
+
+(* --- subcommands --- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (name, d) ->
+        Printf.printf "%-8s %2d ops, %d inputs, %d outputs, chain %d\n" name
+          (List.length d.Hlts_dfg.Dfg.ops)
+          (List.length d.Hlts_dfg.Dfg.inputs)
+          (List.length d.Hlts_dfg.Dfg.outputs)
+          (Hlts_dfg.Dfg.longest_chain d))
+      Hlts_dfg.Benchmarks.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the bundled benchmark designs.")
+    Term.(const run $ const ())
+
+let synth_cmd =
+  let run bench approach bits =
+    with_errors (fun () ->
+        let* d = find_bench bench in
+        let* a = find_approach approach in
+        let o = Eval.outcome a d ~bits in
+        Render.schedule_figure Format.std_formatter d o;
+        let stats = Hlts_etpn.Etpn.stats o.Flows.etpn in
+        Printf.printf
+          "registers: %d   units: %d   mux slices: %d   area: %.3f mm2\n"
+          stats.Hlts_etpn.Etpn.n_registers stats.Hlts_etpn.Etpn.n_fus
+          stats.Hlts_etpn.Etpn.n_mux_slices
+          (Hlts_floorplan.Floorplan.area o.Flows.etpn ~bits);
+        Ok ())
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:"Synthesize a benchmark and print its schedule and allocation.")
+    Term.(const run $ bench_arg $ approach_arg $ bits_arg)
+
+let testability_cmd =
+  let run bench approach bits =
+    with_errors (fun () ->
+        let* d = find_bench bench in
+        let* a = find_approach approach in
+        let o = Eval.outcome a d ~bits in
+        let t = Hlts_testability.Testability.analyze o.Flows.etpn in
+        Printf.printf "register testability measures (%s, %s):\n" bench approach;
+        List.iter
+          (fun (rid, m) ->
+            Format.printf "  R%-3d %a@." rid
+              Hlts_testability.Testability.pp_measures m)
+          (Hlts_testability.Testability.register_measures t);
+        Printf.printf "unit testability measures:\n";
+        List.iter
+          (fun (fid, m) ->
+            Format.printf "  U%-3d %a@." fid
+              Hlts_testability.Testability.pp_measures m)
+          (Hlts_testability.Testability.fu_measures t);
+        Printf.printf "sequential depth metric: %.2f\n"
+          (Hlts_testability.Testability.seq_depth_total t);
+        Ok ())
+  in
+  Cmd.v
+    (Cmd.info "testability"
+       ~doc:"Print CC/SC/CO/SO measures of a synthesized data path.")
+    Term.(const run $ bench_arg $ approach_arg $ bits_arg)
+
+let atpg_cmd =
+  let run bench approach bits seed =
+    with_errors (fun () ->
+        let* d = find_bench bench in
+        let* a = find_approach approach in
+        let row = Eval.evaluate ~atpg:(atpg_config seed) a d ~bits in
+        Printf.printf
+          "%s / %s / %d bit:\n\
+          \  gates: %d   fault coverage: %.2f%%   tg effort: %d (%.2fs)\n\
+          \  test cycles: %d   area: %.3f mm2   seq depth: %.1f\n"
+          bench
+          (Flows.approach_name a)
+          bits row.Eval.gate_count row.Eval.fault_coverage_pct
+          row.Eval.tg_effort row.Eval.tg_seconds row.Eval.test_cycles
+          row.Eval.area_mm2 row.Eval.seq_depth;
+        Ok ())
+  in
+  Cmd.v
+    (Cmd.info "atpg" ~doc:"Run the full synthesis + test-generation pipeline.")
+    Term.(const run $ bench_arg $ approach_arg $ bits_arg $ seed_arg)
+
+let table_cmd =
+  let which =
+    let doc = "Table to regenerate: 1 (Ex), 2 (Dct), 3 (Diffeq) or extra." in
+    Arg.(value & pos 0 string "1" & info [] ~docv:"TABLE" ~doc)
+  in
+  let run which seed =
+    with_errors (fun () ->
+        let atpg = atpg_config seed in
+        match which with
+        | "1" ->
+          Render.table Format.std_formatter
+            ~title:"Table 1: area-optimized Ex benchmark"
+            (Experiments.table1 ~atpg ());
+          Ok ()
+        | "2" ->
+          Render.table Format.std_formatter ~with_area:true
+            ~title:"Table 2: area-optimized Dct benchmark"
+            (Experiments.table2 ~atpg ());
+          Ok ()
+        | "3" ->
+          Render.table Format.std_formatter ~with_area:true
+            ~title:"Table 3: area-optimized Diffeq benchmark"
+            (Experiments.table3 ~atpg ());
+          Ok ()
+        | "extra" ->
+          List.iter
+            (fun (name, rows) ->
+              Render.table Format.std_formatter ~with_area:true
+                ~title:
+                  (Printf.sprintf "Extra: %s benchmark at 8 bit (paper §5)"
+                     name)
+                rows)
+            (Experiments.extra_rows ~atpg ());
+          Ok ()
+        | other -> Error (Printf.sprintf "unknown table %S" other))
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Regenerate a table of the paper's evaluation.")
+    Term.(const run $ which $ seed_arg)
+
+let figure_cmd =
+  let which =
+    let doc = "Figure: 1 (SR1/SR2 example), 2 (Ex schedule), 3 (Dct+Diffeq)." in
+    Arg.(value & pos 0 string "2" & info [] ~docv:"FIGURE" ~doc)
+  in
+  let run which =
+    with_errors (fun () ->
+        let params =
+          { Hlts_synth.Synth.default_params with Hlts_synth.Synth.bits = 8 }
+        in
+        let show d =
+          Render.schedule_figure Format.std_formatter d
+            (Eval.outcome ~params Flows.Ours d ~bits:8)
+        in
+        match which with
+        | "1" -> Render.figure1 Format.std_formatter; Ok ()
+        | "2" -> show Hlts_dfg.Benchmarks.ex; Ok ()
+        | "3" ->
+          show Hlts_dfg.Benchmarks.dct;
+          show Hlts_dfg.Benchmarks.diffeq;
+          Ok ()
+        | other -> Error (Printf.sprintf "unknown figure %S" other))
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate a figure of the paper.")
+    Term.(const run $ which)
+
+let ablation_cmd =
+  let which =
+    let doc = "Ablation: params (k/alpha/beta sweep), balance or testpoints." in
+    Arg.(value & pos 0 string "params" & info [] ~docv:"ABLATION" ~doc)
+  in
+  let run which seed =
+    with_errors (fun () ->
+        let atpg = atpg_config seed in
+        match which with
+        | "params" ->
+          Printf.printf "parameter sweep of Ours on Ex at 8 bit:\n";
+          List.iter
+            (fun ((k, alpha, beta), row) ->
+              Printf.printf
+                "  k=%d a=%4.1f b=%4.1f: cov=%6.2f%%  area=%.3f  steps=%d  regs=%d  units=%d\n"
+                k alpha beta row.Eval.fault_coverage_pct row.Eval.area_mm2
+                row.Eval.schedule_length row.Eval.n_registers row.Eval.n_fus)
+            (Experiments.ablation_params ~atpg ());
+          Ok ()
+        | "balance" ->
+          Printf.printf "balance vs connectivity selection at 8 bit:\n";
+          List.iter
+            (fun (label, row) ->
+              Printf.printf
+                "  %-20s cov=%6.2f%%  seq-depth=%5.1f  mux=%2d  area=%.3f\n"
+                label row.Eval.fault_coverage_pct row.Eval.seq_depth
+                row.Eval.n_mux row.Eval.area_mm2)
+            (Experiments.ablation_balance ~atpg ());
+          Ok ()
+        | "testpoints" ->
+          Printf.printf
+            "CAMAD designs without/with 2 observation points (8 bit):\n";
+          List.iter
+            (fun (name, base, tapped) ->
+              Printf.printf "  %-7s cov %6.2f%% -> %6.2f%%\n" name
+                base.Eval.fault_coverage_pct tapped.Eval.fault_coverage_pct)
+            (Experiments.test_points ~atpg ());
+          Ok ()
+        | other -> Error (Printf.sprintf "unknown ablation %S" other))
+  in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Run a design-choice ablation (DESIGN.md X2/X3).")
+    Term.(const run $ which $ seed_arg)
+
+let verify_cmd =
+  let trials_arg =
+    let doc = "Random input vectors to co-simulate." in
+    Arg.(value & opt int 20 & info [ "trials" ] ~docv:"N" ~doc)
+  in
+  let run bench approach bits trials seed =
+    with_errors (fun () ->
+        let* d = find_bench bench in
+        let* a = find_approach approach in
+        let o = Eval.outcome a d ~bits in
+        match Hlts_verify.Verify.datapath ~seed ~trials o.Flows.etpn ~bits with
+        | Ok () ->
+          Printf.printf
+            "%s/%s at %d bit: %d random vectors, gate-level outputs match \
+             the behavioral reference.\n"
+            bench (Flows.approach_name a) bits trials;
+          Ok ()
+        | Error msg -> Error msg)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Co-simulate the synthesized gate-level data path against the \
+          behavioral reference (semantics preservation).")
+    Term.(const run $ bench_arg $ approach_arg $ bits_arg $ trials_arg $ seed_arg)
+
+let dot_cmd =
+  let run bench approach bits =
+    with_errors (fun () ->
+        let* d = find_bench bench in
+        let* a = find_approach approach in
+        let o = Eval.outcome a d ~bits in
+        print_string (Hlts_etpn.Etpn.to_dot o.Flows.etpn);
+        Ok ())
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Dump the synthesized data path as Graphviz.")
+    Term.(const run $ bench_arg $ approach_arg $ bits_arg)
+
+let compile_cmd =
+  let file =
+    let doc = "Behavioral source file to compile and synthesize." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file approach bits =
+    with_errors (fun () ->
+        let ic = open_in file in
+        let len = in_channel_length ic in
+        let src = really_input_string ic len in
+        close_in ic;
+        let* d = Hlts_lang.Lang.compile src in
+        let* a = find_approach approach in
+        let o = Eval.outcome a d ~bits in
+        Render.schedule_figure Format.std_formatter d o;
+        Ok ())
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Compile a behavioral description and synthesize it.")
+    Term.(const run $ file $ approach_arg $ bits_arg)
+
+let () =
+  let info =
+    Cmd.info "hlts" ~version:"1.0.0"
+      ~doc:
+        "High-level test synthesis: integrated scheduling and allocation \
+         (Yang & Peng, DATE 1998)."
+  in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval'
+       (Cmd.group info ~default
+          [
+            list_cmd; synth_cmd; testability_cmd; atpg_cmd; table_cmd;
+            figure_cmd; ablation_cmd; verify_cmd; dot_cmd; compile_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/custom_hdl.ml: Format Hlts_dfg Hlts_eval Hlts_lang Hlts_synth List

@@ -1,0 +1,1 @@
+examples/diffeq_tour.ml: Format Hlts_dfg Hlts_etpn Hlts_eval Hlts_synth List

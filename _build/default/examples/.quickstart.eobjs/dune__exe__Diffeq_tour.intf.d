@@ -1,0 +1,1 @@
+examples/diffeq_tour.mli:

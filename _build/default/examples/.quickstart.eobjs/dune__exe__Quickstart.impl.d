@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hlts_dfg Hlts_eval Hlts_synth

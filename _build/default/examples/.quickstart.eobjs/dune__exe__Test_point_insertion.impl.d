@@ -1,0 +1,1 @@
+examples/test_point_insertion.ml: Format Hlts_atpg Hlts_dfg Hlts_netlist Hlts_synth Hlts_testability Hlts_util List Printf String

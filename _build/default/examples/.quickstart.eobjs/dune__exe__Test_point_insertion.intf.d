@@ -1,0 +1,1 @@
+examples/test_point_insertion.mli:

@@ -1,0 +1,1 @@
+examples/testability_explorer.ml: Format Hlts_alloc Hlts_dfg Hlts_etpn Hlts_synth Hlts_testability List Printf

@@ -1,0 +1,41 @@
+(* A full tour of the synthesis pipeline on the Diffeq benchmark (the
+   HAL differential-equation solver), comparing all four flows of the
+   paper's evaluation.
+
+   Run with: dune exec examples/diffeq_tour.exe *)
+
+module Flows = Hlts_synth.Flows
+module State = Hlts_synth.State
+module Eval = Hlts_eval.Eval
+module Etpn = Hlts_etpn.Etpn
+
+let () =
+  let design = Hlts_dfg.Benchmarks.diffeq in
+  Format.printf "Diffeq: %d operations, critical path %d steps@.@."
+    (List.length design.Hlts_dfg.Dfg.ops)
+    (Hlts_dfg.Dfg.longest_chain design);
+
+  (* the synthesis trace of the integrated flow *)
+  let ours = Flows.synthesize Flows.Ours design in
+  Format.printf "Algorithm 1 merger trace:@.";
+  List.iter
+    (fun r ->
+      Format.printf "  %2d. %-55s dE=%d dH=%+.3f@." (r.Hlts_synth.Synth.iteration + 1)
+        r.Hlts_synth.Synth.description r.Hlts_synth.Synth.delta_e
+        r.Hlts_synth.Synth.delta_h)
+    ours.Flows.records;
+  Format.printf "@.";
+  Hlts_eval.Render.schedule_figure Format.std_formatter design ours;
+
+  (* compare the four flows at 8 bits, the paper's table shape *)
+  Format.printf "all four flows at 8 bit:@.";
+  Format.printf "  %-11s %5s %5s %5s %9s %8s %7s@." "flow" "regs" "units"
+    "mux" "coverage" "cycles" "area";
+  List.iter
+    (fun approach ->
+      let row = Eval.evaluate approach design ~bits:8 in
+      Format.printf "  %-11s %5d %5d %5d %8.2f%% %8d %6.3f@."
+        (Flows.approach_name approach)
+        row.Eval.n_registers row.Eval.n_fus row.Eval.n_mux
+        row.Eval.fault_coverage_pct row.Eval.test_cycles row.Eval.area_mm2)
+    Hlts_eval.Experiments.approaches

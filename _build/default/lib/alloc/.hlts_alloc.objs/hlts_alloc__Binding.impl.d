@@ -1,0 +1,1 @@
+lib/alloc/binding.ml: Format Hlts_dfg Hlts_sched Lifetime List Option Printf String

@@ -1,0 +1,1 @@
+lib/alloc/binding.mli: Format Hlts_dfg Hlts_sched

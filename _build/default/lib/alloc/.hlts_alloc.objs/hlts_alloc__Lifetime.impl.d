@@ -1,0 +1,1 @@
+lib/alloc/lifetime.ml: Hlts_dfg Hlts_sched List

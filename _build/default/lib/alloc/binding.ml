@@ -1,0 +1,207 @@
+module Dfg = Hlts_dfg.Dfg
+module Op = Hlts_dfg.Op
+module Schedule = Hlts_sched.Schedule
+
+type register = {
+  reg_id : int;
+  reg_values : Dfg.value list;
+}
+
+type fu = {
+  fu_id : int;
+  fu_class : Op.fu_class;
+  fu_ops : int list;
+}
+
+type t = {
+  registers : register list;
+  fus : fu list;
+}
+
+let default dfg =
+  let registers =
+    List.mapi (fun i v -> { reg_id = i; reg_values = [ v ] }) (Dfg.values dfg)
+  in
+  let fus =
+    List.mapi
+      (fun i o ->
+        {
+          fu_id = i;
+          fu_class = List.hd (Op.classes_for o.Dfg.kind);
+          fu_ops = [ o.Dfg.id ];
+        })
+      dfg.Dfg.ops
+  in
+  { registers; fus }
+
+let left_edge ?(prefer_io = false) dfg sched =
+  let lifetimes = Lifetime.of_schedule dfg sched in
+  let interval v = List.assoc v lifetimes in
+  let is_io v =
+    match v with
+    | Dfg.V_input _ -> true
+    | Dfg.V_op _ -> Dfg.is_output dfg v
+  in
+  let order =
+    List.sort
+      (fun (_, i1) (_, i2) ->
+        compare
+          (i1.Lifetime.birth, i1.Lifetime.death)
+          (i2.Lifetime.birth, i2.Lifetime.death))
+      lifetimes
+  in
+  let place regs (v, _) =
+    let fits reg =
+      Lifetime.disjoint_set (List.map interval (v :: reg.reg_values))
+    in
+    let has_io reg = List.exists is_io reg.reg_values in
+    (* Lee's allocation rule 1 (prefer_io): keep every register anchored
+       to at least one primary-input/-output variable — I/O values seed
+       I/O-free registers, internal values join I/O-anchored ones. *)
+    let preference reg =
+      if not prefer_io then 0
+      else if is_io v then (if has_io reg then 1 else 0)
+      else if has_io reg then 0
+      else 1
+    in
+    let candidates =
+      List.filter_map
+        (fun reg -> if fits reg then Some (preference reg, reg.reg_id) else None)
+        regs
+    in
+    match List.sort compare candidates with
+    | [] -> regs @ [ { reg_id = List.length regs; reg_values = [ v ] } ]
+    | (_, best_id) :: _ ->
+      List.map
+        (fun reg ->
+          if reg.reg_id = best_id then
+            { reg with reg_values = reg.reg_values @ [ v ] }
+          else reg)
+        regs
+  in
+  let regs = List.fold_left place [] order in
+  (* Renumber and order stored values by definition time. *)
+  List.mapi
+    (fun i reg ->
+      let values =
+        List.sort
+          (fun a b ->
+            compare (interval a).Lifetime.birth (interval b).Lifetime.birth)
+          reg.reg_values
+      in
+      { reg_id = i; reg_values = values })
+    regs
+
+let bind_modules dfg sched =
+  let ops_in_order =
+    List.sort
+      (fun a b ->
+        compare (Schedule.step sched a.Dfg.id, a.Dfg.id)
+          (Schedule.step sched b.Dfg.id, b.Dfg.id))
+      dfg.Dfg.ops
+  in
+  let place fus o =
+    let step = Schedule.step sched o.Dfg.id in
+    let kinds_of fu =
+      List.map (fun id -> (Dfg.op_by_id dfg id).Dfg.kind) fu.fu_ops
+    in
+    let fits fu =
+      let no_clash =
+        List.for_all (fun id -> Schedule.step sched id <> step) fu.fu_ops
+      in
+      no_clash && Op.shared_class (o.Dfg.kind :: kinds_of fu) <> None
+    in
+    let rec insert = function
+      | [] ->
+        [
+          {
+            fu_id = List.length fus;
+            fu_class = List.hd (Op.classes_for o.Dfg.kind);
+            fu_ops = [ o.Dfg.id ];
+          };
+        ]
+      | fu :: rest ->
+        if fits fu then
+          let ops = fu.fu_ops @ [ o.Dfg.id ] in
+          let cls =
+            Option.get
+              (Op.shared_class
+                 (List.map (fun id -> (Dfg.op_by_id dfg id).Dfg.kind) ops))
+          in
+          { fu with fu_class = cls; fu_ops = ops } :: rest
+        else fu :: insert rest
+    in
+    insert fus
+  in
+  let fus = List.fold_left place [] ops_in_order in
+  List.mapi (fun i fu -> { fu with fu_id = i }) fus
+
+let allocate ?prefer_io dfg sched =
+  { registers = left_edge ?prefer_io dfg sched; fus = bind_modules dfg sched }
+
+let reg_of_value t v = List.find (fun r -> List.mem v r.reg_values) t.registers
+
+let fu_of_op t id = List.find (fun fu -> List.mem id fu.fu_ops) t.fus
+
+let validate dfg sched t =
+  let err fmt = Format.kasprintf (fun m -> Error m) fmt in
+  let values = Dfg.values dfg in
+  let reg_count v =
+    List.length (List.filter (fun r -> List.mem v r.reg_values) t.registers)
+  in
+  let fu_count id =
+    List.length (List.filter (fun fu -> List.mem id fu.fu_ops) t.fus)
+  in
+  let check_value v =
+    match reg_count v with
+    | 1 -> Ok ()
+    | n -> err "value %s in %d registers" (Dfg.value_name dfg v) n
+  in
+  let check_op o =
+    match fu_count o.Dfg.id with
+    | 1 -> Ok ()
+    | n -> err "op N%d in %d units" o.Dfg.id n
+  in
+  let check_register reg =
+    let intervals =
+      List.map (Lifetime.interval_of dfg sched) reg.reg_values
+    in
+    if Lifetime.disjoint_set intervals then Ok ()
+    else err "register %d holds overlapping lifetimes" reg.reg_id
+  in
+  let check_fu fu =
+    let kinds = List.map (fun id -> (Dfg.op_by_id dfg id).Dfg.kind) fu.fu_ops in
+    if not (List.for_all (Op.supports fu.fu_class) kinds) then
+      err "unit %d class does not support all its operations" fu.fu_id
+    else begin
+      let steps = List.map (Schedule.step sched) fu.fu_ops in
+      if List.length (List.sort_uniq compare steps) <> List.length steps then
+        err "unit %d runs two operations in one step" fu.fu_id
+      else Ok ()
+    end
+  in
+  let rec first_error = function
+    | [] -> Ok ()
+    | Ok () :: rest -> first_error rest
+    | (Error _ as e) :: _ -> e
+  in
+  first_error
+    (List.map check_value values
+    @ List.map check_op dfg.Dfg.ops
+    @ List.map check_register t.registers
+    @ List.map check_fu t.fus)
+
+let pp dfg ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun fu ->
+      Format.fprintf ppf "(%s): %s@,"
+        (Op.class_name fu.fu_class)
+        (String.concat ", " (List.map (Printf.sprintf "N%d") fu.fu_ops)))
+    t.fus;
+  List.iter
+    (fun reg ->
+      Format.fprintf ppf "R%d: %s@," reg.reg_id
+        (String.concat ", " (List.map (Dfg.value_name dfg) reg.reg_values)))
+    t.registers;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,44 @@
+module Dfg = Hlts_dfg.Dfg
+module Schedule = Hlts_sched.Schedule
+
+type interval = {
+  birth : int;
+  death : int;
+}
+
+let interval_of dfg sched v =
+  let def_step =
+    match v with
+    | Dfg.V_input _ ->
+      (* inputs are loaded from their port just before their first use, so
+         several staged inputs can share one register *)
+      let first_use =
+        List.fold_left
+          (fun acc use -> min acc (Schedule.step sched use))
+          (Schedule.length sched + 1)
+          (Dfg.uses_of_value dfg v)
+      in
+      first_use - 1
+    | Dfg.V_op id -> Schedule.step sched id
+  in
+  let birth = def_step + 1 in
+  let uses = List.map (Schedule.step sched) (Dfg.uses_of_value dfg v) in
+  let uses =
+    if Dfg.is_output dfg v then (Schedule.length sched + 1) :: uses else uses
+  in
+  let last_use = List.fold_left max def_step uses in
+  (* A value with no reader still occupies its register for one step. *)
+  { birth; death = max (last_use + 1) (birth + 1) }
+
+let of_schedule dfg sched =
+  List.map (fun v -> (v, interval_of dfg sched v)) (Dfg.values dfg)
+
+let overlap a b = a.birth < b.death && b.birth < a.death
+
+let disjoint_set intervals =
+  let sorted = List.sort (fun a b -> compare (a.birth, a.death) (b.birth, b.death)) intervals in
+  let rec check = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> a.death <= b.birth && check rest
+  in
+  check sorted

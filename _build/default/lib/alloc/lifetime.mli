@@ -1,0 +1,28 @@
+(** Variable lifetime analysis under a schedule (Algorithm 1 line 13).
+
+    Register-transfer timing: a value produced at control step [d] is
+    loaded into its register at the end of step [d] and occupies it from
+    step [d+1] through its last reading step. A primary input is loaded
+    from its port just before its first use (so staged inputs can share a
+    register); primary outputs have a virtual final read at step
+    [length+1]. Lifetimes are half-open intervals
+    [\[birth, death)] of occupied steps; two values may share a register
+    iff their intervals do not overlap — a value read at step [s] is
+    compatible with one written at the end of [s]. *)
+
+type interval = {
+  birth : int;  (** first step the register is occupied; def step + 1 *)
+  death : int;  (** exclusive: last reading step + 1 *)
+}
+
+val of_schedule :
+  Hlts_dfg.Dfg.t -> Hlts_sched.Schedule.t -> (Hlts_dfg.Dfg.value * interval) list
+(** Lifetime of every storage value, in {!Hlts_dfg.Dfg.values} order. *)
+
+val interval_of :
+  Hlts_dfg.Dfg.t -> Hlts_sched.Schedule.t -> Hlts_dfg.Dfg.value -> interval
+
+val overlap : interval -> interval -> bool
+
+val disjoint_set : interval list -> bool
+(** True iff the intervals are pairwise non-overlapping. *)

@@ -1,0 +1,1 @@
+lib/atpg/atpg.ml: Array Hlts_fault Hlts_netlist Hlts_sim Hlts_util Int64 List Podem Sys

@@ -1,0 +1,1 @@
+lib/atpg/atpg.mli: Hlts_netlist

@@ -1,0 +1,1 @@
+lib/atpg/bist.mli: Hlts_netlist

@@ -1,0 +1,1 @@
+lib/atpg/podem.ml: Array Fun Hashtbl Hlts_fault Hlts_netlist Hlts_sim List Option Printf String Sys

@@ -1,0 +1,1 @@
+lib/atpg/podem.mli: Hlts_fault Hlts_sim

@@ -1,0 +1,257 @@
+module Netlist = Hlts_netlist.Netlist
+module Fault = Hlts_fault.Fault
+module Sim = Hlts_sim.Sim
+module Rng = Hlts_util.Rng
+
+type config = {
+  seed : int;
+  random_lanes : int;
+  random_cycles : int;
+  random_batches : int;
+  max_frames : int;
+  max_backtracks : int;
+}
+
+let default_config =
+  { seed = 1; random_lanes = 2; random_cycles = 12; random_batches = 1;
+    max_frames = 5; max_backtracks = 20 }
+
+type result = {
+  total_faults : int;
+  detected_random : int;
+  detected_det : int;
+  undetected : int;
+  coverage : float;
+  test_cycles : int;
+  effort : int;
+  seconds : float;
+  gate_count : int;
+  dff_count : int;
+}
+
+let pi_nets c = List.concat_map (fun (_, bus) -> bus) c.Netlist.pis
+let po_nets c = List.concat_map (fun (_, bus) -> bus) c.Netlist.pos
+
+(* Applies [words] (net -> word) for one cycle and evaluates. *)
+let eval_cycle ?fault sim m assignments =
+  List.iter (fun (net, w) -> m.Sim.values.(net) <- w) assignments;
+  Sim.eval ?fault sim m
+
+(* One batch of [lanes] parallel random sequences: returns (per-cycle PI
+   assignments, per-cycle good PO values), advancing [rng]. Lanes beyond
+   [lanes] carry constant zeroes in both machines, so they can never
+   produce a spurious difference. *)
+let random_batch sim rng ~lanes cycles =
+  let c = Sim.circuit sim in
+  let pis = pi_nets c and pos = po_nets c in
+  let mask =
+    if lanes >= 64 then -1L
+    else Int64.sub (Int64.shift_left 1L lanes) 1L
+  in
+  let stimuli =
+    Array.init cycles (fun _ ->
+        List.map (fun net -> (net, Int64.logand mask (Rng.word rng))) pis)
+  in
+  let good = Sim.machine sim in
+  let responses =
+    Array.map
+      (fun assignments ->
+        eval_cycle sim good assignments;
+        let out = List.map (fun net -> good.Sim.values.(net)) pos in
+        Sim.step sim good;
+        out)
+      stimuli
+  in
+  (stimuli, responses)
+
+(* Simulates [fault] against a recorded batch; returns the first
+   (cycle, lane-diff word) or None, considering only lanes in [mask].
+   Counts evaluations into [evals]. *)
+let replay_fault ?(mask = -1L) sim fault stimuli responses evals =
+  let c = Sim.circuit sim in
+  let pos = po_nets c in
+  let m = Sim.machine sim in
+  let cycles = Array.length stimuli in
+  let rec cycle i =
+    if i >= cycles then None
+    else begin
+      eval_cycle ~fault sim m stimuli.(i);
+      incr evals;
+      let diff =
+        Int64.logand mask
+          (List.fold_left2
+             (fun acc net good ->
+               Int64.logor acc (Int64.logxor m.Sim.values.(net) good))
+             0L pos responses.(i))
+      in
+      if diff <> 0L then Some (i, diff)
+      else begin
+        Sim.step sim m;
+        cycle (i + 1)
+      end
+    end
+  in
+  cycle 0
+
+let first_lane word =
+  let rec find i =
+    if i >= 64 then 63
+    else if Int64.logand (Int64.shift_right_logical word i) 1L = 1L then i
+    else find (i + 1)
+  in
+  find 0
+
+(* Packs up to 64 deterministic tests into lanes and returns per-cycle PI
+   assignments (missing assignments are 0) plus good responses. *)
+let pack_tests sim tests =
+  let c = Sim.circuit sim in
+  let pis = pi_nets c and pos = po_nets c in
+  let depth =
+    List.fold_left (fun acc t -> max acc (Array.length t.Podem.t_frames)) 0 tests
+  in
+  let lane_tests = Array.of_list tests in
+  let stimuli =
+    Array.init depth (fun cycle ->
+        List.map
+          (fun net ->
+            let word = ref 0L in
+            Array.iteri
+              (fun lane t ->
+                if cycle < Array.length t.Podem.t_frames then begin
+                  match List.assoc_opt net t.Podem.t_frames.(cycle) with
+                  | Some true -> word := Int64.logor !word (Int64.shift_left 1L lane)
+                  | Some false | None -> ()
+                end)
+              lane_tests;
+            (net, !word))
+          pis)
+  in
+  let good = Sim.machine sim in
+  let responses =
+    Array.map
+      (fun assignments ->
+        eval_cycle sim good assignments;
+        let out = List.map (fun net -> good.Sim.values.(net)) pos in
+        Sim.step sim good;
+        out)
+      stimuli
+  in
+  (stimuli, responses)
+
+let run ?(config = default_config) circuit =
+  let t0 = Sys.time () in
+  let sim = Sim.compile circuit in
+  let faults = Fault.collapsed_universe circuit in
+  let total_faults = List.length faults in
+  let rng = Rng.create config.seed in
+  let evals = ref 0 in
+  let detected_random = ref 0 in
+  let test_cycles = ref 0 in
+  (* ---- random phase ---- *)
+  let remaining = ref faults in
+  for _batch = 1 to config.random_batches do
+    if !remaining <> [] then begin
+      let stimuli, responses =
+        random_batch sim rng ~lanes:config.random_lanes config.random_cycles
+      in
+      let lane_mask =
+        if config.random_lanes >= 64 then -1L
+        else Int64.sub (Int64.shift_left 1L config.random_lanes) 1L
+      in
+      let prefix = Array.make 64 0 in
+      remaining :=
+        List.filter
+          (fun fault ->
+            match
+              replay_fault ~mask:lane_mask sim fault stimuli responses evals
+            with
+            | None -> true
+            | Some (cycle, diff) ->
+              incr detected_random;
+              let lane = first_lane diff in
+              prefix.(lane) <- max prefix.(lane) (cycle + 1);
+              false)
+          !remaining;
+      Array.iter (fun p -> test_cycles := !test_cycles + p) prefix
+    end
+  done;
+  (* ---- deterministic phase ---- *)
+  let detected_det = ref 0 in
+  let implications = ref 0 and backtracks = ref 0 in
+  let aborted = ref [] in
+  let all_tests = ref [] in
+  let pending_tests = ref [] in
+  let drop_batch targets =
+    match !pending_tests with
+    | [] -> targets
+    | tests ->
+      let stimuli, responses = pack_tests sim tests in
+      pending_tests := [];
+      List.filter
+        (fun fault ->
+          match replay_fault sim fault stimuli responses evals with
+          | None -> true
+          | Some (_, _) ->
+            incr detected_det;
+            false)
+        targets
+  in
+  let queue = ref !remaining in
+  remaining := [];
+  let rec process () =
+    match !queue with
+    | [] -> ()
+    | fault :: rest ->
+      queue := rest;
+      let verdict, stats =
+        Podem.generate sim ~max_frames:config.max_frames
+          ~max_backtracks:config.max_backtracks fault
+      in
+      implications := !implications + stats.Podem.implications;
+      backtracks := !backtracks + stats.Podem.backtracks;
+      (match verdict with
+      | Podem.Detected test ->
+        incr detected_det;
+        test_cycles := !test_cycles + Array.length test.Podem.t_frames;
+        pending_tests := test :: !pending_tests;
+        all_tests := test :: !all_tests;
+        if List.length !pending_tests >= 64 then queue := drop_batch !queue
+      | Podem.Aborted | Podem.No_test_in_frames ->
+        aborted := fault :: !aborted);
+      process ()
+  in
+  process ();
+  (* final pass: every generated test gets a chance to catch previously
+     aborted faults *)
+  let rec chunks = function
+    | [] -> ()
+    | tests ->
+      let batch = Hlts_util.Listx.take 64 tests in
+      let rest =
+        if List.length tests > 64 then
+          List.filteri (fun i _ -> i >= 64) tests
+        else []
+      in
+      pending_tests := batch;
+      aborted := drop_batch !aborted;
+      chunks rest
+  in
+  chunks !all_tests;
+  let undetected = List.length !aborted in
+  let detected = total_faults - undetected in
+  {
+    total_faults;
+    detected_random = !detected_random;
+    detected_det = !detected_det;
+    undetected;
+    coverage =
+      (if total_faults = 0 then 1.0
+       else float_of_int detected /. float_of_int total_faults);
+    test_cycles = !test_cycles;
+    effort = !implications + !backtracks + !evals;
+    seconds = Sys.time () -. t0;
+    gate_count = Sim.gate_count sim;
+    dff_count = Array.length circuit.Netlist.dffs;
+  }
+
+let coverage_pct r = 100.0 *. r.coverage

@@ -1,0 +1,53 @@
+(** Test generation for the synthesized data path: random phase followed
+    by deterministic PODEM, reporting the paper's three test metrics.
+
+    Random phase: 64 independent random input sequences advance in
+    parallel (one per bit lane) for [random_cycles] clocks; every
+    collapsed fault is simulated against the good machine with early exit
+    on first detection, for [random_batches] rounds.
+
+    Deterministic phase: each remaining fault goes to
+    {!Podem.generate}. Generated tests accumulate into 64-lane batches
+    that are replayed against the still-undetected faults (fault
+    dropping), including one final pass over aborted faults.
+
+    Metrics:
+    - fault coverage: detected / total collapsed faults;
+    - test length ("test generated cycle"): detecting prefix cycles of
+      the kept random sequences plus the frames of every deterministic
+      test;
+    - effort: PODEM implications + backtracks + random-phase evaluations,
+      a deterministic machine-independent cost; [seconds] is the measured
+      CPU time. *)
+
+type config = {
+  seed : int;
+  random_lanes : int;    (** parallel random sequences per batch, 1-64 *)
+  random_cycles : int;
+  random_batches : int;
+  max_frames : int;
+  max_backtracks : int;
+}
+
+val default_config : config
+(** seed 1, 2 lanes x 12 cycles x 1 batch, 5 frames, 20 backtracks —
+    a late-90s-scale test-generation budget, so fault coverage stays
+    sensitive to the data path's testability instead of saturating. *)
+
+type result = {
+  total_faults : int;
+  detected_random : int;
+  detected_det : int;     (** PODEM tests + fault dropping *)
+  undetected : int;       (** aborted or no test within the frame budget *)
+  coverage : float;       (** in [0, 1] *)
+  test_cycles : int;
+  effort : int;
+  seconds : float;
+  gate_count : int;
+  dff_count : int;
+}
+
+val run : ?config:config -> Hlts_netlist.Netlist.t -> result
+
+val coverage_pct : result -> float
+(** [100 * coverage]. *)

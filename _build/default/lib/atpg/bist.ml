@@ -1,0 +1,76 @@
+module Netlist = Hlts_netlist.Netlist
+module Fault = Hlts_fault.Fault
+module Sim = Hlts_sim.Sim
+module Rng = Hlts_util.Rng
+
+type config = {
+  seed : int;
+  cycles : int;
+}
+
+let default_config = { seed = 1; cycles = 48 }
+
+type result = {
+  total_faults : int;
+  detected : int;
+  coverage : float;
+  session_cycles : int;
+  seconds : float;
+}
+
+(* 32-bit MISR step: rotate-and-xor compaction of one response word. *)
+let misr_step signature response =
+  let rotated = ((signature lsl 1) lor (signature lsr 31)) land 0xFFFFFFFF in
+  rotated lxor (response land 0xFFFFFFFF)
+
+(* Runs one BIST session on lane 0 and returns the final signature. The
+   LFSR is modelled by the deterministic splitmix stream, replayed
+   identically for every fault. *)
+let session ?fault sim ~seed ~cycles =
+  let c = Sim.circuit sim in
+  let pis = List.concat_map (fun (_, bus) -> bus) c.Netlist.pis in
+  let pos = List.concat_map (fun (_, bus) -> bus) c.Netlist.pos in
+  let rng = Rng.create seed in
+  let m = Sim.machine sim in
+  let signature = ref 0 in
+  for _ = 1 to cycles do
+    List.iter
+      (fun net -> m.Sim.values.(net) <- (if Rng.bool rng then 1L else 0L))
+      pis;
+    Sim.eval ?fault sim m;
+    (* compact the PO bits of this cycle into the signature *)
+    let response =
+      List.fold_left
+        (fun acc net ->
+          (acc lsl 1) lor Int64.to_int (Int64.logand m.Sim.values.(net) 1L))
+        0 pos
+    in
+    signature := misr_step !signature response;
+    Sim.step sim m
+  done;
+  !signature
+
+let run ?(config = default_config) circuit =
+  let t0 = Sys.time () in
+  let sim = Sim.compile circuit in
+  let faults = Fault.collapsed_universe circuit in
+  let golden = session sim ~seed:config.seed ~cycles:config.cycles in
+  let detected =
+    List.length
+      (List.filter
+         (fun fault ->
+           session ~fault sim ~seed:config.seed ~cycles:config.cycles <> golden)
+         faults)
+  in
+  let total_faults = List.length faults in
+  {
+    total_faults;
+    detected;
+    coverage =
+      (if total_faults = 0 then 1.0
+       else float_of_int detected /. float_of_int total_faults);
+    session_cycles = config.cycles;
+    seconds = Sys.time () -. t0;
+  }
+
+let coverage_pct r = 100.0 *. r.coverage

@@ -1,0 +1,38 @@
+(** Built-in self-test evaluation mode (after the BIST line of work the
+    paper builds on: Papachristou et al., Avra).
+
+    Instead of deterministic test generation, a BIST session drives every
+    primary input of the data path — data ports and control signals alike
+    — from a software LFSR for a fixed number of clock cycles, and
+    compacts the primary outputs into a MISR signature. A fault is
+    detected iff its signature differs from the fault-free one, so MISR
+    aliasing (two different response streams compacting to one signature)
+    is part of the measurement, exactly as in hardware BIST. The TPG/MISR
+    structures themselves are modelled in software and excluded from the
+    fault universe (they are standard cells tested separately), the usual
+    assumption in the BIST literature.
+
+    Random-pattern-resistant faults — precisely the ones bad
+    controllability/observability produces — stay undetected, so BIST
+    coverage is an independent check of the synthesis flows' testability
+    ordering. *)
+
+type config = {
+  seed : int;
+  cycles : int;        (** BIST session length in clocks *)
+}
+
+val default_config : config
+(** seed 1, 48 cycles. *)
+
+type result = {
+  total_faults : int;
+  detected : int;
+  coverage : float;
+  session_cycles : int;
+  seconds : float;
+}
+
+val run : ?config:config -> Hlts_netlist.Netlist.t -> result
+
+val coverage_pct : result -> float

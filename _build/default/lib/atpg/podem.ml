@@ -1,0 +1,410 @@
+module Netlist = Hlts_netlist.Netlist
+module Sim = Hlts_sim.Sim
+module Fault = Hlts_fault.Fault
+
+type test = { t_frames : (int * bool) list array }
+
+type verdict =
+  | Detected of test
+  | No_test_in_frames
+  | Aborted
+
+type stats = {
+  implications : int;
+  backtracks : int;
+}
+
+(* three-valued logic on 0 / 1 / 2=X *)
+let x = 2
+let t_not a = if a = x then x else 1 - a
+let t_and a b = if a = 0 || b = 0 then 0 else if a = 1 && b = 1 then 1 else x
+let t_or a b = if a = 1 || b = 1 then 1 else if a = 0 && b = 0 then 0 else x
+let t_xor a b = if a = x || b = x then x else a lxor b
+
+let t_mux s a b =
+  if s = 0 then a
+  else if s = 1 then b
+  else if a = b && a <> x then a
+  else x
+
+type ctx = {
+  c : Netlist.t;
+  order : Netlist.gate array;
+  n : int;                       (* nets per frame *)
+  pi_nets : (int, unit) Hashtbl.t;
+  driver : (int, Netlist.gate) Hashtbl.t;   (* net -> driving gate *)
+  q_dff : (int, Netlist.dff) Hashtbl.t;     (* q net -> dff *)
+  po_nets : int list;
+  site : int;
+  sv : int;                      (* stuck value, 0 or 1 *)
+  frames : int;
+  gv : int array;                (* frames * n *)
+  fv : int array;
+  assigned : (int * int, bool) Hashtbl.t;   (* (frame, pi net) -> value *)
+  mutable implications : int;
+  mutable backtracks : int;
+}
+
+let make_ctx sim fault frames =
+  let c = Sim.circuit sim in
+  let pi_nets = Hashtbl.create 64 in
+  List.iter
+    (fun (_, bus) -> List.iter (fun net -> Hashtbl.replace pi_nets net ()) bus)
+    c.Netlist.pis;
+  let driver = Hashtbl.create 256 in
+  Array.iter (fun g -> Hashtbl.replace driver g.Netlist.output g) c.Netlist.gates;
+  let q_dff = Hashtbl.create 64 in
+  Array.iter (fun f -> Hashtbl.replace q_dff f.Netlist.q_output f) c.Netlist.dffs;
+  {
+    c;
+    order = Sim.levelized sim;
+    n = c.Netlist.n_nets;
+    pi_nets;
+    driver;
+    q_dff;
+    po_nets = List.concat_map (fun (_, bus) -> bus) c.Netlist.pos;
+    site = fault.Fault.f_net;
+    sv = (match fault.Fault.f_stuck with Fault.Stuck_at_0 -> 0 | Fault.Stuck_at_1 -> 1);
+    frames;
+    gv = Array.make (frames * c.Netlist.n_nets) x;
+    fv = Array.make (frames * c.Netlist.n_nets) x;
+    assigned = Hashtbl.create 64;
+    implications = 0;
+    backtracks = 0;
+  }
+
+let simulate ctx =
+  ctx.implications <- ctx.implications + 1;
+  for f = 0 to ctx.frames - 1 do
+    let base = f * ctx.n in
+    (* sources *)
+    ctx.gv.(base + ctx.c.Netlist.const0) <- 0;
+    ctx.fv.(base + ctx.c.Netlist.const0) <- 0;
+    ctx.gv.(base + ctx.c.Netlist.const1) <- 1;
+    ctx.fv.(base + ctx.c.Netlist.const1) <- 1;
+    Hashtbl.iter
+      (fun net () ->
+        let v =
+          match Hashtbl.find_opt ctx.assigned (f, net) with
+          | Some true -> 1
+          | Some false -> 0
+          | None -> x
+        in
+        ctx.gv.(base + net) <- v;
+        ctx.fv.(base + net) <- v)
+      ctx.pi_nets;
+    Array.iter
+      (fun (d : Netlist.dff) ->
+        if f = 0 then begin
+          ctx.gv.(base + d.Netlist.q_output) <- x;
+          ctx.fv.(base + d.Netlist.q_output) <- x
+        end
+        else begin
+          let prev = (f - 1) * ctx.n + d.Netlist.d_input in
+          ctx.gv.(base + d.Netlist.q_output) <- ctx.gv.(prev);
+          ctx.fv.(base + d.Netlist.q_output) <- ctx.fv.(prev)
+        end)
+      ctx.c.Netlist.dffs;
+    (* fault forcing on source nets *)
+    if not (Hashtbl.mem ctx.driver ctx.site) then
+      ctx.fv.(base + ctx.site) <- ctx.sv;
+    (* sweep *)
+    let gv = ctx.gv and fv = ctx.fv in
+    Array.iter
+      (fun (g : Netlist.gate) ->
+        let out = base + g.Netlist.output in
+        (match g.Netlist.kind, g.Netlist.inputs with
+        | Netlist.G_not, [ a ] ->
+          gv.(out) <- t_not gv.(base + a);
+          fv.(out) <- t_not fv.(base + a)
+        | Netlist.G_buf, [ a ] ->
+          gv.(out) <- gv.(base + a);
+          fv.(out) <- fv.(base + a)
+        | Netlist.G_and, [ a; b ] ->
+          gv.(out) <- t_and gv.(base + a) gv.(base + b);
+          fv.(out) <- t_and fv.(base + a) fv.(base + b)
+        | Netlist.G_or, [ a; b ] ->
+          gv.(out) <- t_or gv.(base + a) gv.(base + b);
+          fv.(out) <- t_or fv.(base + a) fv.(base + b)
+        | Netlist.G_nand, [ a; b ] ->
+          gv.(out) <- t_not (t_and gv.(base + a) gv.(base + b));
+          fv.(out) <- t_not (t_and fv.(base + a) fv.(base + b))
+        | Netlist.G_nor, [ a; b ] ->
+          gv.(out) <- t_not (t_or gv.(base + a) gv.(base + b));
+          fv.(out) <- t_not (t_or fv.(base + a) fv.(base + b))
+        | Netlist.G_xor, [ a; b ] ->
+          gv.(out) <- t_xor gv.(base + a) gv.(base + b);
+          fv.(out) <- t_xor fv.(base + a) fv.(base + b)
+        | Netlist.G_xnor, [ a; b ] ->
+          gv.(out) <- t_not (t_xor gv.(base + a) gv.(base + b));
+          fv.(out) <- t_not (t_xor fv.(base + a) fv.(base + b))
+        | Netlist.G_mux2, [ s_; a; b ] ->
+          gv.(out) <- t_mux gv.(base + s_) gv.(base + a) gv.(base + b);
+          fv.(out) <- t_mux fv.(base + s_) fv.(base + a) fv.(base + b)
+        | ( Netlist.G_and | Netlist.G_or | Netlist.G_nand | Netlist.G_nor
+          | Netlist.G_xor | Netlist.G_xnor | Netlist.G_not | Netlist.G_buf
+          | Netlist.G_mux2 ), _ ->
+          invalid_arg "Podem.simulate: corrupt gate");
+        if g.Netlist.output = ctx.site then fv.(out) <- ctx.sv)
+      ctx.order
+  done
+
+let detected ctx =
+  let rec frame f =
+    if f >= ctx.frames then false
+    else
+      let base = f * ctx.n in
+      List.exists
+        (fun po ->
+          let g = ctx.gv.(base + po) and fl = ctx.fv.(base + po) in
+          g <> x && fl <> x && g <> fl)
+        ctx.po_nets
+      || frame (f + 1)
+  in
+  frame 0
+
+(* Candidate objectives, best first; the caller takes the first one whose
+   backtrace reaches an unassigned primary input. *)
+let objectives ctx =
+  (* activation: some frame carries D at the fault site *)
+  let site_d f =
+    let i = f * ctx.n + ctx.site in
+    ctx.gv.(i) <> x && ctx.gv.(i) <> ctx.sv && ctx.fv.(i) = ctx.sv
+  in
+  let activated = ref false in
+  for f = 0 to ctx.frames - 1 do
+    if site_d f then activated := true
+  done;
+  if not !activated then begin
+    (* every frame where the good value at the site is still X *)
+    List.filter_map
+      (fun f ->
+        if ctx.gv.((f * ctx.n) + ctx.site) = x then
+          Some (f, ctx.site, 1 - ctx.sv)
+        else None)
+      (List.init ctx.frames Fun.id)
+  end
+  else begin
+    (* D-frontier: gates with a D on an input and X on their output.
+       Late frames and late levels first (closest to the outputs). *)
+    let acc = ref [] in
+    for f = 0 to ctx.frames - 1 do
+      let base = f * ctx.n in
+      for gi = 0 to Array.length ctx.order - 1 do
+        let g = ctx.order.(gi) in
+        let out = base + g.Netlist.output in
+        let out_x = ctx.gv.(out) = x || ctx.fv.(out) = x in
+        if out_x then begin
+          let carries_d net =
+            let i = base + net in
+            ctx.gv.(i) <> x && ctx.fv.(i) <> x && ctx.gv.(i) <> ctx.fv.(i)
+          in
+          if List.exists carries_d g.Netlist.inputs then begin
+            let pick =
+              match g.Netlist.kind, g.Netlist.inputs with
+              | (Netlist.G_and | Netlist.G_nand), inputs ->
+                List.find_opt (fun net -> ctx.gv.(base + net) = x) inputs
+                |> Option.map (fun net -> (net, 1))
+              | (Netlist.G_or | Netlist.G_nor), inputs ->
+                List.find_opt (fun net -> ctx.gv.(base + net) = x) inputs
+                |> Option.map (fun net -> (net, 0))
+              | (Netlist.G_xor | Netlist.G_xnor), inputs ->
+                List.find_opt (fun net -> ctx.gv.(base + net) = x) inputs
+                |> Option.map (fun net -> (net, 0))
+              | (Netlist.G_not | Netlist.G_buf), _ -> None
+              | Netlist.G_mux2, [ s_; a; b ] ->
+                if ctx.gv.(base + s_) = x then begin
+                  (* route the data input that carries the D *)
+                  if carries_d a then Some (s_, 0)
+                  else if carries_d b then Some (s_, 1)
+                  else Some (s_, 0)
+                end
+                else if ctx.gv.(base + s_) = 0 && ctx.gv.(base + a) = x then
+                  Some (a, 0)
+                else if ctx.gv.(base + s_) = 1 && ctx.gv.(base + b) = x then
+                  Some (b, 0)
+                else None
+              | Netlist.G_mux2, _ -> None
+            in
+            match pick with
+            | Some (net, v) -> acc := (f, net, v) :: !acc
+            | None -> ()
+          end
+        end
+      done
+    done;
+    (* reversed scan order: latest frame / deepest gate first *)
+    !acc
+  end
+
+(* Walks an objective back to an unassigned primary input; [None] when it
+   dead-ends (frame-0 state or fully determined cone). *)
+let backtrace ctx f0 net0 v0 =
+  let rec walk f net v guard =
+    if guard <= 0 then None
+    else begin
+      let base = f * ctx.n in
+      if Hashtbl.mem ctx.pi_nets net then
+        if Hashtbl.mem ctx.assigned (f, net) then None else Some (f, net, v)
+      else
+        match Hashtbl.find_opt ctx.q_dff net with
+        | Some dff ->
+          if f = 0 then None else walk (f - 1) dff.Netlist.d_input v (guard - 1)
+        | None -> begin
+          match Hashtbl.find_opt ctx.driver net with
+          | None -> None (* constant *)
+          | Some g -> begin
+            let xin inputs =
+              List.find_opt (fun n -> ctx.gv.(base + n) = x) inputs
+            in
+            match g.Netlist.kind, g.Netlist.inputs with
+            | Netlist.G_not, [ a ] -> walk f a (t_not v) (guard - 1)
+            | Netlist.G_buf, [ a ] -> walk f a v (guard - 1)
+            | (Netlist.G_and | Netlist.G_nand), inputs -> begin
+              let v' = if g.Netlist.kind = Netlist.G_nand then t_not v else v in
+              match xin inputs with
+              | Some a -> walk f a v' (guard - 1)
+              | None -> None
+            end
+            | (Netlist.G_or | Netlist.G_nor), inputs -> begin
+              let v' = if g.Netlist.kind = Netlist.G_nor then t_not v else v in
+              match xin inputs with
+              | Some a -> walk f a v' (guard - 1)
+              | None -> None
+            end
+            | (Netlist.G_xor | Netlist.G_xnor), [ a; b ] -> begin
+              let v' = if g.Netlist.kind = Netlist.G_xnor then t_not v else v in
+              let ga = ctx.gv.(base + a) and gb = ctx.gv.(base + b) in
+              if ga = x && gb <> x then walk f a (t_xor v' gb) (guard - 1)
+              else if gb = x && ga <> x then walk f b (t_xor v' ga) (guard - 1)
+              else if ga = x then walk f a 0 (guard - 1)
+              else None
+            end
+            | Netlist.G_mux2, [ s_; a; b ] -> begin
+              match ctx.gv.(base + s_) with
+              | 0 -> walk f a v (guard - 1)
+              | 1 -> walk f b v (guard - 1)
+              | _ ->
+                (* select the branch that can still justify [v]: a branch
+                   already carrying [v] only needs the select set; among
+                   undefined branches prefer [b] — in register hold-muxes
+                   that is the load path, while the [a] (hold) path dead-
+                   ends in the unknown initial state *)
+                let ga = ctx.gv.(base + a) and gb = ctx.gv.(base + b) in
+                if ga = v then walk f s_ 0 (guard - 1)
+                else if gb = v then walk f s_ 1 (guard - 1)
+                else if gb = x then walk f s_ 1 (guard - 1)
+                else if ga = x then walk f s_ 0 (guard - 1)
+                else None
+            end
+            (* malformed arities cannot occur in validated netlists *)
+            | (Netlist.G_not | Netlist.G_buf), _ -> None
+            | (Netlist.G_xor | Netlist.G_xnor), _ -> None
+            | Netlist.G_mux2, _ -> None
+          end
+        end
+    end
+  in
+  walk f0 net0 v0 (ctx.frames * (Array.length ctx.order + ctx.n) + 16)
+
+let extract_test ctx =
+  let frames = Array.make ctx.frames [] in
+  Hashtbl.iter
+    (fun (f, net) v -> frames.(f) <- (net, v) :: frames.(f))
+    ctx.assigned;
+  { t_frames = Array.map (List.sort compare) frames }
+
+let debug = (try Sys.getenv "PODEM_DEBUG" = "1" with Not_found -> false)
+
+let search ctx ~max_backtracks ~max_implications =
+  (* decision stack: (frame, net, value, already flipped) *)
+  let stack = ref [] in
+  simulate ctx;
+  let assign f net v = Hashtbl.replace ctx.assigned (f, net) v in
+  let unassign f net = Hashtbl.remove ctx.assigned (f, net) in
+  let rec backtrack () =
+    match !stack with
+    | [] -> `No_test
+    | (f, net, v, flipped) :: rest ->
+      stack := rest;
+      unassign f net;
+      if flipped then backtrack ()
+      else begin
+        ctx.backtracks <- ctx.backtracks + 1;
+        if ctx.backtracks > max_backtracks then `Abort
+        else begin
+          let v' = not v in
+          assign f net v';
+          stack := (f, net, v', true) :: !stack;
+          simulate ctx;
+          `Continue
+        end
+      end
+  in
+  let rec loop () =
+    if detected ctx then `Detected (extract_test ctx)
+    else if ctx.implications > max_implications then `Abort
+    else begin
+      let rec first_reachable = function
+        | [] -> None
+        | (f, net, v) :: rest -> begin
+          match backtrace ctx f net v with
+          | Some pi -> Some pi
+          | None -> first_reachable rest
+        end
+      in
+      let objs = objectives ctx in
+      if debug then
+        Printf.eprintf "objs=%d stack=%d bts=%d site_gv(f*)=%s\n%!"
+          (List.length objs) (List.length !stack) ctx.backtracks
+          (String.concat ","
+             (List.init ctx.frames (fun f ->
+                  string_of_int ctx.gv.((f * ctx.n) + ctx.site))));
+      match first_reachable objs with
+      | None -> begin
+        if debug then Printf.eprintf "  no reachable objective -> backtrack\n%!";
+        match backtrack () with
+        | `No_test -> `No_test
+        | `Abort -> `Abort
+        | `Continue -> loop ()
+      end
+      | Some (fa, pi, v) ->
+        if debug then Printf.eprintf "  assign f%d pi%d := %d\n%!" fa pi v;
+        let bv = v = 1 in
+        assign fa pi bv;
+        stack := (fa, pi, bv, false) :: !stack;
+        simulate ctx;
+        loop ()
+    end
+  in
+  loop ()
+
+let generate ?(max_implications = 1500) sim ~max_frames ~max_backtracks fault =
+  let implications = ref 0 and backtracks = ref 0 in
+  let any_abort = ref false in
+  (* Each unrolling depth gets its own backtrack budget (an exhausted
+     search at a shallow depth says nothing about deeper ones, where the
+     extra frames make state controllable); the implication budget is
+     shared across depths so one hard fault cannot dominate the run. *)
+  let rec try_frames k =
+    if k > max_frames then
+      ( (if !any_abort then Aborted else No_test_in_frames),
+        { implications = !implications; backtracks = !backtracks } )
+    else begin
+      let ctx = make_ctx sim fault k in
+      let outcome =
+        search ctx ~max_backtracks
+          ~max_implications:(max 1 (max_implications - !implications))
+      in
+      implications := !implications + ctx.implications;
+      backtracks := !backtracks + ctx.backtracks;
+      match outcome with
+      | `Detected test ->
+        (Detected test, { implications = !implications; backtracks = !backtracks })
+      | `Abort ->
+        any_abort := true;
+        try_frames (k + 1)
+      | `No_test -> try_frames (k + 1)
+    end
+  in
+  try_frames 1

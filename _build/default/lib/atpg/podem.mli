@@ -1,0 +1,47 @@
+(** PODEM over a time-frame-expanded sequential circuit.
+
+    The circuit is unrolled [k] frames with an unknown (X) initial state;
+    every control and data primary input of every frame is a decision
+    variable. The target fault is present in all frames. A test is found
+    when a frame's primary output carries a D/D-bar (good and faulty
+    planes defined and different) — because the initial state is X, any
+    such test detects the fault from {e every} power-up state, so
+    replaying it on the zero-initialized simulator is guaranteed to
+    observe the fault.
+
+    Standard PODEM search: objective (activate the fault, then extend the
+    D-frontier), backtrace to an unassigned primary input through gates
+    and — across frames — through flip-flops, imply by three-valued
+    resimulation of both planes, backtrack on conflict. Frame counts are
+    tried from 1 up to [max_frames] so sequentially deeper faults cost
+    visibly more effort, which is exactly the behaviour the paper's
+    sequential-depth argument predicts. *)
+
+type test = {
+  t_frames : (int * bool) list array;
+      (** per frame: assigned PI nets; unassigned PIs are free (filled
+          with 0 on replay) *)
+}
+
+type verdict =
+  | Detected of test
+  | No_test_in_frames  (** search exhausted within the frame budget *)
+  | Aborted            (** backtrack limit hit *)
+
+type stats = {
+  implications : int;
+  backtracks : int;
+}
+
+val generate :
+  ?max_implications:int ->
+  Hlts_sim.Sim.t ->
+  max_frames:int ->
+  max_backtracks:int ->
+  Hlts_fault.Fault.t ->
+  verdict * stats
+(** [max_implications] (default 1500) bounds the total three-valued
+    resimulations spent on one fault across all unrolling depths.
+
+    Setting the environment variable [PODEM_DEBUG=1] traces the search
+    (objectives, assignments, backtracks) to stderr. *)

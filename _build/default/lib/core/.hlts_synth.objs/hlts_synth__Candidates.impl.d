@@ -1,0 +1,1 @@
+lib/core/candidates.ml: Hlts_alloc Hlts_dfg Hlts_etpn Hlts_testability Hlts_util List State

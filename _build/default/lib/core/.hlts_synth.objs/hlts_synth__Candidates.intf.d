@@ -1,0 +1,1 @@
+lib/core/candidates.mli: Hlts_testability State

@@ -1,0 +1,1 @@
+lib/core/flows.ml: Candidates Hlts_alloc Hlts_dfg Hlts_etpn Hlts_sched Printf State String Synth

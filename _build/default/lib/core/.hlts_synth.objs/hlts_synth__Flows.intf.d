@@ -1,0 +1,1 @@
+lib/core/flows.mli: Hlts_dfg Hlts_etpn State Synth

@@ -1,0 +1,1 @@
+lib/core/merge.ml: Hlts_alloc Hlts_dfg Hlts_sched List Option Printf State String

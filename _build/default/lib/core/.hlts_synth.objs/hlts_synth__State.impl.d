@@ -1,0 +1,1 @@
+lib/core/state.ml: Hlts_alloc Hlts_dfg Hlts_etpn Hlts_floorplan Hlts_sched List Result

@@ -1,0 +1,1 @@
+lib/core/state.mli: Hlts_alloc Hlts_dfg Hlts_etpn Hlts_sched

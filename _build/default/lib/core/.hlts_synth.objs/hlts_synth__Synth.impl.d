@@ -1,0 +1,1 @@
+lib/core/synth.ml: Candidates Hlts_dfg Hlts_floorplan Hlts_sched Hlts_testability Hlts_util List Merge State

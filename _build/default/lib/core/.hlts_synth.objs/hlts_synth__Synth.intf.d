@@ -1,0 +1,1 @@
+lib/core/synth.mli: Candidates Hlts_dfg State

@@ -1,0 +1,1 @@
+lib/core/test_points.ml: Hlts_etpn Hlts_testability Hlts_util List State

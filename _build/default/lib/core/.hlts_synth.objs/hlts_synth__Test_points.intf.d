@@ -1,0 +1,1 @@
+lib/core/test_points.mli: Hlts_etpn State

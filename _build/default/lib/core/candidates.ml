@@ -1,0 +1,88 @@
+module Dfg = Hlts_dfg.Dfg
+module Op = Hlts_dfg.Op
+module Binding = Hlts_alloc.Binding
+module Etpn = Hlts_etpn.Etpn
+module Testability = Hlts_testability.Testability
+
+type pair =
+  | Units of int * int
+  | Registers of int * int
+
+type strategy =
+  | Balance
+  | Connectivity
+
+(* Self-loops a merger would create: a register feeding one partner and
+   fed by the other becomes a register-unit-register loop (for unit
+   pairs), and symmetrically for register pairs through a shared unit.
+   §3 of the paper asks for "as few loops as possible". *)
+let new_self_loops etpn a b =
+  let sources id =
+    List.sort_uniq compare
+      (List.map (fun arc -> arc.Etpn.a_src) (Etpn.in_arcs etpn id))
+  in
+  let sinks id =
+    List.sort_uniq compare
+      (List.map (fun arc -> arc.Etpn.a_dst) (Etpn.out_arcs etpn id))
+  in
+  let count l1 l2 = List.length (List.filter (fun n -> List.mem n l2) l1) in
+  count (sources a) (sinks b) + count (sources b) (sinks a)
+
+let closeness etpn a b =
+  let sources id =
+    List.sort_uniq compare
+      (List.map (fun arc -> arc.Etpn.a_src) (Etpn.in_arcs etpn id))
+  in
+  let sinks id =
+    List.sort_uniq compare
+      (List.map (fun arc -> arc.Etpn.a_dst) (Etpn.out_arcs etpn id))
+  in
+  let common l1 l2 = List.length (List.filter (fun x -> List.mem x l2) l1) in
+  let direct =
+    if List.mem b (sinks a) || List.mem a (sinks b) then 1 else 0
+  in
+  float_of_int (common (sources a) (sources b) + common (sinks a) (sinks b) + direct)
+
+let all_scored state t strategy =
+  let etpn = Testability.etpn t in
+  let binding = state.State.binding in
+  let score a b =
+    match strategy with
+    | Balance ->
+      (* balance principle, discounted by the loops the merger creates *)
+      Testability.balance_score t a b
+      -. (0.5 *. float_of_int (new_self_loops etpn a b))
+    | Connectivity -> closeness etpn a b
+  in
+  let unit_pairs =
+    let mergeable f g =
+      let kinds fu =
+        List.map
+          (fun id -> (Dfg.op_by_id state.State.dfg id).Dfg.kind)
+          fu.Binding.fu_ops
+      in
+      Op.shared_class (kinds f @ kinds g) <> None
+    in
+    List.filter_map
+      (fun (f, g) ->
+        if mergeable f g then
+          let na = Etpn.node_id_of_fu etpn f.Binding.fu_id in
+          let nb = Etpn.node_id_of_fu etpn g.Binding.fu_id in
+          Some (Units (f.Binding.fu_id, g.Binding.fu_id), score na nb)
+        else None)
+      (Hlts_util.Listx.pairs binding.Binding.fus)
+  in
+  let register_pairs =
+    List.map
+      (fun (r, s) ->
+        let na = Etpn.node_id_of_reg etpn r.Binding.reg_id in
+        let nb = Etpn.node_id_of_reg etpn s.Binding.reg_id in
+        (Registers (r.Binding.reg_id, s.Binding.reg_id), score na nb))
+      (Hlts_util.Listx.pairs binding.Binding.registers)
+  in
+  List.sort
+    (fun (_, s1) (_, s2) -> compare s2 s1)
+    (unit_pairs @ register_pairs)
+
+let select state t strategy ~k =
+  List.map fst (Hlts_util.Listx.take k (all_scored state t strategy))

@@ -1,0 +1,34 @@
+(** Candidate-pair selection (Algorithm 1 line 6).
+
+    [Balance] implements the controllability/observability balance
+    allocation principle of §3: pairs are ranked by
+    {!Hlts_testability.Testability.balance_score}, so a node with good
+    controllability and bad observability is preferentially folded onto
+    one with good observability and bad controllability.
+
+    [Connectivity] is the conventional criterion the paper contrasts with
+    (and what CAMAD uses): pairs are ranked by closeness — shared sources
+    and destinations — which minimizes interconnect and multiplexers but
+    tends to produce hard-to-test structures. *)
+
+type pair =
+  | Units of int * int      (** two [fu_id]s *)
+  | Registers of int * int  (** two [reg_id]s *)
+
+type strategy =
+  | Balance
+  | Connectivity
+
+val select :
+  State.t -> Hlts_testability.Testability.t -> strategy -> k:int -> pair list
+(** The top-[k] mergeable pairs: unit pairs whose operation sets share a
+    library class, and register pairs. Scored by [strategy], descending.
+    Feasibility of the actual merge is checked later by {!Merge}. *)
+
+val all_scored :
+  State.t ->
+  Hlts_testability.Testability.t ->
+  strategy ->
+  (pair * float) list
+(** Every mergeable pair with its score, descending — [select] is a
+    prefix of this. *)

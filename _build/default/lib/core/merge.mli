@@ -1,0 +1,34 @@
+(** The two semantics-preserving merger transformations of Algorithm 1,
+    with their imposed scheduling constraints and the merge-sort
+    rescheduling of §4.3.
+
+    Merging two functional units forces all their operations into
+    pairwise-distinct control steps: the two existing execution chains are
+    merged like merge-sort, and each head-to-head decision applies the
+    controllability/observability enhancement strategy (SR2: choose the
+    order that supports SR1). Order choices are evaluated on the trial
+    schedule by total register occupancy — the sum of value lifetime
+    lengths — because compact lifetimes are what let subsequent register
+    mergers shorten controllable-to-observable chains; ties fall back to
+    the smallest critical-path increase, exactly the paper's fallback
+    rule. Merging two registers forces lifetime disjointness: values are
+    ordered the same way and each consecutive pair gets
+    expire-before-created arcs (§4.3.2), after the two always-overlapping
+    cases are ruled out.
+
+    A merger returns [None] when no feasible ordering exists. *)
+
+type outcome = {
+  state : State.t;            (** committed merged state, consistent *)
+  delta_e : int;              (** execution-time increase (often 0) *)
+  delta_h : float;            (** hardware-cost increase (usually < 0) *)
+  description : string;       (** human-readable record for reports *)
+}
+
+val modules : State.t -> bits:int -> int -> int -> outcome option
+(** [modules state ~bits fu_a fu_b] merges two functional units (by
+    [fu_id]). [None] if their operation sets share no unit class or no
+    feasible execution order exists. *)
+
+val registers : State.t -> bits:int -> int -> int -> outcome option
+(** [registers state ~bits r_a r_b] merges two registers (by [reg_id]). *)

@@ -1,0 +1,42 @@
+module Dfg = Hlts_dfg.Dfg
+module Constraints = Hlts_sched.Constraints
+module Schedule = Hlts_sched.Schedule
+module Basic = Hlts_sched.Basic
+module Binding = Hlts_alloc.Binding
+module Etpn = Hlts_etpn.Etpn
+
+type t = {
+  dfg : Dfg.t;
+  cons : Constraints.t;
+  schedule : Schedule.t;
+  binding : Binding.t;
+}
+
+let init dfg =
+  let cons = Constraints.of_dfg dfg in
+  {
+    dfg;
+    cons;
+    schedule = Basic.asap_exn cons;
+    binding = Binding.default dfg;
+  }
+
+let etpn t = Etpn.build_exn t.dfg t.schedule t.binding
+
+let execution_time t = Etpn.execution_time (etpn t)
+
+let area t ~bits = Hlts_floorplan.Floorplan.area (etpn t) ~bits
+
+let with_constraints t cons =
+  match Basic.asap cons with
+  | Error _ -> None
+  | Ok schedule -> Some { t with cons; schedule }
+
+let with_binding t binding = { t with binding }
+
+let consistent t =
+  Schedule.respects t.dfg t.schedule
+  && List.for_all
+       (fun (a, b) -> Schedule.step t.schedule a < Schedule.step t.schedule b)
+       (Constraints.extra_arcs t.cons)
+  && Result.is_ok (Binding.validate t.dfg t.schedule t.binding)

@@ -1,0 +1,36 @@
+(** Synthesis state: the design under stepwise refinement.
+
+    Holds the DFG, the precedence constraints accumulated by merger
+    transformations, the current schedule (always the ASAP schedule of the
+    constraints — rescheduling with dummy control steps falls out of the
+    recomputation), and the current register/module partition. *)
+
+type t = {
+  dfg : Hlts_dfg.Dfg.t;
+  cons : Hlts_sched.Constraints.t;
+  schedule : Hlts_sched.Schedule.t;
+  binding : Hlts_alloc.Binding.t;
+}
+
+val init : Hlts_dfg.Dfg.t -> t
+(** Algorithm 1 line 1: simple default scheduling (ASAP) and default
+    allocation (one data-path node per operation and value). *)
+
+val etpn : t -> Hlts_etpn.Etpn.t
+(** The ETPN of the current state. @raise Invalid_argument if the state
+    is inconsistent (internal error). *)
+
+val execution_time : t -> int
+(** E: critical path of the control Petri net. *)
+
+val area : t -> bits:int -> float
+(** H: floorplanned hardware cost at the given bit width. *)
+
+val with_constraints : t -> Hlts_sched.Constraints.t -> t option
+(** Recomputes the ASAP schedule under new constraints; [None] if they
+    are cyclic. The binding is kept. *)
+
+val with_binding : t -> Hlts_alloc.Binding.t -> t
+
+val consistent : t -> bool
+(** Schedule respects the DFG + constraints and the binding validates. *)

@@ -1,0 +1,132 @@
+module Testability = Hlts_testability.Testability
+
+type stop =
+  | Cost_improving
+  | Exhaustive
+
+type params = {
+  k : int;
+  alpha : float;
+  beta : float;
+  bits : int;
+  strategy : Candidates.strategy;
+  stop : stop;
+  latency_factor : float;
+  max_iterations : int;
+}
+
+let default_params =
+  {
+    k = 3;
+    alpha = 2.0;
+    beta = 1.0;
+    bits = 8;
+    strategy = Candidates.Balance;
+    stop = Cost_improving;
+    latency_factor = 1.5;
+    max_iterations = 1000;
+  }
+
+type record = {
+  iteration : int;
+  description : string;
+  delta_e : int;
+  delta_h : float;
+  cost : float;
+  seq_depth : float;
+}
+
+type result = {
+  final : State.t;
+  records : record list;
+  iterations : int;
+}
+
+let attempt state ~bits = function
+  | Candidates.Units (a, b) -> Merge.modules state ~bits a b
+  | Candidates.Registers (a, b) -> Merge.registers state ~bits a b
+
+(* One iteration: select the k best-balanced candidate pairs, estimate
+   dE/dH for each feasible merger, commit the cheapest acceptable one.
+   If none of the top-k qualifies, the scan widens down the score-ordered
+   list (keeping the testability priority) until an acceptable merger is
+   found; [None] when none exists anywhere, which terminates the loop. *)
+let step params ~budget state =
+  let analysis = Testability.analyze (State.etpn state) in
+  let scored = Candidates.all_scored state analysis params.strategy in
+  (* dE is in control steps; dH in mm2. To make alpha/beta trade them
+     off the way the paper's parameter triples do, dH is expressed in
+     register-equivalents at the target bit width (one register of the
+     module library = 1 hardware unit). *)
+  let reg_unit = Hlts_floorplan.Module_library.reg_area ~bits:params.bits in
+  let cost o =
+    (params.alpha *. float_of_int o.Merge.delta_e)
+    +. (params.beta *. o.Merge.delta_h /. reg_unit)
+  in
+  let acceptable o =
+    Hlts_sched.Schedule.length o.Merge.state.State.schedule <= budget
+    &&
+    match params.stop with
+    | Exhaustive -> true
+    | Cost_improving -> cost o < 0.0
+  in
+  let top, rest =
+    let pairs = List.map fst scored in
+    (Hlts_util.Listx.take params.k pairs,
+     if List.length pairs > params.k then
+       List.filteri (fun i _ -> i >= params.k) pairs
+     else [])
+  in
+  let best_of_top =
+    let outcomes =
+      List.filter acceptable
+        (List.filter_map (attempt state ~bits:params.bits) top)
+    in
+    Hlts_util.Listx.min_by cost outcomes
+  in
+  match best_of_top with
+  | Some best -> Some (best, cost best)
+  | None ->
+    let rec widen = function
+      | [] -> None
+      | pair :: rest -> begin
+        match attempt state ~bits:params.bits pair with
+        | Some o when acceptable o -> Some (o, cost o)
+        | Some _ | None -> widen rest
+      end
+    in
+    widen rest
+
+let run ?(params = default_params) dfg =
+  let critical_path = Hlts_dfg.Dfg.longest_chain dfg in
+  let budget =
+    if params.latency_factor = infinity then max_int
+    else
+      int_of_float (ceil (params.latency_factor *. float_of_int critical_path))
+  in
+  let rec loop state records iteration =
+    if iteration >= params.max_iterations then (state, records, iteration)
+    else
+      match step params ~budget state with
+      | None -> (state, records, iteration)
+      | Some (outcome, cost) ->
+        let state' = outcome.Merge.state in
+        let seq_depth =
+          Testability.seq_depth_total
+            (Testability.analyze (State.etpn state'))
+        in
+        let record =
+          {
+            iteration;
+            description = outcome.Merge.description;
+            delta_e = outcome.Merge.delta_e;
+            delta_h = outcome.Merge.delta_h;
+            cost;
+            seq_depth;
+          }
+        in
+        loop state' (record :: records) (iteration + 1)
+  in
+  let state0 = State.init dfg in
+  let final, records, iterations = loop state0 [] 0 in
+  { final; records = List.rev records; iterations }

@@ -1,0 +1,22 @@
+module Etpn = Hlts_etpn.Etpn
+module Testability = Hlts_testability.Testability
+
+(* Expected benefit of observing register [r]: its observability deficit,
+   weighted by its controllability — a register that can be driven but
+   not observed is the ideal tap. *)
+let benefit m =
+  (1.0 -. m.Testability.co) *. (0.3 +. m.Testability.cc)
+
+let recommend state ~k =
+  let t = Testability.analyze (State.etpn state) in
+  let ranked =
+    List.sort
+      (fun (_, m1) (_, m2) -> compare (benefit m2) (benefit m1))
+      (Testability.register_measures t)
+  in
+  Hlts_util.Listx.take k (List.map fst ranked)
+
+let insert state reg_ids =
+  List.fold_left
+    (fun etpn reg_id -> Etpn.add_observation_point etpn ~reg_id)
+    (State.etpn state) reg_ids

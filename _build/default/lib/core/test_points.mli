@@ -1,0 +1,19 @@
+(** Test-point insertion guided by the testability analysis — the natural
+    extension of the paper's flow (its reference line of work, Gu et al.,
+    improves testability from the same measures when scheduling freedom
+    is exhausted).
+
+    An observation point is a dedicated output port on a register. The
+    registers are ranked by how much an observation point would help:
+    poor observability (low CO / high SO) weighted by how controllable the
+    register already is — observing a register nobody can control buys
+    little. *)
+
+val recommend : State.t -> k:int -> int list
+(** The [k] register ids whose observation points are expected to help
+    most, best first. *)
+
+val insert : State.t -> int list -> Hlts_etpn.Etpn.t
+(** The state's ETPN with observation points added on the given
+    registers. The result expands and evaluates like any other data
+    path. *)

@@ -1,0 +1,1 @@
+lib/dfg/benchmarks.mli: Dfg

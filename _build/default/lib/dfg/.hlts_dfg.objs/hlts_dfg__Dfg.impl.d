@@ -1,0 +1,1 @@
+lib/dfg/dfg.ml: Format Hashtbl Hlts_util List Op Option Printf String

@@ -1,0 +1,243 @@
+type operand =
+  | Input of string
+  | Const of int
+  | Op of int
+
+type operation = {
+  id : int;
+  kind : Op.kind;
+  args : operand * operand;
+  result : string;
+}
+
+type t = {
+  name : string;
+  inputs : string list;
+  ops : operation list;
+  outputs : string list;
+}
+
+type value =
+  | V_input of string
+  | V_op of int
+
+let op_by_id t id = List.find (fun o -> o.id = id) t.ops
+
+let op_by_result t name = List.find_opt (fun o -> o.result = name) t.ops
+
+let value_name t = function
+  | V_input name -> name
+  | V_op id -> (op_by_id t id).result
+
+let value_of_name t name =
+  if List.mem name t.inputs then Some (V_input name)
+  else
+    match op_by_result t name with
+    | Some o -> Some (V_op o.id)
+    | None -> None
+
+let pred_ids o =
+  let of_arg = function Op id -> [ id ] | Input _ | Const _ -> [] in
+  let a, b = o.args in
+  of_arg a @ of_arg b
+
+let succ_ids t id =
+  let reads o = List.mem id (pred_ids o) in
+  List.filter_map (fun o -> if reads o then Some o.id else None) t.ops
+
+let topo_order t =
+  let remaining = Hashtbl.create 16 in
+  List.iter (fun o -> Hashtbl.replace remaining o.id o) t.ops;
+  let placed = Hashtbl.create 16 in
+  let ready o = List.for_all (Hashtbl.mem placed) (pred_ids o) in
+  let rec loop acc =
+    if Hashtbl.length remaining = 0 then List.rev acc
+    else begin
+      (* Deterministic: pick the smallest-id ready op. *)
+      let candidates =
+        Hashtbl.fold
+          (fun _ o acc -> if ready o then o :: acc else acc)
+          remaining []
+      in
+      match candidates with
+      | [] -> invalid_arg (Printf.sprintf "Dfg.topo_order: cycle in %S" t.name)
+      | _ :: _ ->
+        let o =
+          List.fold_left (fun best o -> if o.id < best.id then o else best)
+            (List.hd candidates) candidates
+        in
+        Hashtbl.remove remaining o.id;
+        Hashtbl.replace placed o.id ();
+        loop (o :: acc)
+    end
+  in
+  loop []
+
+let validate t =
+  let err fmt = Format.kasprintf (fun msg -> Error msg) fmt in
+  let dup l =
+    let seen = Hashtbl.create 16 in
+    List.find_opt
+      (fun x ->
+        if Hashtbl.mem seen x then true
+        else begin Hashtbl.add seen x (); false end)
+      l
+  in
+  let ids = List.map (fun o -> o.id) t.ops in
+  let names = t.inputs @ List.map (fun o -> o.result) t.ops in
+  let known_op id = List.mem id ids in
+  let comparison_ids =
+    List.filter_map
+      (fun o -> if Op.is_comparison o.kind then Some o.id else None)
+      t.ops
+  in
+  let check_arg o = function
+    | Const _ -> Ok ()
+    | Input name ->
+      if List.mem name t.inputs then Ok ()
+      else err "N%d reads undeclared input %S" o.id name
+    | Op id ->
+      if not (known_op id) then err "N%d reads unknown op N%d" o.id id
+      else if List.mem id comparison_ids then
+        err "N%d uses comparison result of N%d as data" o.id id
+      else Ok ()
+  in
+  let rec first_error = function
+    | [] -> Ok ()
+    | Ok () :: rest -> first_error rest
+    | (Error _ as e) :: _ -> e
+  in
+  let arg_checks =
+    List.concat_map
+      (fun o ->
+        let a, b = o.args in
+        [ check_arg o a; check_arg o b ])
+      t.ops
+  in
+  let output_checks =
+    let check name =
+      if List.mem name t.inputs then Ok ()
+      else
+        match op_by_result t name with
+        | None -> err "output %S is not a value" name
+        | Some o ->
+          if Op.is_comparison o.kind then
+            err "output %S is a comparison condition, not data" name
+          else Ok ()
+    in
+    List.map check t.outputs
+  in
+  match dup ids, dup names with
+  | Some id, _ -> err "duplicate op id N%d" id
+  | None, Some name -> err "duplicate value name %S" name
+  | None, None ->
+    (match first_error (arg_checks @ output_checks) with
+    | Error _ as e -> e
+    | Ok () ->
+      (match topo_order t with
+      | (_ : operation list) -> Ok ()
+      | exception Invalid_argument msg -> Error msg))
+
+let validate_exn t =
+  match validate t with
+  | Error msg -> invalid_arg ("Dfg.validate: " ^ msg)
+  | Ok () -> { t with ops = topo_order t }
+
+let longest_chain t =
+  let depth = Hashtbl.create 16 in
+  let op_depth o =
+    let pred_depths = List.map (Hashtbl.find depth) (pred_ids o) in
+    1 + List.fold_left max 0 pred_depths
+  in
+  List.iter (fun o -> Hashtbl.replace depth o.id (op_depth o)) (topo_order t);
+  Hashtbl.fold (fun _ d acc -> max d acc) depth 0
+
+let kind_counts t =
+  let groups = Hlts_util.Listx.group_by (fun o -> o.kind) t.ops in
+  List.map (fun (k, os) -> (k, List.length os)) groups
+
+let values t =
+  let op_values =
+    List.filter_map
+      (fun o -> if Op.is_comparison o.kind then None else Some (V_op o.id))
+      t.ops
+  in
+  List.map (fun name -> V_input name) t.inputs @ op_values
+
+let uses_of_value t v =
+  let matches = function
+    | Input name, V_input name' -> String.equal name name'
+    | Op id, V_op id' -> id = id'
+    | (Input _ | Const _ | Op _), (V_input _ | V_op _) -> false
+  in
+  let reads o =
+    let a, b = o.args in
+    matches (a, v) || matches (b, v)
+  in
+  List.filter_map (fun o -> if reads o then Some o.id else None) t.ops
+
+let is_output t v = List.mem (value_name t v) t.outputs
+
+let data_op_count t =
+  List.length (List.filter (fun o -> not (Op.is_comparison o.kind)) t.ops)
+
+let eval t ~bits inputs =
+  let mask v = v land ((1 lsl bits) - 1) in
+  let input name =
+    match List.assoc_opt name inputs with
+    | Some v -> mask v
+    | None -> invalid_arg (Printf.sprintf "Dfg.eval: missing input %S" name)
+  in
+  let results = Hashtbl.create 16 in
+  let operand = function
+    | Input name -> input name
+    | Const c -> mask c
+    | Op id -> Hashtbl.find results id
+  in
+  let apply kind a b =
+    let bool c = if c then 1 else 0 in
+    match kind with
+    | Op.Add -> mask (a + b)
+    | Op.Sub -> mask (a - b)
+    | Op.Mul -> mask (a * b)
+    | Op.Lt -> bool (a < b)
+    | Op.Gt -> bool (a > b)
+    | Op.Le -> bool (a <= b)
+    | Op.Ge -> bool (a >= b)
+    | Op.Eq -> bool (a = b)
+    | Op.Ne -> bool (a <> b)
+    | Op.And -> a land b
+    | Op.Or -> a lor b
+    | Op.Xor -> a lxor b
+  in
+  List.iter
+    (fun o ->
+      let a, b = o.args in
+      Hashtbl.replace results o.id (apply o.kind (operand a) (operand b)))
+    (topo_order t);
+  List.map
+    (fun name ->
+      let v =
+        if List.mem name t.inputs then input name
+        else Hashtbl.find results (Option.get (op_by_result t name)).id
+      in
+      (name, v))
+    t.outputs
+
+let pp_operand ppf = function
+  | Input name -> Format.pp_print_string ppf name
+  | Const c -> Format.pp_print_int ppf c
+  | Op id -> Format.fprintf ppf "@@N%d" id
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>design %s@,inputs: %s@,outputs: %s@,"
+    t.name
+    (String.concat ", " t.inputs)
+    (String.concat ", " t.outputs);
+  let pp_op o =
+    let a, b = o.args in
+    Format.fprintf ppf "N%-3d %s := %a %s %a@," o.id o.result pp_operand a
+      (Op.symbol o.kind) pp_operand b
+  in
+  List.iter pp_op t.ops;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,95 @@
+type kind =
+  | Add
+  | Sub
+  | Mul
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+  | Xor
+
+type fu_class =
+  | Fu_adder
+  | Fu_subtractor
+  | Fu_alu
+  | Fu_multiplier
+  | Fu_comparator
+  | Fu_logic
+
+let is_comparison = function
+  | Lt | Gt | Le | Ge | Eq | Ne -> true
+  | Add | Sub | Mul | And | Or | Xor -> false
+
+let is_commutative = function
+  | Add | Mul | Eq | Ne | And | Or | Xor -> true
+  | Sub | Lt | Gt | Le | Ge -> false
+
+let symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+
+let kind_of_symbol = function
+  | "+" -> Some Add
+  | "-" -> Some Sub
+  | "*" -> Some Mul
+  | "<" -> Some Lt
+  | ">" -> Some Gt
+  | "<=" -> Some Le
+  | ">=" -> Some Ge
+  | "==" -> Some Eq
+  | "!=" -> Some Ne
+  | "&" -> Some And
+  | "|" -> Some Or
+  | "^" -> Some Xor
+  | _ -> None
+
+let supports cls kind =
+  match cls, kind with
+  | Fu_adder, Add -> true
+  | Fu_adder, _ -> false
+  | Fu_subtractor, Sub -> true
+  | Fu_subtractor, _ -> false
+  | Fu_alu, Mul -> false
+  | Fu_alu, _ -> true
+  | Fu_multiplier, Mul -> true
+  | Fu_multiplier, _ -> false
+  | Fu_comparator, k -> is_comparison k
+  | Fu_logic, (And | Or | Xor) -> true
+  | Fu_logic, _ -> false
+
+(* Cheapest-first order used to bind an operation set to hardware. *)
+let all_classes =
+  [ Fu_logic; Fu_comparator; Fu_adder; Fu_subtractor; Fu_alu; Fu_multiplier ]
+
+let classes_for kind = List.filter (fun c -> supports c kind) all_classes
+
+let shared_class kinds =
+  let ok cls = List.for_all (fun k -> supports cls k) kinds in
+  match kinds with
+  | [] -> None
+  | _ -> List.find_opt ok all_classes
+
+let class_name = function
+  | Fu_adder -> "add"
+  | Fu_subtractor -> "sub"
+  | Fu_alu -> "alu"
+  | Fu_multiplier -> "mul"
+  | Fu_comparator -> "cmp"
+  | Fu_logic -> "log"
+
+let pp_kind ppf k = Format.pp_print_string ppf (symbol k)
+let pp_class ppf c = Format.pp_print_string ppf (class_name c)

@@ -1,0 +1,51 @@
+(** Operation vocabulary of the behavioral IR and the functional-unit
+    classes of the RT-level module library. *)
+
+type kind =
+  | Add
+  | Sub
+  | Mul
+  | Lt  (** less-than comparison; produces a condition signal *)
+  | Gt
+  | Le
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+  | Xor
+
+(** Functional-unit classes of the module library. An operation can be
+    bound to any unit whose class supports its {!kind}; two operations can
+    share a unit iff some class supports both. *)
+type fu_class =
+  | Fu_adder       (** add only *)
+  | Fu_subtractor  (** sub only *)
+  | Fu_alu         (** add, sub, comparisons, logic *)
+  | Fu_multiplier  (** mul only *)
+  | Fu_comparator  (** comparisons only *)
+  | Fu_logic       (** and/or/xor only *)
+
+val is_comparison : kind -> bool
+(** Comparisons produce a 1-bit condition consumed by the control part. *)
+
+val is_commutative : kind -> bool
+
+val symbol : kind -> string
+(** Infix symbol, e.g. ["+"]. *)
+
+val kind_of_symbol : string -> kind option
+
+val supports : fu_class -> kind -> bool
+
+val classes_for : kind -> fu_class list
+(** All unit classes able to execute [kind], cheapest first. *)
+
+val shared_class : kind list -> fu_class option
+(** Cheapest class supporting every kind in the list, if any. Determines
+    whether a set of operations may share one functional unit. *)
+
+val class_name : fu_class -> string
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp_class : Format.formatter -> fu_class -> unit

@@ -1,0 +1,1 @@
+lib/etpn/etpn.ml: Buffer Fun Hashtbl Hlts_alloc Hlts_dfg Hlts_petri Hlts_sched Hlts_util List Option Printf String

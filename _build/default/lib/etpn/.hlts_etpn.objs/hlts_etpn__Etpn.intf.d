@@ -1,0 +1,1 @@
+lib/etpn/etpn.mli: Hlts_alloc Hlts_dfg Hlts_petri Hlts_sched

@@ -1,0 +1,1 @@
+lib/eval/eval.ml: Hlts_alloc Hlts_atpg Hlts_dfg Hlts_etpn Hlts_floorplan Hlts_netlist Hlts_sched Hlts_synth Hlts_testability List Option Printf String

@@ -1,0 +1,1 @@
+lib/eval/eval.mli: Hlts_atpg Hlts_dfg Hlts_synth

@@ -1,0 +1,1 @@
+lib/eval/experiments.ml: Eval Hlts_atpg Hlts_dfg Hlts_netlist Hlts_synth List Option

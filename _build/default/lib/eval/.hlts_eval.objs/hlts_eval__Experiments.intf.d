@@ -1,0 +1,1 @@
+lib/eval/experiments.mli: Eval Hlts_atpg Hlts_dfg Hlts_synth

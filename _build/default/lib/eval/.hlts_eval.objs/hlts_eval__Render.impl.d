@@ -1,0 +1,1 @@
+lib/eval/render.ml: Eval Format Hlts_alloc Hlts_dfg Hlts_sched Hlts_synth Hlts_testability Hlts_util List Printf String

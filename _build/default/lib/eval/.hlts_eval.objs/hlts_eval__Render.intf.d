@@ -1,0 +1,1 @@
+lib/eval/render.mli: Eval Format Hlts_dfg Hlts_synth

@@ -1,0 +1,59 @@
+(** End-to-end evaluation pipeline: benchmark x approach x bit width
+    -> one row of the paper's tables.
+
+    The pipeline synthesizes the design with the chosen flow, expands the
+    resulting ETPN to gates at the requested width, runs the ATPG stack,
+    and collects the structural metrics (allocation listing, multiplexer
+    count, floorplanned area). *)
+
+type row = {
+  approach : Hlts_synth.Flows.approach;
+  bits : int;
+  schedule_length : int;
+  n_registers : int;
+  n_fus : int;
+  n_mux : int;                      (** 2-to-1 multiplexer slices *)
+  module_allocation : string list;  (** "(mul): N21, N24" per unit *)
+  register_allocation : string list;
+  fault_coverage_pct : float;
+  tg_effort : int;                  (** deterministic TG cost *)
+  tg_seconds : float;               (** measured CPU seconds *)
+  test_cycles : int;
+  area_mm2 : float;
+  seq_depth : float;                (** testability sequential-depth metric *)
+  gate_count : int;
+}
+
+val params_for_bits : int -> Hlts_synth.Synth.params
+(** The paper's parameter triples: (k, alpha, beta) = (3, 2, 1) at 4 bits,
+    (3, 10, 1) at 8 bits, (3, 1, 10) at 16 bits (§5); [bits] is also the
+    hardware-estimation width. Other widths fall back to (3, 2, 1). *)
+
+val evaluate :
+  ?params:Hlts_synth.Synth.params ->
+  ?atpg:Hlts_atpg.Atpg.config ->
+  Hlts_synth.Flows.approach ->
+  Hlts_dfg.Dfg.t ->
+  bits:int ->
+  row
+(** [params] defaults to {!params_for_bits}; [atpg] to
+    {!Hlts_atpg.Atpg.default_config}. *)
+
+val evaluate_outcome :
+  ?atpg:Hlts_atpg.Atpg.config ->
+  Hlts_synth.Flows.outcome ->
+  bits:int ->
+  row
+(** Evaluates an already-synthesized design at a bit width. The paper's
+    tables report one allocation per approach measured at 4/8/16 bits
+    ("the chosen parameters ... achieve the same allocation and
+    scheduling"), so {!Experiments} synthesizes once and calls this per
+    width. *)
+
+val outcome :
+  ?params:Hlts_synth.Synth.params ->
+  Hlts_synth.Flows.approach ->
+  Hlts_dfg.Dfg.t ->
+  bits:int ->
+  Hlts_synth.Flows.outcome
+(** Synthesis only (no gate expansion/ATPG) — used by the figures. *)

@@ -1,0 +1,113 @@
+module Flows = Hlts_synth.Flows
+module Synth = Hlts_synth.Synth
+module B = Hlts_dfg.Benchmarks
+
+let approaches = Flows.[ Camad; Approach1; Approach2; Ours ]
+
+let widths = [ 4; 8; 16 ]
+
+(* One synthesis per approach with the baseline parameters (the paper's
+   per-width triples were chosen to reach the same allocation at every
+   width, so one canonical structure per approach is the faithful
+   reading); the structure is then measured at 4, 8 and 16 bits. *)
+let table_rows ?atpg dfg =
+  let params = { Synth.default_params with Synth.bits = 8 } in
+  List.concat_map
+    (fun approach ->
+      let o = Eval.outcome ~params approach dfg ~bits:8 in
+      List.map (fun bits -> Eval.evaluate_outcome ?atpg o ~bits) widths)
+    approaches
+
+let table1 ?atpg () = table_rows ?atpg B.ex
+let table2 ?atpg () = table_rows ?atpg B.dct
+let table3 ?atpg () = table_rows ?atpg B.diffeq
+
+let extra_rows ?atpg () =
+  let params = { Synth.default_params with Synth.bits = 8 } in
+  List.map
+    (fun (name, dfg) ->
+      ( name,
+        List.map
+          (fun a -> Eval.evaluate ~params ?atpg a dfg ~bits:8)
+          approaches ))
+    [ ("ewf", B.ewf); ("paulin", B.paulin); ("tseng", B.tseng) ]
+
+let ablation_params ?atpg () =
+  let triples = [ (1, 2.0, 1.0); (3, 2.0, 1.0); (5, 2.0, 1.0);
+                  (3, 10.0, 1.0); (3, 1.0, 10.0) ] in
+  List.map
+    (fun (k, alpha, beta) ->
+      let params =
+        { Synth.default_params with Synth.k; alpha; beta; bits = 8 }
+      in
+      ((k, alpha, beta), Eval.evaluate ?atpg ~params Flows.Ours B.ex ~bits:8))
+    triples
+
+let ablation_balance ?atpg () =
+  List.concat_map
+    (fun (name, dfg) ->
+      [
+        (name ^ " balance", Eval.evaluate ?atpg Flows.Ours dfg ~bits:8);
+        (name ^ " connectivity", Eval.evaluate ?atpg Flows.Camad dfg ~bits:8);
+      ])
+    [ ("ex", B.ex); ("dct", B.dct); ("diffeq", B.diffeq) ]
+
+let ablation_latency ?atpg () =
+  List.concat_map
+    (fun (name, dfg) ->
+      List.map
+        (fun factor ->
+          let params =
+            { Synth.default_params with Synth.bits = 8;
+              latency_factor = factor }
+          in
+          ((name, factor), Eval.evaluate ?atpg ~params Flows.Ours dfg ~bits:8))
+        [ 1.0; 1.25; 1.5; 2.0 ])
+    [ ("ex", B.ex); ("diffeq", B.diffeq) ]
+
+let scan_comparison ?atpg () =
+  let atpg_cfg =
+    Option.value ~default:Hlts_atpg.Atpg.default_config atpg
+  in
+  let params = { Synth.default_params with Synth.bits = 8 } in
+  List.map
+    (fun (name, dfg) ->
+      let o = Eval.outcome ~params Flows.Ours dfg ~bits:8 in
+      let base = Eval.evaluate_outcome ?atpg o ~bits:8 in
+      let scan =
+        Hlts_netlist.Netlist.full_scan
+          (Hlts_netlist.Expand.circuit o.Flows.etpn ~bits:8)
+      in
+      let r = Hlts_atpg.Atpg.run ~config:atpg_cfg scan in
+      (name, base, Hlts_atpg.Atpg.coverage_pct r, r.Hlts_atpg.Atpg.effort))
+    [ ("ex", B.ex); ("dct", B.dct); ("diffeq", B.diffeq) ]
+
+let bist_comparison ?(seed = 1) () =
+  let params = { Synth.default_params with Synth.bits = 8 } in
+  let config = { Hlts_atpg.Bist.default_config with Hlts_atpg.Bist.seed } in
+  List.map
+    (fun (name, dfg) ->
+      ( name,
+        List.map
+          (fun a ->
+            let o = Eval.outcome ~params a dfg ~bits:8 in
+            let circuit = Hlts_netlist.Expand.circuit o.Flows.etpn ~bits:8 in
+            let r = Hlts_atpg.Bist.run ~config circuit in
+            (Flows.approach_name a, Hlts_atpg.Bist.coverage_pct r))
+          approaches ))
+    [ ("ex", B.ex); ("dct", B.dct); ("diffeq", B.diffeq) ]
+
+let test_points ?atpg () =
+  let params = { Synth.default_params with Synth.bits = 8 } in
+  List.map
+    (fun (name, dfg) ->
+      let o = Eval.outcome ~params Flows.Camad dfg ~bits:8 in
+      let base = Eval.evaluate_outcome ?atpg o ~bits:8 in
+      let state = o.Flows.state in
+      let taps = Hlts_synth.Test_points.recommend state ~k:2 in
+      let etpn = Hlts_synth.Test_points.insert state taps in
+      let tapped =
+        Eval.evaluate_outcome ?atpg { o with Flows.etpn } ~bits:8
+      in
+      (name, base, tapped))
+    [ ("ex", B.ex); ("dct", B.dct); ("diffeq", B.diffeq) ]

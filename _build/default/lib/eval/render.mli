@@ -1,0 +1,25 @@
+(** Paper-shaped text rendering: the tables of §5 and the schedule
+    figures. *)
+
+val table :
+  Format.formatter ->
+  title:string ->
+  ?with_area:bool ->
+  Eval.row list ->
+  unit
+(** One block per approach (rows grouped in input order): module and
+    register allocation, #Mux, and per-bit-width fault coverage / test
+    generation cost / test cycles (and area when [with_area], as in
+    Tables 2 and 3). *)
+
+val schedule_figure :
+  Format.formatter -> Hlts_dfg.Dfg.t -> Hlts_synth.Flows.outcome -> unit
+(** ASCII control-step chart of a synthesized design (Figures 2 and 3):
+    one line per control step listing the operations, followed by the
+    unit and register sharing groups. *)
+
+val figure1 : Format.formatter -> unit
+(** Reproduction of Figure 1's controllability/observability enhancement
+    example: a small design where two operations merge onto one unit, and
+    the SR2 decision between the two execution orders is shown with the
+    sequential-depth metric before/after. *)

@@ -1,0 +1,1 @@
+lib/fault/fault.ml: Array Hashtbl Hlts_netlist List Option Printf

@@ -1,0 +1,74 @@
+module Netlist = Hlts_netlist.Netlist
+
+type stuck =
+  | Stuck_at_0
+  | Stuck_at_1
+
+type t = {
+  f_net : int;
+  f_stuck : stuck;
+}
+
+let universe (c : Netlist.t) =
+  (* primary-input nets only count when something reads them (pruning can
+     orphan e.g. a select bit of a removed mux) *)
+  let read = Hashtbl.create 256 in
+  Array.iter
+    (fun g -> List.iter (fun net -> Hashtbl.replace read net ()) g.Netlist.inputs)
+    c.Netlist.gates;
+  Array.iter (fun f -> Hashtbl.replace read f.Netlist.d_input ()) c.Netlist.dffs;
+  List.iter
+    (fun (_, bus) -> List.iter (fun net -> Hashtbl.replace read net ()) bus)
+    c.Netlist.pos;
+  let logic_nets =
+    List.concat
+      [
+        List.filter (Hashtbl.mem read)
+          (List.concat_map (fun (_, bus) -> bus) c.Netlist.pis);
+        Array.to_list (Array.map (fun g -> g.Netlist.output) c.Netlist.gates);
+        Array.to_list (Array.map (fun f -> f.Netlist.q_output) c.Netlist.dffs);
+      ]
+    |> List.sort_uniq compare
+  in
+  List.concat_map
+    (fun net -> [ { f_net = net; f_stuck = Stuck_at_0 };
+                  { f_net = net; f_stuck = Stuck_at_1 } ])
+    logic_nets
+
+let collapse (c : Netlist.t) faults =
+  (* fanout count per net *)
+  let fanout = Hashtbl.create 256 in
+  let read net =
+    Hashtbl.replace fanout net (1 + Option.value ~default:0 (Hashtbl.find_opt fanout net))
+  in
+  Array.iter (fun g -> List.iter read g.Netlist.inputs) c.Netlist.gates;
+  Array.iter (fun f -> read f.Netlist.d_input) c.Netlist.dffs;
+  List.iter (fun (_, bus) -> List.iter read bus) c.Netlist.pos;
+  (* map: input net of a single-fanout BUF/NOT -> (output net, inverted) *)
+  let forward = Hashtbl.create 256 in
+  Array.iter
+    (fun g ->
+      match g.Netlist.kind, g.Netlist.inputs with
+      | Netlist.G_buf, [ i ] when Hashtbl.find_opt fanout i = Some 1 ->
+        Hashtbl.replace forward i (g.Netlist.output, false)
+      | Netlist.G_not, [ i ] when Hashtbl.find_opt fanout i = Some 1 ->
+        Hashtbl.replace forward i (g.Netlist.output, true)
+      | (Netlist.G_buf | Netlist.G_not | Netlist.G_and | Netlist.G_or
+        | Netlist.G_nand | Netlist.G_nor | Netlist.G_xor | Netlist.G_xnor
+        | Netlist.G_mux2), _ -> ())
+    c.Netlist.gates;
+  let flip = function Stuck_at_0 -> Stuck_at_1 | Stuck_at_1 -> Stuck_at_0 in
+  let rec representative f =
+    match Hashtbl.find_opt forward f.f_net with
+    | None -> f
+    | Some (out, inverted) ->
+      representative
+        { f_net = out; f_stuck = (if inverted then flip f.f_stuck else f.f_stuck) }
+  in
+  List.sort_uniq compare (List.map representative faults)
+
+let collapsed_universe c = collapse c (universe c)
+
+let to_string f =
+  Printf.sprintf "n%d/%d" f.f_net
+    (match f.f_stuck with Stuck_at_0 -> 0 | Stuck_at_1 -> 1)

@@ -1,0 +1,31 @@
+(** Single stuck-at fault model over netlist nets.
+
+    The fault universe is stuck-at-0/stuck-at-1 on every logic net
+    (gate outputs, DFF Q outputs, and primary-input nets; constants are
+    excluded — a stuck constant is undetectable by definition). Before
+    test generation the universe is collapsed by structural equivalence
+    through single-fanout buffers and inverters: a fault on a BUF/NOT
+    input is equivalent to the corresponding fault on its output, so only
+    the class representative is kept. *)
+
+type stuck =
+  | Stuck_at_0
+  | Stuck_at_1
+
+type t = {
+  f_net : int;
+  f_stuck : stuck;
+}
+
+val universe : Hlts_netlist.Netlist.t -> t list
+(** All uncollapsed faults, deterministic order. *)
+
+val collapse : Hlts_netlist.Netlist.t -> t list -> t list
+(** Equivalence collapsing through BUF/NOT chains. The representative of
+    a class is the fault at the chain's end (output side). *)
+
+val collapsed_universe : Hlts_netlist.Netlist.t -> t list
+(** [collapse c (universe c)]. *)
+
+val to_string : t -> string
+(** e.g. ["n42/0"]. *)

@@ -1,0 +1,1 @@
+lib/floorplan/floorplan.ml: Hashtbl Hlts_alloc Hlts_dfg Hlts_etpn Hlts_util List Module_library

@@ -1,0 +1,1 @@
+lib/floorplan/floorplan.mli: Hlts_etpn

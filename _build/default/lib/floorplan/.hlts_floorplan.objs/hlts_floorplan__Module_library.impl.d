@@ -1,0 +1,1 @@
+lib/floorplan/module_library.ml: Hlts_dfg

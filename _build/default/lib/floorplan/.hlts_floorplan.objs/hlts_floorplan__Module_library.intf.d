@@ -1,0 +1,1 @@
+lib/floorplan/module_library.mli: Hlts_dfg

@@ -1,0 +1,116 @@
+module Etpn = Hlts_etpn.Etpn
+module Op = Hlts_dfg.Op
+
+type result = {
+  cell_area : float;
+  wire_cost : float;
+  total : float;
+  placement : (int * (float * float)) list;
+}
+
+(* Area of one data-path block, multiplexers folded into the destination
+   node that owns them. *)
+let block_area etpn ~bits id =
+  let own =
+    match Etpn.node etpn id with
+    | Etpn.Reg _ -> Module_library.reg_area ~bits
+    | Etpn.Fu fu -> Module_library.fu_area fu.Hlts_alloc.Binding.fu_class ~bits
+    | Etpn.Port_in _ | Etpn.Port_out _ | Etpn.Cond_out _ | Etpn.Const _ ->
+      Module_library.port_area
+  in
+  let mux =
+    let by_port =
+      Hlts_util.Listx.group_by (fun a -> a.Etpn.a_port) (Etpn.in_arcs etpn id)
+    in
+    List.fold_left
+      (fun acc (_, arcs) ->
+        acc
+        +. float_of_int (max 0 (List.length arcs - 1))
+           *. Module_library.mux_slice_area ~bits)
+      0.0 by_port
+  in
+  own +. mux
+
+let plan etpn ~bits =
+  let ids = List.map fst etpn.Etpn.nodes in
+  let connections = Etpn.interconnect etpn in
+  let degree id =
+    List.length (List.filter (fun (a, b) -> a = id || b = id) connections)
+  in
+  let order =
+    List.sort (fun a b -> compare (degree b, a) (degree a, b)) ids
+  in
+  (* Slot grid: pitch derived from the average block size so distances are
+     in mm. *)
+  let areas = List.map (fun id -> (id, block_area etpn ~bits id)) ids in
+  let cell_area = Hlts_util.Listx.sum_by snd areas in
+  let pitch = sqrt (cell_area /. float_of_int (max 1 (List.length ids))) in
+  let occupied = Hashtbl.create 64 in
+  let slot_of = Hashtbl.create 64 in
+  let place id (i, j) =
+    Hashtbl.replace occupied (i, j) id;
+    Hashtbl.replace slot_of id (i, j)
+  in
+  let neighbours id =
+    List.filter_map
+      (fun (a, b) ->
+        if a = id then Some b else if b = id then Some a else None)
+      connections
+  in
+  let frontier () =
+    let cells = Hashtbl.fold (fun cell _ acc -> cell :: acc) occupied [] in
+    let around (i, j) =
+      [ (i + 1, j); (i - 1, j); (i, j + 1); (i, j - 1) ]
+    in
+    List.sort_uniq compare
+      (List.filter
+         (fun c -> not (Hashtbl.mem occupied c))
+         (List.concat_map around cells))
+  in
+  let wire_to id (i, j) =
+    Hlts_util.Listx.sum_by
+      (fun n ->
+        match Hashtbl.find_opt slot_of n with
+        | None -> 0.0
+        | Some (ni, nj) -> float_of_int (abs (i - ni) + abs (j - nj)))
+      (neighbours id)
+  in
+  let place_next id =
+    if Hashtbl.length occupied = 0 then place id (0, 0)
+    else begin
+      let candidates = frontier () in
+      let best =
+        Hlts_util.Listx.min_by (fun c -> wire_to id c) candidates
+      in
+      match best with
+      | Some c -> place id c
+      | None -> place id (Hashtbl.length occupied, 0)
+    end
+  in
+  List.iter place_next order;
+  let center id =
+    let i, j = Hashtbl.find slot_of id in
+    (float_of_int i *. pitch, float_of_int j *. pitch)
+  in
+  let wire_cost =
+    Hlts_util.Listx.sum_by
+      (fun a ->
+        let x1, y1 = center a.Etpn.a_src and x2, y2 = center a.Etpn.a_dst in
+        let len = abs_float (x1 -. x2) +. abs_float (y1 -. y2) in
+        let wid =
+          match Etpn.node etpn a.Etpn.a_dst with
+          | Etpn.Cond_out _ -> Module_library.wire_width ~bits:1
+          | Etpn.Reg _ | Etpn.Fu _ | Etpn.Port_in _ | Etpn.Port_out _
+          | Etpn.Const _ -> Module_library.wire_width ~bits
+        in
+        len *. wid)
+      etpn.Etpn.arcs
+  in
+  {
+    cell_area;
+    wire_cost;
+    total = cell_area +. wire_cost;
+    placement = List.map (fun id -> (id, center id)) ids;
+  }
+
+let area etpn ~bits = (plan etpn ~bits).total

@@ -1,0 +1,17 @@
+let b bits = float_of_int bits
+
+let fu_area cls ~bits =
+  match cls with
+  | Hlts_dfg.Op.Fu_multiplier -> 0.0016 *. b bits *. b bits
+  | Hlts_dfg.Op.Fu_alu -> 0.0050 *. b bits
+  | Hlts_dfg.Op.Fu_adder | Hlts_dfg.Op.Fu_subtractor -> 0.0040 *. b bits
+  | Hlts_dfg.Op.Fu_comparator -> 0.0030 *. b bits
+  | Hlts_dfg.Op.Fu_logic -> 0.0020 *. b bits
+
+let reg_area ~bits = 0.0022 *. b bits
+
+let mux_slice_area ~bits = 0.0007 *. b bits
+
+let port_area = 0.001
+
+let wire_width ~bits = 0.0005 *. b bits

@@ -1,0 +1,23 @@
+(** RT-level module library: area parameters per data-path unit.
+
+    The absolute scale is calibrated so a CAMAD-style 16-bit Dct data path
+    lands in the few-mm2 range the paper reports (0.8 um-era cells);
+    every synthesis flow shares the library, so area ratios between
+    approaches are meaningful even though absolute values are synthetic
+    (DESIGN.md substitution 4). *)
+
+val fu_area : Hlts_dfg.Op.fu_class -> bits:int -> float
+(** Cell area in mm2. Multipliers grow quadratically with bit width,
+    everything else linearly. *)
+
+val reg_area : bits:int -> float
+
+val mux_slice_area : bits:int -> float
+(** One 2-to-1 multiplexer slice in front of a port. *)
+
+val port_area : float
+(** Pad/port and constant-generator footprint (fixed, small). *)
+
+val wire_width : bits:int -> float
+(** Effective routing width of a [bits]-wide connection, in mm — the
+    paper's [Wid(A_j)]: bit width times a weighting factor. *)

@@ -1,0 +1,1 @@
+lib/lang/elaborate.ml: Ast Format Hashtbl Hlts_dfg List Printf

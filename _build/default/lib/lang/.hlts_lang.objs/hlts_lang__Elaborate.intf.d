@@ -1,0 +1,1 @@
+lib/lang/elaborate.mli: Ast Hlts_dfg

@@ -1,0 +1,1 @@
+lib/lang/lang.ml: Elaborate Parser

@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Hlts_dfg List Option Printf String

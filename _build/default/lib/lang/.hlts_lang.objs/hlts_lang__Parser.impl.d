@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Array Ast Format Hlts_dfg Lexer List Printf String

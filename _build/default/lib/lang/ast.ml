@@ -1,0 +1,18 @@
+type expr =
+  | E_var of string
+  | E_const of int
+  | E_bin of Hlts_dfg.Op.kind * expr * expr
+
+type stmt = {
+  s_line : int;
+  s_label : int option;
+  s_lhs : string;
+  s_rhs : expr;
+}
+
+type design = {
+  d_name : string;
+  d_inputs : string list;
+  d_outputs : string list;
+  d_body : stmt list;
+}

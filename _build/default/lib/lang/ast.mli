@@ -1,0 +1,38 @@
+(** Abstract syntax of the behavioral description language.
+
+    The language is a VHDL-flavoured behavioral subset, just rich enough
+    to express the paper's benchmarks:
+
+    {v
+    design diffeq is
+      input x, y, u, dx, a;
+      output x1, y1, u1;
+    begin
+      N26: t1 := 3 * x;
+      t2 := u * dx;
+      x1 := x + dx;       -- variables may be reassigned
+    end;
+    v}
+
+    Statement labels ([N26:]) pin the paper's node numbering; unlabeled
+    statements get fresh ids. Compound expressions are decomposed into one
+    operation per binary node during elaboration. *)
+
+type expr =
+  | E_var of string
+  | E_const of int
+  | E_bin of Hlts_dfg.Op.kind * expr * expr
+
+type stmt = {
+  s_line : int;         (** source line, for error messages *)
+  s_label : int option; (** explicit node id of the root operation *)
+  s_lhs : string;
+  s_rhs : expr;
+}
+
+type design = {
+  d_name : string;
+  d_inputs : string list;
+  d_outputs : string list;
+  d_body : stmt list;
+}

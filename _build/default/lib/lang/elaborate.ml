@@ -1,0 +1,148 @@
+module Dfg = Hlts_dfg.Dfg
+module Op = Hlts_dfg.Op
+
+exception Elab_error of string
+
+let fail line fmt =
+  Format.kasprintf
+    (fun m -> raise (Elab_error (Printf.sprintf "line %d: %s" line m)))
+    fmt
+
+type env = {
+  mutable bindings : (string * Dfg.operand) list;  (* var -> current value *)
+  mutable ops : Dfg.operation list;                (* reversed *)
+  mutable used_ids : int list;
+  mutable next_id : int;
+  mutable used_names : string list;
+  comparisons : (int, unit) Hashtbl.t;             (* op ids producing conditions *)
+}
+
+let fresh_id env =
+  let rec next k = if List.mem k env.used_ids then next (k + 1) else k in
+  let id = next env.next_id in
+  env.next_id <- id + 1;
+  env.used_ids <- id :: env.used_ids;
+  id
+
+let claim_id env line id =
+  if List.mem id env.used_ids then fail line "duplicate node label N%d" id;
+  env.used_ids <- id :: env.used_ids
+
+let fresh_name env base =
+  let rec next k =
+    let candidate = Printf.sprintf "%s_%d" base k in
+    if List.mem candidate env.used_names then next (k + 1) else candidate
+  in
+  let name = if List.mem base env.used_names then next 2 else base in
+  env.used_names <- name :: env.used_names;
+  name
+
+let lookup env line name =
+  match List.assoc_opt name env.bindings with
+  | Some v -> v
+  | None -> fail line "variable %S used before definition" name
+
+let check_data_operand env line = function
+  | Dfg.Op id when Hashtbl.mem env.comparisons id ->
+    fail line "comparison result used as a data operand"
+  | Dfg.Op _ | Dfg.Input _ | Dfg.Const _ -> ()
+
+(* Elaborates [expr] to an operand, emitting operations for binary nodes.
+   [name_root] seeds the generated names of inner nodes. *)
+let rec elab_expr env line ~name_root expr : Dfg.operand =
+  match expr with
+  | Ast.E_const k -> Dfg.Const k
+  | Ast.E_var v -> lookup env line v
+  | Ast.E_bin (kind, a, b) ->
+    let ea = elab_expr env line ~name_root:(name_root ^ ".l") a in
+    let eb = elab_expr env line ~name_root:(name_root ^ ".r") b in
+    check_data_operand env line ea;
+    check_data_operand env line eb;
+    (match ea, eb with
+    | Dfg.Const _, Dfg.Const _ ->
+      fail line "expression over constants only (fold it by hand)"
+    | _ -> ());
+    let id = fresh_id env in
+    let result = fresh_name env name_root in
+    let op = { Dfg.id; kind; args = (ea, eb); result } in
+    env.ops <- op :: env.ops;
+    if Op.is_comparison kind then Hashtbl.replace env.comparisons id ();
+    Dfg.Op id
+
+let design (d : Ast.design) =
+  let env =
+    {
+      bindings = List.map (fun name -> (name, Dfg.Input name)) d.Ast.d_inputs;
+      ops = [];
+      used_ids = [];
+      next_id = 1;
+      used_names = d.Ast.d_inputs;
+      comparisons = Hashtbl.create 8;
+    }
+  in
+  (* Claim all labels up front so unlabeled statements never steal them
+     and duplicates are caught early. *)
+  let claim_labels () =
+    List.iter
+      (fun s ->
+        match s.Ast.s_label with
+        | Some id -> claim_id env s.Ast.s_line id
+        | None -> ())
+      d.Ast.d_body
+  in
+  let elab_stmt s =
+    let line = s.Ast.s_line in
+    (* The root must be an operation: re-check after elaboration. *)
+    match s.Ast.s_rhs with
+    | Ast.E_var _ | Ast.E_const _ ->
+      fail line "assignment to %S is a trivial copy; no operation to schedule"
+        s.Ast.s_lhs
+    | Ast.E_bin (kind, a, b) ->
+      let name_root = fresh_name env s.Ast.s_lhs in
+      (* fresh_name consumed the name; elaborate children first, then the
+         root with the reserved name. *)
+      let ea = elab_expr env line ~name_root:(name_root ^ ".l") a in
+      let eb = elab_expr env line ~name_root:(name_root ^ ".r") b in
+      check_data_operand env line ea;
+      check_data_operand env line eb;
+      (match ea, eb with
+      | Dfg.Const _, Dfg.Const _ ->
+        fail line "expression over constants only (fold it by hand)"
+      | _ -> ());
+      let id =
+        match s.Ast.s_label with
+        | Some id -> id (* already claimed *)
+        | None -> fresh_id env
+      in
+      let op = { Dfg.id; kind; args = (ea, eb); result = name_root } in
+      env.ops <- op :: env.ops;
+      if Op.is_comparison kind then Hashtbl.replace env.comparisons id ();
+      env.bindings <- (s.Ast.s_lhs, Dfg.Op id) :: List.remove_assoc s.Ast.s_lhs env.bindings
+  in
+  let resolve_output name =
+    match List.assoc_opt name env.bindings with
+    | None -> fail 0 "output %S was never assigned" name
+    | Some (Dfg.Const _) -> fail 0 "output %S is a constant" name
+    | Some (Dfg.Input _) -> fail 0 "output %S is a pass-through of an input" name
+    | Some (Dfg.Op id) ->
+      if Hashtbl.mem env.comparisons id then
+        fail 0 "output %S is a condition, not data" name
+      else
+        (* the final SSA name of the variable *)
+        (List.find (fun o -> o.Dfg.id = id) env.ops).Dfg.result
+  in
+  match
+    claim_labels ();
+    List.iter elab_stmt d.Ast.d_body;
+    let outputs = List.map resolve_output d.Ast.d_outputs in
+    Dfg.validate_exn
+      {
+        Dfg.name = d.Ast.d_name;
+        inputs = d.Ast.d_inputs;
+        ops = List.rev env.ops;
+        outputs;
+      }
+  with
+  | dfg -> Ok dfg
+  | exception Elab_error msg -> Error msg
+  | exception Invalid_argument msg -> Error msg

@@ -1,0 +1,14 @@
+(** Elaboration of a parsed design into a single-assignment DFG.
+
+    Compound expressions are decomposed into one operation per binary
+    node; intermediate results get generated names ([lhs.1], [lhs.2], ...).
+    Reassigned variables are SSA-renamed ([x], [x_2], [x_3], ...); an
+    output declaration refers to the variable's final definition.
+    Statement labels pin node ids; unlabeled operations receive the
+    smallest unused ids. *)
+
+val design : Ast.design -> (Hlts_dfg.Dfg.t, string) result
+(** Rejects: use of an undefined variable, assignment whose right-hand
+    side contains no operation (trivial copies), expressions over
+    constants only, duplicate node labels, use of a comparison result as
+    data, outputs that were never assigned. *)

@@ -1,0 +1,9 @@
+let compile src =
+  match Parser.parse src with
+  | Error _ as e -> e
+  | Ok design -> Elaborate.design design
+
+let compile_exn src =
+  match compile src with
+  | Ok dfg -> dfg
+  | Error msg -> invalid_arg ("Lang.compile: " ^ msg)

@@ -1,0 +1,7 @@
+(** Convenience entry point: source text to DFG in one call. *)
+
+val compile : string -> (Hlts_dfg.Dfg.t, string) result
+(** [compile src] parses and elaborates a design. *)
+
+val compile_exn : string -> Hlts_dfg.Dfg.t
+(** @raise Invalid_argument with the diagnostic on failure. *)

@@ -1,0 +1,28 @@
+(** Hand-written lexer for the behavioral language. *)
+
+type token =
+  | T_ident of string
+  | T_int of int
+  | T_design
+  | T_is
+  | T_input
+  | T_output
+  | T_begin
+  | T_end
+  | T_assign       (** [:=] *)
+  | T_colon
+  | T_semi
+  | T_comma
+  | T_lparen
+  | T_rparen
+  | T_op of Hlts_dfg.Op.kind  (** infix operator symbol *)
+  | T_eof
+
+type located = { tok : token; line : int }
+
+val tokenize : string -> (located list, string) result
+(** Whole-input tokenization. [--] starts a comment running to the end of
+    the line. Errors mention the offending line. *)
+
+val token_name : token -> string
+(** Short printable name used in parse-error messages. *)

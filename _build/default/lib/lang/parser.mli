@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the behavioral language.
+
+    Operator precedence, loosest to tightest: comparisons, [|], [^], [&],
+    [+ -], [*]. All binary operators are left-associative; parentheses
+    override. A statement may carry a node label [N<k>:] pinning the id of
+    its root operation. *)
+
+val parse : string -> (Ast.design, string) result
+(** Parses a complete design from source text. Error messages carry the
+    source line. *)

@@ -1,0 +1,1 @@
+lib/netlist/expand.ml: Hashtbl Hlts_alloc Hlts_dfg Hlts_etpn Hlts_util List Netlist Option Printf

@@ -1,0 +1,1 @@
+lib/netlist/expand.mli: Hlts_dfg Hlts_etpn Netlist

@@ -1,0 +1,252 @@
+module Etpn = Hlts_etpn.Etpn
+module Binding = Hlts_alloc.Binding
+module Dfg = Hlts_dfg.Dfg
+module Op = Hlts_dfg.Op
+module B = Netlist.Builder
+
+type mux_plan = {
+  mp_sels : int list;
+  mp_sources : int list;
+}
+
+type fu_plan = {
+  fp_left : mux_plan;
+  fp_right : mux_plan;
+  fp_fn : (Op.kind * (int * bool) list) list;
+}
+
+type reg_plan = {
+  rp_enable : int;
+  rp_mux : mux_plan;
+}
+
+type plan = {
+  p_regs : (int * reg_plan) list;
+  p_fus : (int * fu_plan) list;
+}
+
+(* Distinct operation kinds executed by a unit, in a fixed order. *)
+let unit_kinds etpn fu =
+  let kinds =
+    List.map
+      (fun id -> (Dfg.op_by_id etpn.Etpn.dfg id).Dfg.kind)
+      fu.Binding.fu_ops
+  in
+  List.sort_uniq compare kinds
+
+let const_bus b bits value =
+  List.init bits (fun i ->
+      if (value lsr i) land 1 = 1 then B.const1 b else B.const0 b)
+
+(* select-net assignments routing source index [i] through a mux tree *)
+let sel_assignments sels i =
+  List.mapi (fun bit net -> (net, (i lsr bit) land 1 = 1)) sels
+
+let circuit_with_plan etpn ~bits =
+  let b = B.create () in
+  let bus_of_node : (int, int list) Hashtbl.t = Hashtbl.create 32 in
+  let reg_feed : (int, int list) Hashtbl.t = Hashtbl.create 32 in
+  let nodes = etpn.Etpn.nodes in
+  (* ports and constants *)
+  List.iter
+    (fun (id, n) ->
+      match n with
+      | Etpn.Port_in name ->
+        Hashtbl.replace bus_of_node id (B.input b ("in_" ^ name) bits)
+      | Etpn.Const c ->
+        Hashtbl.replace bus_of_node id
+          (const_bus b bits ((c mod (1 lsl min bits 30)) land max_int))
+      | Etpn.Port_out _ | Etpn.Cond_out _ | Etpn.Reg _ | Etpn.Fu _ -> ())
+    nodes;
+  (* registers: DFFs + hold muxes with a deferred load bus *)
+  let reg_enable : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (id, n) ->
+      match n with
+      | Etpn.Reg r ->
+        let k = r.Binding.reg_id in
+        let enable = List.hd (B.input b (Printf.sprintf "en_r%d" k) 1) in
+        Hashtbl.replace reg_enable id enable;
+        let loads = B.fresh_bus b bits in
+        let feeds = B.fresh_bus b bits in
+        let qs = List.map (B.dff b) feeds in
+        List.iter2
+          (fun (feed, q) load ->
+            let m = B.gate b Netlist.G_mux2 [ enable; q; load ] in
+            B.drive b ~dst:feed ~src:m)
+          (List.combine feeds qs) loads;
+        Hashtbl.replace bus_of_node id qs;
+        Hashtbl.replace reg_feed id loads
+      | Etpn.Port_in _ | Etpn.Port_out _ | Etpn.Cond_out _ | Etpn.Const _
+      | Etpn.Fu _ -> ())
+    nodes;
+  let port_sources id p =
+    List.filter_map
+      (fun a -> if a.Etpn.a_port = p then Some a.Etpn.a_src else None)
+      (Etpn.in_arcs etpn id)
+    |> List.sort_uniq compare
+  in
+  let muxed_input name id p =
+    let sources = port_sources id p in
+    let buses = List.map (Hashtbl.find bus_of_node) sources in
+    let sels, out = B.mux_tree b buses in
+    if sels <> [] then B.declare_input b name sels;
+    ({ mp_sels = sels; mp_sources = sources }, out)
+  in
+  (* functional units *)
+  let fu_cond : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let fu_plans = ref [] in
+  List.iter
+    (fun (id, n) ->
+      match n with
+      | Etpn.Fu fu ->
+        let k = fu.Binding.fu_id in
+        let fp_left, left =
+          muxed_input (Printf.sprintf "sel_fu%d_l" k) id (Some Etpn.P_left)
+        in
+        let fp_right, right =
+          muxed_input (Printf.sprintf "sel_fu%d_r" k) id (Some Etpn.P_right)
+        in
+        let kinds = unit_kinds etpn fu in
+        let has kind = List.mem kind kinds in
+        let fn_nets = ref [] in
+        let fn_bit () =
+          let net = B.fresh b in
+          fn_nets := net :: !fn_nets;
+          net
+        in
+        (* data sub-results, one slot per family, in a fixed order *)
+        let sub_net = if has Op.Add && has Op.Sub then Some (fn_bit ()) else None in
+        let data_slots = ref [] in
+        let add_slot kinds_of bus = data_slots := (kinds_of, bus) :: !data_slots in
+        (match sub_net with
+        | Some sub ->
+          let sums, _ = B.add_sub b ~sub left right in
+          add_slot [ Op.Add; Op.Sub ] sums
+        | None ->
+          if has Op.Add then begin
+            let sums, _ = B.ripple_adder b ~cin:(B.const0 b) left right in
+            add_slot [ Op.Add ] sums
+          end
+          else if has Op.Sub then begin
+            let sums, _ = B.add_sub b ~sub:(B.const1 b) left right in
+            add_slot [ Op.Sub ] sums
+          end);
+        if has Op.Mul then add_slot [ Op.Mul ] (B.multiplier b left right);
+        List.iter
+          (fun (kind, gk) ->
+            if has kind then add_slot [ kind ] (B.bitwise b gk left right))
+          [ (Op.And, Netlist.G_and); (Op.Or, Netlist.G_or); (Op.Xor, Netlist.G_xor) ];
+        let data_slots = List.rev !data_slots in
+        (* condition sub-results, in kind order *)
+        let cmp kind =
+          match kind with
+          | Op.Lt -> Some (B.less_than b left right)
+          | Op.Gt -> Some (B.less_than b right left)
+          | Op.Le -> Some (B.gate b Netlist.G_not [ B.less_than b right left ])
+          | Op.Ge -> Some (B.gate b Netlist.G_not [ B.less_than b left right ])
+          | Op.Eq -> Some (B.equal b left right)
+          | Op.Ne -> Some (B.gate b Netlist.G_not [ B.equal b left right ])
+          | Op.Add | Op.Sub | Op.Mul | Op.And | Op.Or | Op.Xor -> None
+        in
+        let cond_slots =
+          List.filter_map
+            (fun kind -> Option.map (fun net -> (kind, net)) (cmp kind))
+            kinds
+        in
+        (* result muxes *)
+        let data_sels =
+          match data_slots with
+          | [] -> []
+          | slots ->
+            let sels, out = B.mux_tree b (List.map snd slots) in
+            List.iter (fun s -> fn_nets := s :: !fn_nets) sels;
+            Hashtbl.replace bus_of_node id out;
+            sels
+        in
+        let cond_sels =
+          match cond_slots with
+          | [] -> []
+          | slots ->
+            let sels, out = B.mux_tree b (List.map (fun (_, n) -> [ n ]) slots) in
+            List.iter (fun s -> fn_nets := s :: !fn_nets) sels;
+            Hashtbl.replace fu_cond id (List.hd out);
+            sels
+        in
+        if !fn_nets <> [] then
+          B.declare_input b (Printf.sprintf "fn_fu%d" k) (List.rev !fn_nets);
+        (* per-kind function-select assignments *)
+        let fp_fn =
+          List.map
+            (fun kind ->
+              let arith =
+                match sub_net with
+                | Some net when kind = Op.Add -> [ (net, false) ]
+                | Some net when kind = Op.Sub -> [ (net, true) ]
+                | Some _ | None -> []
+              in
+              let data =
+                match
+                  Hlts_util.Listx.index_of
+                    (fun (kinds_of, _) -> List.mem kind kinds_of)
+                    data_slots
+                with
+                | Some slot -> sel_assignments data_sels slot
+                | None -> []
+              in
+              let cond =
+                match
+                  Hlts_util.Listx.index_of (fun (k', _) -> k' = kind) cond_slots
+                with
+                | Some slot -> sel_assignments cond_sels slot
+                | None -> []
+              in
+              (kind, arith @ data @ cond))
+            kinds
+        in
+        fu_plans := (k, { fp_left; fp_right; fp_fn }) :: !fu_plans
+      | Etpn.Port_in _ | Etpn.Port_out _ | Etpn.Cond_out _ | Etpn.Const _
+      | Etpn.Reg _ -> ())
+    nodes;
+  (* close register load buses *)
+  let reg_plans = ref [] in
+  List.iter
+    (fun (id, n) ->
+      match n with
+      | Etpn.Reg r ->
+        let rp_mux, out =
+          muxed_input (Printf.sprintf "sel_r%d" r.Binding.reg_id) id None
+        in
+        List.iter2
+          (fun dst src -> B.drive b ~dst ~src)
+          (Hashtbl.find reg_feed id) out;
+        reg_plans :=
+          (r.Binding.reg_id, { rp_enable = Hashtbl.find reg_enable id; rp_mux })
+          :: !reg_plans
+      | Etpn.Port_in _ | Etpn.Port_out _ | Etpn.Cond_out _ | Etpn.Const _
+      | Etpn.Fu _ -> ())
+    nodes;
+  (* outputs *)
+  List.iter
+    (fun (id, n) ->
+      match n with
+      | Etpn.Port_out name ->
+        let src =
+          match port_sources id None with
+          | [ s ] -> s
+          | _ -> invalid_arg "Expand.circuit: output port without unique source"
+        in
+        B.output b ("out_" ^ name) (Hashtbl.find bus_of_node src)
+      | Etpn.Cond_out op_id ->
+        let src =
+          match port_sources id None with
+          | [ s ] -> s
+          | _ -> invalid_arg "Expand.circuit: condition without unique source"
+        in
+        B.output b (Printf.sprintf "cond_N%d" op_id) [ Hashtbl.find fu_cond src ]
+      | Etpn.Port_in _ | Etpn.Reg _ | Etpn.Fu _ | Etpn.Const _ -> ())
+    nodes;
+  ( Netlist.prune (Netlist.simplify (B.finish b)),
+    { p_regs = List.rev !reg_plans; p_fus = List.rev !fu_plans } )
+
+let circuit etpn ~bits = fst (circuit_with_plan etpn ~bits)

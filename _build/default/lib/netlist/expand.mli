@@ -1,0 +1,58 @@
+(** Expansion of a synthesized data path into a gate-level netlist.
+
+    Per DESIGN.md substitution 3, the controller is assumed modifiable to
+    support the test plan (the paper's own assumption), so every control
+    signal of the data path — register enables ([en_r<k>]), input-mux
+    selects ([sel_r<k>], [sel_fu<k>_l], [sel_fu<k>_r]), and
+    function selects of shared units ([fn_fu<k>]) — is a primary input.
+    Data ports are buses [in_<name>] / [out_<name>]; each comparison
+    condition is a 1-bit output [cond_N<id>]. Registers remain real
+    flip-flops, so the sequential depth the synthesis optimizes is fully
+    preserved in the circuit under test.
+
+    Functional units expand to ripple-carry adder/subtractors (shared
+    two's-complement add/sub when a unit runs both), borrow-based
+    comparators, array multipliers and bitwise logic; multi-function
+    units mux their sub-results under the function-select inputs.
+
+    {!circuit_with_plan} additionally returns the {!plan} describing how
+    the control inputs steer the data path — enough for
+    {!Controller} to drive the original schedule through the gates and
+    check the result against the behavioral reference. *)
+
+(** One multiplexer tree: source [List.nth mp_sources i] is routed by
+    driving the select nets [mp_sels] (level-0 first) with the binary
+    representation of [i]. An empty select list means a single source. *)
+type mux_plan = {
+  mp_sels : int list;
+  mp_sources : int list;  (** ETPN data-path node ids *)
+}
+
+type fu_plan = {
+  fp_left : mux_plan;
+  fp_right : mux_plan;
+  fp_fn : (Hlts_dfg.Op.kind * (int * bool) list) list;
+      (** per executable kind: the function-select net assignments that
+          steer the unit's result muxes; unlisted nets are don't-care *)
+}
+
+type reg_plan = {
+  rp_enable : int;   (** enable net: 1 = load, 0 = hold *)
+  rp_mux : mux_plan;
+}
+
+type plan = {
+  p_regs : (int * reg_plan) list;  (** by [reg_id] *)
+  p_fus : (int * fu_plan) list;    (** by [fu_id] *)
+}
+
+val circuit : Hlts_etpn.Etpn.t -> bits:int -> Netlist.t
+(** @raise Invalid_argument if the ETPN is malformed (cannot happen for
+    ETPNs produced by {!Hlts_etpn.Etpn.build}). *)
+
+val circuit_with_plan : Hlts_etpn.Etpn.t -> bits:int -> Netlist.t * plan
+
+val sel_assignments : int list -> int -> (int * bool) list
+(** [sel_assignments sels i] is the select-net setting that routes source
+    index [i] through a {!mux_plan}'s tree: net [List.nth sels b] carries
+    bit [b] of [i]. *)

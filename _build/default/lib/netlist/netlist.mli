@@ -1,0 +1,139 @@
+(** Gate-level structural netlist and its builder.
+
+    A netlist is a set of single-output gates over numbered nets, plus
+    D flip-flops separating the combinational core from state. Primary
+    inputs/outputs are named buses of nets. Gate-level expansion of the
+    synthesized data path (see {!Expand}) produces the circuit the ATPG
+    stack measures fault coverage on. *)
+
+type gate_kind =
+  | G_and
+  | G_or
+  | G_nand
+  | G_nor
+  | G_xor
+  | G_xnor
+  | G_not
+  | G_buf
+  | G_mux2  (** inputs = [sel; a; b]: output is [a] when sel=0, [b] when sel=1 *)
+
+type gate = {
+  g_id : int;
+  kind : gate_kind;
+  inputs : int list;  (** net ids; arity checked by the builder *)
+  output : int;       (** net id, unique driver *)
+}
+
+type dff = {
+  d_id : int;
+  d_input : int;  (** D net (combinational sink) *)
+  q_output : int; (** Q net (combinational source) *)
+}
+
+type t = {
+  n_nets : int;
+  gates : gate array;      (** in creation order; not necessarily levelized *)
+  dffs : dff array;
+  const0 : int;            (** net tied to logic 0 *)
+  const1 : int;
+  pis : (string * int list) list;  (** named input buses, LSB first *)
+  pos : (string * int list) list;  (** named output buses, LSB first *)
+}
+
+val validate : t -> (unit, string) result
+(** Every net has at most one driver (gate, DFF Q, PI, or constant);
+    every gate input is driven; gate arities are correct; PO nets exist. *)
+
+val stats : t -> string
+(** One-line summary: gates, DFFs, nets, PIs, POs. *)
+
+val simplify : t -> t
+(** Constant folding and wire forwarding to a fixpoint: gates fed by
+    constants collapse ([and(x,0) = 0], [xor(x,1) = not x], ...), buffers
+    and same-input gates forward their source. Readers are rewired; the
+    untouched net ids remain valid. Run before {!prune} — constant
+    operands of the data path otherwise leave redundant, untestable
+    logic behind. *)
+
+val full_scan : t -> t
+(** The full-scan version of the circuit: every flip-flop is removed, its
+    Q net becomes a primary input ([scan_q<i>]) and its D net a primary
+    output ([scan_d<i>]) — the standard combinational test model where
+    all state is directly controllable and observable through the scan
+    chain. Used by the scan-design ablation to quantify what the paper's
+    non-scan flow is competing against. *)
+
+val prune : t -> t
+(** Removes logic with no path to any primary output: dead gates and
+    flip-flops (unused carry chains, truncated multiplier columns, ...)
+    would otherwise contribute undetectable faults that no real synthesis
+    flow would fabricate. Net ids are preserved; DFF ids are renumbered.
+    The result still validates. *)
+
+(** Imperative netlist builder. *)
+module Builder : sig
+  type b
+
+  val create : unit -> b
+  val fresh : b -> int
+  (** A new undriven net. *)
+
+  val fresh_bus : b -> int -> int list
+
+  val const0 : b -> int
+  val const1 : b -> int
+
+  val gate : b -> gate_kind -> int list -> int
+  (** [gate b kind inputs] emits a gate with a fresh output net.
+      @raise Invalid_argument on wrong arity. *)
+
+  val dff : b -> int -> int
+  (** [dff b d] emits a flip-flop fed by net [d]; returns the Q net. *)
+
+  val input : b -> string -> int -> int list
+  (** [input b name width] declares a PI bus. *)
+
+  val declare_input : b -> string -> int list -> unit
+  (** Registers existing (undriven) nets as a PI bus — used for mux
+      selects created by {!mux_tree}. *)
+
+  val drive : b -> dst:int -> src:int -> unit
+  (** Drives the previously-fresh net [dst] with a buffer from [src];
+      closes deferred connections (e.g. register D inputs). *)
+
+  val output : b -> string -> int list -> unit
+  (** Declares a PO bus over existing nets. *)
+
+  val finish : b -> t
+  (** @raise Invalid_argument if the result does not {!validate}. *)
+
+  (** {2 n-bit combinational blocks} (LSB-first buses) *)
+
+  val mux2_bus : b -> sel:int -> int list -> int list -> int list
+  val mux_tree : b -> int list list -> int list * int list
+  (** [mux_tree b sources] selects one of [sources] (all same width)
+      through a balanced tree of {!G_mux2}; returns (select nets, output
+      bus). A single source needs no selects. *)
+
+  val ripple_adder :
+    b -> cin:int -> int list -> int list -> int list * int
+  (** Returns (sum bus, carry out). *)
+
+  val add_sub : b -> sub:int -> int list -> int list -> int list * int
+  (** Shared adder/subtractor: computes a+b when [sub]=0, a-b (two's
+      complement) when [sub]=1. Returns (result, carry/borrow-bar). *)
+
+  val less_than : b -> int list -> int list -> int
+  (** Unsigned a < b, one net. *)
+
+  val equal : b -> int list -> int list -> int
+
+  val multiplier : b -> int list -> int list -> int list
+  (** Array multiplier; result truncated to the operand width. *)
+
+  val bitwise : b -> gate_kind -> int list -> int list -> int list
+
+  val register : b -> enable:int -> int list -> int list
+  (** [register b ~enable d] is an enabled n-bit register: each bit holds
+      unless [enable]=1. Returns the Q bus. *)
+end

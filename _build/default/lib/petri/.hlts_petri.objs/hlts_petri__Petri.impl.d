@@ -1,0 +1,1 @@
+lib/petri/petri.ml: Format Hashtbl List Option Printf String

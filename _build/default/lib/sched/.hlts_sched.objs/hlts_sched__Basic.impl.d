@@ -1,0 +1,1 @@
+lib/sched/basic.ml: Constraints Hashtbl Hlts_dfg List Option Printf Schedule

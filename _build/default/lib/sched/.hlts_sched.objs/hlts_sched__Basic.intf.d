@@ -1,0 +1,1 @@
+lib/sched/basic.mli: Constraints Hlts_dfg Schedule

@@ -1,0 +1,1 @@
+lib/sched/constraints.ml: Hashtbl Hlts_dfg List Printf Queue Set

@@ -1,0 +1,1 @@
+lib/sched/constraints.mli: Hlts_dfg

@@ -1,0 +1,1 @@
+lib/sched/fds.ml: Basic Constraints Hashtbl Hlts_dfg Hlts_util List Option Printf Schedule

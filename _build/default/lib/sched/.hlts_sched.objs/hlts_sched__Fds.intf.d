@@ -1,0 +1,1 @@
+lib/sched/fds.mli: Constraints Schedule

@@ -1,0 +1,1 @@
+lib/sched/mobility_path.ml: Basic Constraints Hashtbl Hlts_dfg List Option Printf Schedule

@@ -1,0 +1,1 @@
+lib/sched/mobility_path.mli: Constraints Schedule

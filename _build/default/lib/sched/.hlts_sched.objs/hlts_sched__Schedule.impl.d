@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Format Hlts_dfg Int List Map Printf String

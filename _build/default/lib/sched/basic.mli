@@ -1,0 +1,26 @@
+(** Baseline scheduling algorithms: ASAP, ALAP, mobility, and
+    resource-constrained list scheduling. All honour the extra ordering
+    arcs of the constraint set. *)
+
+val asap : Constraints.t -> (Schedule.t, string) result
+(** Earliest feasible step for every operation. Errors on a cyclic
+    constraint set. *)
+
+val asap_exn : Constraints.t -> Schedule.t
+
+val alap : Constraints.t -> latency:int -> (Schedule.t, string) result
+(** Latest feasible steps within [latency] steps. Errors if [latency] is
+    below the critical path or the constraints are cyclic. *)
+
+val mobility : Constraints.t -> latency:int -> (int * int) list
+(** Per-operation [alap - asap] slack, ascending op id. *)
+
+val list_schedule :
+  Constraints.t ->
+  resources:(Hlts_dfg.Op.fu_class * int) list ->
+  (Schedule.t, string) result
+(** Priority list scheduling under a resource budget: at each step, ready
+    operations are started in decreasing criticality (longest path to a
+    sink) as long as a compatible unit is free. An operation kind with no
+    budgeted class is unconstrained. Comparisons are treated like any
+    other operation. *)

@@ -1,0 +1,73 @@
+module Dfg = Hlts_dfg.Dfg
+
+module ArcSet = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type t = {
+  dfg : Dfg.t;
+  extra : ArcSet.t;
+}
+
+let of_dfg dfg = { dfg; extra = ArcSet.empty }
+
+let dfg t = t.dfg
+
+let known t id = List.exists (fun o -> o.Dfg.id = id) t.dfg.Dfg.ops
+
+let add_arc t a b =
+  if not (known t a) then invalid_arg (Printf.sprintf "Constraints.add_arc: N%d" a);
+  if not (known t b) then invalid_arg (Printf.sprintf "Constraints.add_arc: N%d" b);
+  { t with extra = ArcSet.add (a, b) t.extra }
+
+let extra_arcs t = ArcSet.elements t.extra
+
+let preds t id =
+  let data = Dfg.pred_ids (Dfg.op_by_id t.dfg id) in
+  let extra =
+    ArcSet.fold (fun (a, b) acc -> if b = id then a :: acc else acc) t.extra []
+  in
+  List.sort_uniq compare (data @ extra)
+
+let succs t id =
+  let data = Dfg.succ_ids t.dfg id in
+  let extra =
+    ArcSet.fold (fun (a, b) acc -> if a = id then b :: acc else acc) t.extra []
+  in
+  List.sort_uniq compare (data @ extra)
+
+let reachable t a b =
+  let visited = Hashtbl.create 16 in
+  let rec dfs x =
+    if x = b then true
+    else if Hashtbl.mem visited x then false
+    else begin
+      Hashtbl.add visited x ();
+      List.exists dfs (succs t x)
+    end
+  in
+  dfs a
+
+let would_cycle t a b = a = b || reachable t b a
+
+let is_acyclic t =
+  (* Kahn's algorithm over the combined graph. *)
+  let ids = List.map (fun o -> o.Dfg.id) t.dfg.Dfg.ops in
+  let indeg = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace indeg id (List.length (preds t id))) ids;
+  let queue = Queue.create () in
+  List.iter (fun id -> if Hashtbl.find indeg id = 0 then Queue.add id queue) ids;
+  let removed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    incr removed;
+    let relax s =
+      let d = Hashtbl.find indeg s - 1 in
+      Hashtbl.replace indeg s d;
+      if d = 0 then Queue.add s queue
+    in
+    List.iter relax (succs t id)
+  done;
+  !removed = List.length ids

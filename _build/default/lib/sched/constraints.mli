@@ -1,0 +1,32 @@
+(** Precedence constraints for scheduling: the data dependencies of a DFG
+    plus extra ordering arcs imposed by data-path synthesis (module and
+    register mergers, §4.1 of the paper). An arc (a, b) forces
+    [step a < step b]. *)
+
+type t
+
+val of_dfg : Hlts_dfg.Dfg.t -> t
+(** Data dependencies only. *)
+
+val dfg : t -> Hlts_dfg.Dfg.t
+
+val add_arc : t -> int -> int -> t
+(** [add_arc t a b] adds the ordering arc (a, b); idempotent.
+    @raise Invalid_argument if either id is not an operation of the DFG. *)
+
+val extra_arcs : t -> (int * int) list
+(** The added arcs (without data dependencies), sorted. *)
+
+val preds : t -> int -> int list
+(** All predecessors of an operation (data + extra), sorted. *)
+
+val succs : t -> int -> int list
+
+val is_acyclic : t -> bool
+
+val would_cycle : t -> int -> int -> bool
+(** [would_cycle t a b]: does adding arc (a, b) close a cycle — i.e. is
+    [a] reachable from [b]? *)
+
+val reachable : t -> int -> int -> bool
+(** [reachable t a b]: is there a constraint path from [a] to [b]? *)

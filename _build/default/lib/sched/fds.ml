@@ -1,0 +1,129 @@
+module Dfg = Hlts_dfg.Dfg
+module Op = Hlts_dfg.Op
+
+type frames = {
+  earliest : (int, int) Hashtbl.t;
+  latest : (int, int) Hashtbl.t;
+}
+
+(* Re-tightens frames to a fixpoint after pinning operations. *)
+let tighten cons fr =
+  let ids = List.map (fun o -> o.Dfg.id) (Constraints.dfg cons).Dfg.ops in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let relax id =
+      let e = Hashtbl.find fr.earliest id and l = Hashtbl.find fr.latest id in
+      let e' =
+        List.fold_left
+          (fun acc p -> max acc (Hashtbl.find fr.earliest p + 1))
+          e (Constraints.preds cons id)
+      in
+      let l' =
+        List.fold_left
+          (fun acc s -> min acc (Hashtbl.find fr.latest s - 1))
+          l (Constraints.succs cons id)
+      in
+      if e' <> e then begin Hashtbl.replace fr.earliest id e'; changed := true end;
+      if l' <> l then begin Hashtbl.replace fr.latest id l'; changed := true end
+    in
+    List.iter relax ids
+  done
+
+let class_of_op o = List.hd (Op.classes_for o.Dfg.kind)
+
+let schedule cons ?latency () =
+  match Basic.asap cons with
+  | Error _ as e -> e
+  | Ok early ->
+    let min_latency = Schedule.length early in
+    let latency = Option.value ~default:min_latency latency in
+    if latency < min_latency then
+      Error (Printf.sprintf "latency %d below critical path %d" latency min_latency)
+    else begin
+      match Basic.alap cons ~latency with
+      | Error _ as e -> e
+      | Ok late ->
+        let dfg = Constraints.dfg cons in
+        let ops = dfg.Dfg.ops in
+        let fr =
+          { earliest = Hashtbl.create 16; latest = Hashtbl.create 16 }
+        in
+        List.iter
+          (fun o ->
+            Hashtbl.replace fr.earliest o.Dfg.id (Schedule.step early o.Dfg.id);
+            Hashtbl.replace fr.latest o.Dfg.id (Schedule.step late o.Dfg.id))
+          ops;
+        let frame id = (Hashtbl.find fr.earliest id, Hashtbl.find fr.latest id) in
+        let prob id s =
+          let e, l = frame id in
+          if s < e || s > l then 0.0 else 1.0 /. float_of_int (l - e + 1)
+        in
+        (* Distribution graph for a unit class at a step. *)
+        let dg cls s =
+          Hlts_util.Listx.sum_by
+            (fun o -> if class_of_op o = cls then prob o.Dfg.id s else 0.0)
+            ops
+        in
+        (* Average DG an operation sees over a frame [e, l]. *)
+        let avg_dg cls e l =
+          if e > l then infinity
+          else begin
+            let total = ref 0.0 in
+            for s = e to l do
+              total := !total +. dg cls s
+            done;
+            !total /. float_of_int (l - e + 1)
+          end
+        in
+        let self_force o s =
+          let e, l = frame o.Dfg.id in
+          dg (class_of_op o) s -. avg_dg (class_of_op o) e l
+        in
+        (* Force induced on the immediate neighbours whose frames shrink
+           when [o] is fixed at [s]: difference of their average DG
+           (Paulin & Knight's predecessor/successor forces). *)
+        let neighbour_force o s =
+          let one fwd n =
+            let e, l = frame n in
+            let e', l' = if fwd then (max e (s + 1), l) else (e, min l (s - 1)) in
+            if e' = e && l' = l then 0.0
+            else begin
+              let on = Dfg.op_by_id dfg n in
+              avg_dg (class_of_op on) e' l' -. avg_dg (class_of_op on) e l
+            end
+          in
+          Hlts_util.Listx.sum_by (one true) (Constraints.succs cons o.Dfg.id)
+          +. Hlts_util.Listx.sum_by (one false) (Constraints.preds cons o.Dfg.id)
+        in
+        let unfixed o =
+          let e, l = frame o.Dfg.id in
+          e <> l
+        in
+        let fix_best () =
+          let candidates =
+            List.concat_map
+              (fun o ->
+                if not (unfixed o) then []
+                else begin
+                  let e, l = frame o.Dfg.id in
+                  List.init (l - e + 1) (fun i ->
+                      let s = e + i in
+                      (o, s, self_force o s +. neighbour_force o s))
+                end)
+              ops
+          in
+          match
+            Hlts_util.Listx.min_by (fun (_, _, f) -> f) candidates
+          with
+          | None -> false
+          | Some (o, s, _) ->
+            Hashtbl.replace fr.earliest o.Dfg.id s;
+            Hashtbl.replace fr.latest o.Dfg.id s;
+            tighten cons fr;
+            true
+        in
+        while fix_best () do () done;
+        let assoc = List.map (fun o -> (o.Dfg.id, Hashtbl.find fr.earliest o.Dfg.id)) ops in
+        Ok (Schedule.of_assoc assoc)
+    end

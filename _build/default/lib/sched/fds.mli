@@ -1,0 +1,12 @@
+(** Force-directed scheduling (Paulin & Knight 1989), the scheduler of the
+    paper's "Approach 1".
+
+    Time-constrained: operations are fixed one at a time to the control
+    step minimizing the total force (self force plus predecessor and
+    successor forces) against the per-unit-class distribution graphs,
+    which balances concurrency and hence hardware. *)
+
+val schedule :
+  Constraints.t -> ?latency:int -> unit -> (Schedule.t, string) result
+(** [latency] defaults to the critical-path length (the tightest feasible
+    latency). Errors on cyclic constraints or an infeasible latency. *)

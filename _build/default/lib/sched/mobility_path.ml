@@ -1,0 +1,88 @@
+module Dfg = Hlts_dfg.Dfg
+module Op = Hlts_dfg.Op
+
+let class_of_op o = List.hd (Op.classes_for o.Dfg.kind)
+
+let schedule cons ?latency () =
+  match Basic.asap cons with
+  | Error _ as e -> e
+  | Ok early ->
+    let min_latency = Schedule.length early in
+    let latency = Option.value ~default:min_latency latency in
+    if latency < min_latency then
+      Error (Printf.sprintf "latency %d below critical path %d" latency min_latency)
+    else begin
+      match Basic.alap cons ~latency with
+      | Error _ as e -> e
+      | Ok late ->
+        let dfg = Constraints.dfg cons in
+        let fixed = Hashtbl.create 16 in
+        let lower id =
+          List.fold_left
+            (fun acc p ->
+              max acc (1 + Option.value ~default:(Schedule.step early p - 1)
+                             (Hashtbl.find_opt fixed p)))
+            (Schedule.step early id)
+            (Constraints.preds cons id)
+        in
+        let upper id =
+          List.fold_left
+            (fun acc s ->
+              min acc ((Option.value ~default:(Schedule.step late s + 1)
+                          (Hashtbl.find_opt fixed s)) - 1))
+            (Schedule.step late id)
+            (Constraints.succs cons id)
+        in
+        let input_fed o =
+          let a, b = o.Dfg.args in
+          let is_input = function Dfg.Input _ -> true | Dfg.Op _ | Dfg.Const _ -> false in
+          is_input a || is_input b
+        in
+        let output_feeding o = Dfg.is_output dfg (Dfg.V_op o.Dfg.id) in
+        (* Concurrency per (class, step) among already fixed operations. *)
+        let load cls s =
+          Hashtbl.fold
+            (fun id s' acc ->
+              let o = Dfg.op_by_id dfg id in
+              if s' = s && class_of_op o = cls then acc + 1 else acc)
+            fixed 0
+        in
+        let place o =
+          let id = o.Dfg.id in
+          let lo = lower id and hi = upper id in
+          assert (lo <= hi);
+          let cls = class_of_op o in
+          (* Prefer the least-loaded step; ties go to the end the
+             testability rules pull toward. *)
+          let prefer_early = input_fed o || not (output_feeding o) in
+          let candidates = List.init (hi - lo + 1) (fun i -> lo + i) in
+          let key s =
+            let tie = if prefer_early then s - lo else hi - s in
+            (load cls s, tie)
+          in
+          let best =
+            List.fold_left
+              (fun acc s -> match acc with
+                | None -> Some s
+                | Some b -> if key s < key b then Some s else acc)
+              None candidates
+          in
+          Hashtbl.replace fixed id (Option.get best)
+        in
+        (* Mobility-path order: ASAP step first (a topological order, which
+           keeps every placement window non-empty), then increasing
+           mobility so each critical path is walked input-to-output before
+           its slack ops. *)
+        let order =
+          List.sort
+            (fun a b ->
+              let m o = Schedule.step late o.Dfg.id - Schedule.step early o.Dfg.id in
+              compare
+                (Schedule.step early a.Dfg.id, m a, a.Dfg.id)
+                (Schedule.step early b.Dfg.id, m b, b.Dfg.id))
+            dfg.Dfg.ops
+        in
+        List.iter place order;
+        let assoc = Hashtbl.fold (fun id s acc -> (id, s) :: acc) fixed [] in
+        Ok (Schedule.of_assoc assoc)
+    end

@@ -1,0 +1,17 @@
+(** Mobility-path scheduling (after Lee, Wolf & Jha 1992), the scheduler
+    of the paper's "Approach 2".
+
+    Lee's two testability rules guide the schedule: (1) keep variables of
+    primary inputs/outputs register-allocatable, (2) reduce the sequential
+    depth from a controllable to an observable register. This
+    implementation approximates the published heuristic: operations are
+    placed in increasing-mobility order along input-to-output paths;
+    input-fed operations are pulled toward early steps and output-feeding
+    operations toward late steps (shortening lifetimes that would cross
+    the whole schedule), with concurrency balanced per unit class so the
+    subsequent left-edge allocation sees the same resource pressure FDS
+    would produce. *)
+
+val schedule :
+  Constraints.t -> ?latency:int -> unit -> (Schedule.t, string) result
+(** [latency] defaults to the critical-path length. *)

@@ -1,0 +1,56 @@
+module IntMap = Map.Make (Int)
+
+type t = int IntMap.t
+
+let of_assoc l =
+  List.fold_left
+    (fun acc (op, step) ->
+      if step < 1 then
+        invalid_arg (Printf.sprintf "Schedule.of_assoc: step %d < 1" step);
+      if IntMap.mem op acc then
+        invalid_arg (Printf.sprintf "Schedule.of_assoc: duplicate op %d" op);
+      IntMap.add op step acc)
+    IntMap.empty l
+
+let step t op =
+  match IntMap.find_opt op t with
+  | Some s -> s
+  | None -> raise Not_found
+
+let step_opt t op = IntMap.find_opt op t
+
+let length t = IntMap.fold (fun _ s acc -> max s acc) t 0
+
+let ops_at t s =
+  IntMap.fold (fun op s' acc -> if s = s' then op :: acc else acc) t []
+  |> List.sort compare
+
+let bindings t = IntMap.bindings t
+
+let set t op s =
+  if s < 1 then invalid_arg "Schedule.set: step < 1";
+  IntMap.add op s t
+
+let respects dfg t =
+  let scheduled o = IntMap.mem o.Hlts_dfg.Dfg.id t in
+  let ordered o =
+    let s = IntMap.find o.Hlts_dfg.Dfg.id t in
+    List.for_all
+      (fun p ->
+        match IntMap.find_opt p t with
+        | Some sp -> sp < s
+        | None -> false)
+      (Hlts_dfg.Dfg.pred_ids o)
+  in
+  List.for_all scheduled dfg.Hlts_dfg.Dfg.ops
+  && List.for_all ordered dfg.Hlts_dfg.Dfg.ops
+
+let pp ppf t =
+  let last = length t in
+  Format.fprintf ppf "@[<v>";
+  for s = 1 to last do
+    let ids = ops_at t s in
+    Format.fprintf ppf "step %2d: %s@," s
+      (String.concat " " (List.map (Printf.sprintf "N%d") ids))
+  done;
+  Format.fprintf ppf "@]"

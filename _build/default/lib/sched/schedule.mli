@@ -1,0 +1,32 @@
+(** A schedule assigns every operation of a DFG to a control step
+    (1-based). Immutable. *)
+
+type t
+
+val of_assoc : (int * int) list -> t
+(** [(op id, step)] pairs; steps must be >= 1.
+    @raise Invalid_argument on duplicates or steps < 1. *)
+
+val step : t -> int -> int
+(** Control step of an operation. @raise Not_found if unscheduled. *)
+
+val step_opt : t -> int -> int option
+
+val length : t -> int
+(** Highest used control step (0 for the empty schedule). *)
+
+val ops_at : t -> int -> int list
+(** Operation ids scheduled at a step, ascending. *)
+
+val bindings : t -> (int * int) list
+(** All [(op id, step)] pairs, ascending by op id. *)
+
+val set : t -> int -> int -> t
+(** [set t op step] reassigns one operation. *)
+
+val respects : Hlts_dfg.Dfg.t -> t -> bool
+(** True iff every data dependency is satisfied: each operation is
+    scheduled strictly after all its predecessors, and every operation of
+    the DFG is scheduled. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Hashtbl Hlts_fault Hlts_netlist Int64 List Queue

@@ -1,0 +1,139 @@
+module Netlist = Hlts_netlist.Netlist
+module Fault = Hlts_fault.Fault
+
+type t = {
+  c : Netlist.t;
+  order : Netlist.gate array;  (* levelized *)
+  po_nets : int array;
+  gate_driven : bool array;    (* net -> driven by a gate (vs PI/Q/const) *)
+}
+
+let levelize (c : Netlist.t) =
+  (* Kahn over gate-to-gate dependencies; PI/const/Q nets are sources. *)
+  let driver_gate = Hashtbl.create 256 in
+  Array.iter (fun g -> Hashtbl.replace driver_gate g.Netlist.output g) c.Netlist.gates;
+  let indeg = Array.make (Array.length c.Netlist.gates) 0 in
+  let dependents = Array.make (Array.length c.Netlist.gates) [] in
+  Array.iteri
+    (fun gi g ->
+      List.iter
+        (fun net ->
+          match Hashtbl.find_opt driver_gate net with
+          | Some pred ->
+            indeg.(gi) <- indeg.(gi) + 1;
+            dependents.(pred.Netlist.g_id) <-
+              gi :: dependents.(pred.Netlist.g_id)
+          | None -> ())
+        g.Netlist.inputs)
+    c.Netlist.gates;
+  let queue = Queue.create () in
+  Array.iteri (fun gi d -> if d = 0 then Queue.add gi queue) indeg;
+  let order = ref [] in
+  let placed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let gi = Queue.pop queue in
+    order := c.Netlist.gates.(gi) :: !order;
+    incr placed;
+    List.iter
+      (fun dep ->
+        indeg.(dep) <- indeg.(dep) - 1;
+        if indeg.(dep) = 0 then Queue.add dep queue)
+      dependents.(gi)
+  done;
+  if !placed <> Array.length c.Netlist.gates then
+    invalid_arg "Sim.compile: combinational cycle";
+  Array.of_list (List.rev !order)
+
+let compile c =
+  let po_nets =
+    Array.of_list (List.concat_map (fun (_, bus) -> bus) c.Netlist.pos)
+  in
+  let gate_driven = Array.make c.Netlist.n_nets false in
+  Array.iter (fun g -> gate_driven.(g.Netlist.output) <- true) c.Netlist.gates;
+  { c; order = levelize c; po_nets; gate_driven }
+
+let circuit t = t.c
+
+type machine = {
+  values : int64 array;
+  state : int64 array;
+}
+
+let machine t =
+  {
+    values = Array.make t.c.Netlist.n_nets 0L;
+    state = Array.make (Array.length t.c.Netlist.dffs) 0L;
+  }
+
+let copy_machine m = { values = Array.copy m.values; state = Array.copy m.state }
+
+let set_bus t m name words =
+  let bus = List.assoc name t.c.Netlist.pis in
+  List.iter2 (fun net w -> m.values.(net) <- w) bus words
+
+let eval ?fault t m =
+  let fault_net, fault_word =
+    match fault with
+    | None -> (-1, 0L)
+    | Some f ->
+      ( f.Fault.f_net,
+        match f.Fault.f_stuck with
+        | Fault.Stuck_at_0 -> 0L
+        | Fault.Stuck_at_1 -> -1L )
+  in
+  let v = m.values in
+  v.(t.c.Netlist.const0) <- 0L;
+  v.(t.c.Netlist.const1) <- -1L;
+  Array.iter
+    (fun (f : Netlist.dff) -> v.(f.Netlist.q_output) <- m.state.(f.Netlist.d_id))
+    t.c.Netlist.dffs;
+  (* force source nets (PI / Q / const) before the sweep; gate outputs
+     are forced as they are produced below *)
+  if fault_net >= 0 && not t.gate_driven.(fault_net) then
+    v.(fault_net) <- fault_word;
+  let n = Array.length t.order in
+  for i = 0 to n - 1 do
+    let g = t.order.(i) in
+    let value =
+      match g.Netlist.kind, g.Netlist.inputs with
+      | Netlist.G_and, [ a; b ] -> Int64.logand v.(a) v.(b)
+      | Netlist.G_or, [ a; b ] -> Int64.logor v.(a) v.(b)
+      | Netlist.G_nand, [ a; b ] -> Int64.lognot (Int64.logand v.(a) v.(b))
+      | Netlist.G_nor, [ a; b ] -> Int64.lognot (Int64.logor v.(a) v.(b))
+      | Netlist.G_xor, [ a; b ] -> Int64.logxor v.(a) v.(b)
+      | Netlist.G_xnor, [ a; b ] -> Int64.lognot (Int64.logxor v.(a) v.(b))
+      | Netlist.G_not, [ a ] -> Int64.lognot v.(a)
+      | Netlist.G_buf, [ a ] -> v.(a)
+      | Netlist.G_mux2, [ s; a; b ] ->
+        Int64.logor
+          (Int64.logand (Int64.lognot v.(s)) v.(a))
+          (Int64.logand v.(s) v.(b))
+      | ( Netlist.G_and | Netlist.G_or | Netlist.G_nand | Netlist.G_nor
+        | Netlist.G_xor | Netlist.G_xnor | Netlist.G_not | Netlist.G_buf
+        | Netlist.G_mux2 ), _ ->
+        invalid_arg "Sim.eval: corrupt gate"
+    in
+    v.(g.Netlist.output) <-
+      (if g.Netlist.output = fault_net then fault_word else value)
+  done
+
+let step t m =
+  Array.iter
+    (fun (f : Netlist.dff) -> m.state.(f.Netlist.d_id) <- m.values.(f.Netlist.d_input))
+    t.c.Netlist.dffs
+
+let read_bus t m name =
+  let bus = List.assoc name t.c.Netlist.pos in
+  List.map (fun net -> m.values.(net)) bus
+
+let po_word t m =
+  Array.fold_left (fun acc net -> Int64.logxor acc m.values.(net)) 0L t.po_nets
+
+let po_diff t m1 m2 =
+  Array.fold_left
+    (fun acc net -> Int64.logor acc (Int64.logxor m1.values.(net) m2.values.(net)))
+    0L t.po_nets
+
+let gate_count t = Array.length t.order
+
+let levelized t = t.order

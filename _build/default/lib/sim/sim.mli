@@ -1,0 +1,56 @@
+(** Levelized compiled logic simulation, 64 patterns in parallel.
+
+    The netlist's combinational core (sources: primary inputs, constants,
+    DFF Q nets; sinks: primary outputs, DFF D nets) is levelized once;
+    evaluation then sweeps the gate array in order over [int64] words —
+    bit lane [i] of every word belongs to pattern/sequence [i], so 64
+    independent test sequences advance together through sequential
+    {!step}s. Faults are injected by forcing a net's word after its
+    driver writes it (or before evaluation for PI/Q/constant nets). *)
+
+type t
+
+val compile : Hlts_netlist.Netlist.t -> t
+(** Levelizes. @raise Invalid_argument on a combinational cycle (cannot
+    happen for netlists from {!Hlts_netlist.Expand}). *)
+
+val circuit : t -> Hlts_netlist.Netlist.t
+
+type machine = {
+  values : int64 array;       (** current net words, indexed by net id *)
+  state : int64 array;        (** DFF state, indexed by dff id *)
+}
+
+val machine : t -> machine
+(** Fresh machine with all-zero state. *)
+
+val copy_machine : machine -> machine
+
+val set_bus : t -> machine -> string -> int64 list -> unit
+(** Drives a PI bus with one word per net (LSB first).
+    @raise Not_found on unknown bus. *)
+
+val eval : ?fault:Hlts_fault.Fault.t -> t -> machine -> unit
+(** One combinational evaluation: loads constants and DFF state, sweeps
+    the gates, applies the fault override. PI words must have been set
+    with {!set_bus} (they persist across calls). *)
+
+val step : t -> machine -> unit
+(** Clock edge: latches every DFF's D value into the state. Call after
+    {!eval}. *)
+
+val read_bus : t -> machine -> string -> int64 list
+(** PO bus words. *)
+
+val po_word : t -> machine -> int64
+(** XOR-fold of all PO nets — equal words imply equal PO values per lane
+    only probabilistically; use {!po_diff} for detection. *)
+
+val po_diff : t -> machine -> machine -> int64
+(** Lanes (bits) where any PO net differs between two machines. *)
+
+val gate_count : t -> int
+
+val levelized : t -> Hlts_netlist.Netlist.gate array
+(** The gates in evaluation (topological) order — shared by the PODEM
+    engine so both simulators sweep identically. *)

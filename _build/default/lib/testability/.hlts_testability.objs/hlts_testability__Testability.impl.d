@@ -1,0 +1,1 @@
+lib/testability/testability.ml: Format Hashtbl Hlts_alloc Hlts_dfg Hlts_etpn Hlts_util List Printf

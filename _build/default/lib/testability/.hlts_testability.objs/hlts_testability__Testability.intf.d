@@ -1,0 +1,1 @@
+lib/testability/testability.mli: Format Hlts_etpn

@@ -1,0 +1,51 @@
+let take n l =
+  let rec loop n acc = function
+    | [] -> List.rev acc
+    | x :: rest -> if n <= 0 then List.rev acc else loop (n - 1) (x :: acc) rest
+  in
+  loop n [] l
+
+let group_by key l =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  let record x =
+    let k = key x in
+    begin match Hashtbl.find_opt tbl k with
+    | None ->
+      order := k :: !order;
+      Hashtbl.add tbl k [ x ]
+    | Some xs -> Hashtbl.replace tbl k (x :: xs)
+    end
+  in
+  List.iter record l;
+  List.rev_map (fun k -> (k, List.rev (Hashtbl.find tbl k))) !order
+
+let best_by better f = function
+  | [] -> None
+  | x :: rest ->
+    let choose (bx, bv) y =
+      let v = f y in
+      if better v bv then (y, v) else (bx, bv)
+    in
+    Some (fst (List.fold_left choose (x, f x) rest))
+
+let max_by f l = best_by ( > ) f l
+let min_by f l = best_by ( < ) f l
+
+let sum_by f l = List.fold_left (fun acc x -> acc +. f x) 0.0 l
+
+let pairs l =
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | x :: rest ->
+      let acc = List.fold_left (fun acc y -> (x, y) :: acc) acc rest in
+      loop acc rest
+  in
+  loop [] l
+
+let index_of p l =
+  let rec loop i = function
+    | [] -> None
+    | x :: rest -> if p x then Some i else loop (i + 1) rest
+  in
+  loop 0 l

@@ -1,0 +1,19 @@
+(** Small list/array helpers shared across the library. *)
+
+val take : int -> 'a list -> 'a list
+(** First [n] elements (all of them if the list is shorter). *)
+
+val group_by : ('a -> 'b) -> 'a list -> ('b * 'a list) list
+(** Stable grouping by key; keys appear in order of first occurrence. *)
+
+val max_by : ('a -> float) -> 'a list -> 'a option
+(** Element maximizing [f]; [None] on the empty list. *)
+
+val min_by : ('a -> float) -> 'a list -> 'a option
+
+val sum_by : ('a -> float) -> 'a list -> float
+
+val pairs : 'a list -> ('a * 'a) list
+(** All unordered pairs of distinct elements, in list order. *)
+
+val index_of : ('a -> bool) -> 'a list -> int option

@@ -1,0 +1,1 @@
+lib/verify/controller.ml: Array Hlts_alloc Hlts_dfg Hlts_etpn Hlts_netlist Hlts_sched Hlts_sim Hlts_util Int64 List Printf

@@ -1,0 +1,1 @@
+lib/verify/controller.mli: Hlts_etpn Hlts_netlist Hlts_sim

@@ -1,0 +1,1 @@
+lib/verify/verify.ml: Controller Hlts_dfg Hlts_etpn Hlts_netlist Hlts_sim Hlts_util List Printf String

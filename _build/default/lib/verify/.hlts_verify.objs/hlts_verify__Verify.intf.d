@@ -1,0 +1,1 @@
+lib/verify/verify.mli: Hlts_etpn

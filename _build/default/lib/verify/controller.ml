@@ -1,0 +1,143 @@
+module Etpn = Hlts_etpn.Etpn
+module Binding = Hlts_alloc.Binding
+module Dfg = Hlts_dfg.Dfg
+module Op = Hlts_dfg.Op
+module Sim = Hlts_sim.Sim
+module Netlist = Hlts_netlist.Netlist
+module Expand = Hlts_netlist.Expand
+module Schedule = Hlts_sched.Schedule
+module Lifetime = Hlts_alloc.Lifetime
+
+type result = {
+  outputs : (string * int) list;
+  conditions : (int * bool) list;
+}
+
+(* select-net settings that route [src] through a mux plan *)
+let route (mp : Expand.mux_plan) src =
+  match Hlts_util.Listx.index_of (( = ) src) mp.Expand.mp_sources with
+  | Some i -> Expand.sel_assignments mp.Expand.mp_sels i
+  | None -> invalid_arg "Controller.run: source not reachable through its mux"
+
+let run sim (plan : Expand.plan) etpn ~bits ~inputs =
+  let dfg = etpn.Etpn.dfg in
+  let schedule = etpn.Etpn.schedule in
+  let binding = etpn.Etpn.binding in
+  let c = Sim.circuit sim in
+  let m = Sim.machine sim in
+  let all_pi_nets =
+    List.concat_map (fun (_, bus) -> bus) c.Netlist.pis
+  in
+  (* node-id lookups *)
+  let port_in_node name =
+    fst
+      (List.find
+         (fun (_, n) -> n = Etpn.Port_in name)
+         etpn.Etpn.nodes)
+  in
+  let const_node cv =
+    fst (List.find (fun (_, n) -> n = Etpn.Const cv) etpn.Etpn.nodes)
+  in
+  let reg_node_of_value v =
+    Etpn.node_id_of_reg etpn (Binding.reg_of_value binding v).Binding.reg_id
+  in
+  let operand_node = function
+    | Dfg.Const cv -> const_node cv
+    | Dfg.Input name -> reg_node_of_value (Dfg.V_input name)
+    | Dfg.Op id -> reg_node_of_value (Dfg.V_op id)
+  in
+  let reg_plan_of_value v =
+    let reg = Binding.reg_of_value binding v in
+    (reg.Binding.reg_id, List.assoc reg.Binding.reg_id plan.Expand.p_regs)
+  in
+  let fu_plan_of_op id =
+    List.assoc (Binding.fu_of_op binding id).Binding.fu_id plan.Expand.p_fus
+  in
+  let input_value name =
+    match List.assoc_opt name inputs with
+    | Some v -> v land ((1 lsl bits) - 1)
+    | None -> invalid_arg ("Controller.run: missing input " ^ name)
+  in
+  let set_net (net, v) = m.Sim.values.(net) <- (if v then 1L else 0L) in
+  let set_bus name v =
+    match List.assoc_opt name c.Netlist.pis with
+    | None -> invalid_arg ("Controller.run: no input bus " ^ name)
+    | Some bus ->
+      List.iteri
+        (fun i net ->
+          m.Sim.values.(net) <- (if (v lsr i) land 1 = 1 then 1L else 0L))
+        bus
+  in
+  let read_bus name =
+    match List.assoc_opt name c.Netlist.pos with
+    | None -> invalid_arg ("Controller.run: no output bus " ^ name)
+    | Some bus ->
+      List.fold_left
+        (fun acc (i, net) ->
+          if Int64.logand m.Sim.values.(net) 1L = 1L then acc lor (1 lsl i)
+          else acc)
+        0
+        (List.mapi (fun i net -> (i, net)) bus)
+  in
+  (* input load steps, from the staged-lifetime convention *)
+  let load_actions =
+    List.map
+      (fun name ->
+        let v = Dfg.V_input name in
+        let load_step = (Lifetime.interval_of dfg schedule v).Lifetime.birth - 1 in
+        (load_step, name))
+      dfg.Dfg.inputs
+  in
+  let conditions = ref [] in
+  let last = Schedule.length schedule in
+  for step = 0 to last do
+    (* defaults: every control input low (enables off, selects 0) *)
+    List.iter (fun net -> m.Sim.values.(net) <- 0L) all_pi_nets;
+    (* data ports hold their values throughout *)
+    List.iter (fun name -> set_bus ("in_" ^ name) (input_value name)) dfg.Dfg.inputs;
+    (* staged input loads *)
+    List.iter
+      (fun (load_step, name) ->
+        if load_step = step then begin
+          let _, rp = reg_plan_of_value (Dfg.V_input name) in
+          set_net (rp.Expand.rp_enable, true);
+          List.iter set_net (route rp.Expand.rp_mux (port_in_node name))
+        end)
+      load_actions;
+    (* operations scheduled in this control step *)
+    if step >= 1 then
+      List.iter
+        (fun op_id ->
+          let o = Dfg.op_by_id dfg op_id in
+          let fp = fu_plan_of_op op_id in
+          let a, b = o.Dfg.args in
+          List.iter set_net (route fp.Expand.fp_left (operand_node a));
+          List.iter set_net (route fp.Expand.fp_right (operand_node b));
+          List.iter set_net (List.assoc o.Dfg.kind fp.Expand.fp_fn);
+          if not (Op.is_comparison o.Dfg.kind) then begin
+            let _, rp = reg_plan_of_value (Dfg.V_op op_id) in
+            set_net (rp.Expand.rp_enable, true);
+            let fu_node =
+              Etpn.node_id_of_fu etpn (Binding.fu_of_op binding op_id).Binding.fu_id
+            in
+            List.iter set_net (route rp.Expand.rp_mux fu_node)
+          end)
+        (Schedule.ops_at schedule step);
+    Sim.eval sim m;
+    (* capture conditions produced in this step *)
+    if step >= 1 then
+      List.iter
+        (fun op_id ->
+          let o = Dfg.op_by_id dfg op_id in
+          if Op.is_comparison o.Dfg.kind then
+            conditions :=
+              (op_id, read_bus (Printf.sprintf "cond_N%d" op_id) = 1)
+              :: !conditions)
+        (Schedule.ops_at schedule step);
+    Sim.step sim m
+  done;
+  (* one final combinational settle to read the registered outputs *)
+  List.iter (fun net -> m.Sim.values.(net) <- 0L) all_pi_nets;
+  Sim.eval sim m;
+  let outputs = List.map (fun name -> (name, read_bus ("out_" ^ name))) dfg.Dfg.outputs in
+  { outputs; conditions = List.rev !conditions }

@@ -1,0 +1,25 @@
+(** A reference controller for the expanded data path.
+
+    The paper assumes the controller is modifiable and keeps it out of
+    scope; for functional verification we still need one. This module
+    drives the gate-level netlist through the synthesized schedule —
+    loading inputs at their staged load steps, steering unit and register
+    multiplexers per operation, pulsing register enables — and reads the
+    outputs back, so the synthesized circuit can be checked against
+    {!Hlts_dfg.Dfg.eval}: the paper's transformations are
+    semantics-preserving, and this is the executable witness. *)
+
+type result = {
+  outputs : (string * int) list;     (** data outputs by name *)
+  conditions : (int * bool) list;    (** comparison op id -> condition *)
+}
+
+val run :
+  Hlts_sim.Sim.t ->
+  Hlts_netlist.Expand.plan ->
+  Hlts_etpn.Etpn.t ->
+  bits:int ->
+  inputs:(string * int) list ->
+  result
+(** Simulates [schedule length + 1] clock cycles on lane 0.
+    @raise Invalid_argument on a missing input or width mismatch. *)

@@ -1,0 +1,37 @@
+module Etpn = Hlts_etpn.Etpn
+module Dfg = Hlts_dfg.Dfg
+module Sim = Hlts_sim.Sim
+module Expand = Hlts_netlist.Expand
+
+let datapath ?(seed = 1) ?(trials = 20) etpn ~bits =
+  let dfg = etpn.Etpn.dfg in
+  let circuit, plan = Expand.circuit_with_plan etpn ~bits in
+  let sim = Sim.compile circuit in
+  let rng = Hlts_util.Rng.create seed in
+  let rec trial i =
+    if i >= trials then Ok ()
+    else begin
+      let inputs =
+        List.map
+          (fun name -> (name, Hlts_util.Rng.int rng (1 lsl bits)))
+          dfg.Dfg.inputs
+      in
+      let expected = Dfg.eval dfg ~bits inputs in
+      let actual = (Controller.run sim plan etpn ~bits ~inputs).Controller.outputs in
+      let mismatch =
+        List.find_opt
+          (fun (name, v) -> List.assoc name actual <> v)
+          expected
+      in
+      match mismatch with
+      | None -> trial (i + 1)
+      | Some (name, v) ->
+        Error
+          (Printf.sprintf
+             "trial %d: output %s = %d, expected %d (inputs: %s)" i name
+             (List.assoc name actual) v
+             (String.concat ", "
+                (List.map (fun (n, x) -> Printf.sprintf "%s=%d" n x) inputs)))
+    end
+  in
+  trial 0

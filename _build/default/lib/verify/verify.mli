@@ -1,0 +1,17 @@
+(** Functional verification of synthesized data paths.
+
+    The paper's transformations are semantics-preserving by construction;
+    this module provides the executable witness: the ETPN is expanded to
+    gates, driven through its schedule by {!Controller}, and compared on
+    random input vectors against the behavioral reference
+    {!Hlts_dfg.Dfg.eval}. *)
+
+val datapath :
+  ?seed:int ->
+  ?trials:int ->
+  Hlts_etpn.Etpn.t ->
+  bits:int ->
+  (unit, string) result
+(** [datapath etpn ~bits] co-simulates [trials] (default 20) random input
+    vectors. [Error] describes the first mismatch (inputs, expected,
+    got). *)

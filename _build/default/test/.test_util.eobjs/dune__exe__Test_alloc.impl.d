@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Binding Hlts_alloc Hlts_dfg Hlts_sched Lifetime List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_atpg.ml: Alcotest Array Hlts_alloc Hlts_atpg Hlts_dfg Hlts_etpn Hlts_fault Hlts_netlist Hlts_sched Hlts_sim List

@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Benchmarks Dfg Hashtbl Hlts_dfg List Op QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_etpn.ml: Alcotest Etpn Hlts_alloc Hlts_dfg Hlts_etpn Hlts_netlist Hlts_petri Hlts_sched List Printf QCheck QCheck_alcotest String

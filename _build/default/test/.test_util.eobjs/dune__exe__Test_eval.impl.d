@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Buffer Format Hlts_atpg Hlts_dfg Hlts_eval Hlts_sched Hlts_synth List Printf String

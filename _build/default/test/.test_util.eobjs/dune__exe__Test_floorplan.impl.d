@@ -1,0 +1,1 @@
+test/test_floorplan.ml: Alcotest Floorplan Hlts_alloc Hlts_dfg Hlts_etpn Hlts_floorplan Hlts_sched List Module_library Printf QCheck QCheck_alcotest

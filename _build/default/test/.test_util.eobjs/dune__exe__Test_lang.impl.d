@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Hlts_dfg Hlts_lang Lang List Option Printf QCheck QCheck_alcotest String

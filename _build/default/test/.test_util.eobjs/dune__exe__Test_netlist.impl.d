@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Hashtbl Hlts_alloc Hlts_atpg Hlts_dfg Hlts_etpn Hlts_netlist Hlts_sched Hlts_sim Hlts_util Int64 List Option Printf QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_petri.ml: Alcotest Hlts_petri List Petri Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Basic Constraints Fds Hlts_dfg Hlts_sched Hlts_util List Mobility_path QCheck QCheck_alcotest Result Schedule

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Candidates Flows Hlts_alloc Hlts_dfg Hlts_etpn Hlts_sched Hlts_synth Hlts_testability Hlts_util List Merge Option QCheck QCheck_alcotest State Synth Test_points

@@ -1,0 +1,1 @@
+test/test_testability.ml: Alcotest Hlts_alloc Hlts_dfg Hlts_etpn Hlts_sched Hlts_testability Hlts_util List Option QCheck QCheck_alcotest Testability

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Gen Hlts_util Int64 List Listx QCheck QCheck_alcotest Rng

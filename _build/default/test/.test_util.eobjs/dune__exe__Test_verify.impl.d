@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Hlts_dfg Hlts_netlist Hlts_sim Hlts_synth Hlts_verify List Printexc QCheck QCheck_alcotest

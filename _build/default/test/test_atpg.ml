@@ -1,0 +1,289 @@
+(* Tests for Hlts_fault, Hlts_sim and Hlts_atpg: fault model and
+   collapsing, simulator semantics, PODEM on known circuits, and the
+   end-to-end ATPG pipeline. *)
+
+module N = Hlts_netlist.Netlist
+module B = N.Builder
+module F = Hlts_fault.Fault
+module Sim = Hlts_sim.Sim
+module Podem = Hlts_atpg.Podem
+module Atpg = Hlts_atpg.Atpg
+
+(* a 1-bit AND with an output DFF: the smallest sequential circuit *)
+let and_dff () =
+  let b = B.create () in
+  let a = B.input b "a" 1 and c = B.input b "c" 1 in
+  let g = B.gate b N.G_and [ List.hd a; List.hd c ] in
+  let q = B.dff b g in
+  B.output b "o" [ q ];
+  B.finish b
+
+(* --- fault model -------------------------------------------------------- *)
+
+let test_universe_counts () =
+  let c = and_dff () in
+  (* nets: a, c, and-output, q = 4 logic nets -> 8 faults *)
+  Alcotest.(check int) "8 faults" 8 (List.length (F.universe c))
+
+let test_collapse_buffers () =
+  let b = B.create () in
+  let a = B.input b "a" 1 in
+  let buf = B.gate b N.G_buf [ List.hd a ] in
+  let inv = B.gate b N.G_not [ buf ] in
+  B.output b "o" [ inv ];
+  let c = B.finish b in
+  let collapsed = F.collapsed_universe c in
+  (* a/0 == buf/0 == inv/1 and a/1 == buf/1 == inv/0: only 2 classes *)
+  Alcotest.(check int) "two classes" 2 (List.length collapsed)
+
+let test_collapse_keeps_fanout_stems () =
+  let b = B.create () in
+  let a = B.input b "a" 1 in
+  let buf = B.gate b N.G_buf [ List.hd a ] in
+  let x1 = B.gate b N.G_not [ buf ] in
+  let x2 = B.gate b N.G_not [ List.hd a ] in
+  (* 'a' has fanout 2: not collapsible through the buffer *)
+  B.output b "o1" [ x1 ];
+  B.output b "o2" [ x2 ];
+  let c = B.finish b in
+  let collapsed = F.collapsed_universe c in
+  Alcotest.(check bool) "a faults kept" true
+    (List.exists (fun f -> f.F.f_net = List.hd a) collapsed)
+
+(* --- simulator ---------------------------------------------------------- *)
+
+let test_sim_combinational () =
+  let c = and_dff () in
+  let sim = Sim.compile c in
+  let m = Sim.machine sim in
+  Sim.set_bus sim m "a" [ 0b1100L ];
+  Sim.set_bus sim m "c" [ 0b1010L ];
+  Sim.eval sim m;
+  Sim.step sim m;
+  Sim.eval sim m;
+  (* q now holds a&c = 0b1000 per lane *)
+  Alcotest.(check bool) "and through dff" true
+    (Sim.read_bus sim m "o" = [ 0b1000L ])
+
+let test_sim_fault_injection () =
+  let c = and_dff () in
+  let sim = Sim.compile c in
+  let good = Sim.machine sim and bad = Sim.machine sim in
+  (* stuck-at-1 on the AND output: visible under a=c=0 *)
+  let and_out = (Array.get c.N.gates 0).N.output in
+  let fault = { F.f_net = and_out; f_stuck = F.Stuck_at_1 } in
+  Sim.set_bus sim good "a" [ 0L ];
+  Sim.set_bus sim good "c" [ 0L ];
+  Sim.set_bus sim bad "a" [ 0L ];
+  Sim.set_bus sim bad "c" [ 0L ];
+  Sim.eval sim good;
+  Sim.eval ~fault sim bad;
+  Sim.step sim good;
+  Sim.step sim bad;
+  Sim.eval sim good;
+  Sim.eval ~fault sim bad;
+  Alcotest.(check bool) "fault visible" true (Sim.po_diff sim good bad <> 0L)
+
+let test_sim_deterministic () =
+  let c = and_dff () in
+  let sim = Sim.compile c in
+  let run () =
+    let m = Sim.machine sim in
+    Sim.set_bus sim m "a" [ 123L ];
+    Sim.set_bus sim m "c" [ 456L ];
+    Sim.eval sim m;
+    Sim.step sim m;
+    Sim.eval sim m;
+    Sim.read_bus sim m "o"
+  in
+  Alcotest.(check bool) "same" true (run () = run ())
+
+(* --- PODEM -------------------------------------------------------------- *)
+
+let test_podem_detects_all_and_dff () =
+  let c = and_dff () in
+  let sim = Sim.compile c in
+  List.iter
+    (fun f ->
+      match Podem.generate sim ~max_frames:3 ~max_backtracks:20 f with
+      | Podem.Detected _, _ -> ()
+      | (Podem.Aborted | Podem.No_test_in_frames), _ ->
+        Alcotest.failf "missed %s" (F.to_string f))
+    (F.collapsed_universe c)
+
+let test_podem_tests_replay () =
+  (* every generated test, replayed on the event simulator, must actually
+     expose the fault *)
+  let c = and_dff () in
+  let sim = Sim.compile c in
+  let pis = List.concat_map (fun (_, bus) -> bus) c.N.pis in
+  let pos = List.concat_map (fun (_, bus) -> bus) c.N.pos in
+  List.iter
+    (fun f ->
+      match Podem.generate sim ~max_frames:3 ~max_backtracks:20 f with
+      | Podem.Detected test, _ ->
+        let good = Sim.machine sim and bad = Sim.machine sim in
+        let detected = ref false in
+        Array.iter
+          (fun frame ->
+            List.iter
+              (fun net ->
+                let w =
+                  match List.assoc_opt net frame with
+                  | Some true -> 1L
+                  | Some false | None -> 0L
+                in
+                good.Sim.values.(net) <- w;
+                bad.Sim.values.(net) <- w)
+              pis;
+            Sim.eval sim good;
+            Sim.eval ~fault:f sim bad;
+            if
+              List.exists
+                (fun po -> good.Sim.values.(po) <> bad.Sim.values.(po))
+                pos
+            then detected := true;
+            Sim.step sim good;
+            Sim.step sim bad)
+          test.Podem.t_frames;
+        Alcotest.(check bool) (F.to_string f ^ " replays") true !detected
+      | (Podem.Aborted | Podem.No_test_in_frames), _ ->
+        Alcotest.failf "missed %s" (F.to_string f))
+    (F.collapsed_universe c)
+
+let test_podem_needs_frames_for_depth () =
+  (* two DFFs in series: observing the input needs 3 frames *)
+  let b = B.create () in
+  let a = B.input b "a" 1 in
+  let inv = B.gate b N.G_not [ List.hd a ] in
+  let q1 = B.dff b inv in
+  let q1b = B.gate b N.G_not [ q1 ] in
+  let q2 = B.dff b q1b in
+  B.output b "o" [ q2 ];
+  let c = B.finish b in
+  let sim = Sim.compile c in
+  let fault = { F.f_net = List.hd a; f_stuck = F.Stuck_at_0 } in
+  (match Podem.generate sim ~max_frames:2 ~max_backtracks:50 fault with
+  | Podem.Detected _, _ -> Alcotest.fail "2 frames cannot observe depth-2"
+  | (Podem.No_test_in_frames | Podem.Aborted), _ -> ());
+  match Podem.generate sim ~max_frames:3 ~max_backtracks:50 fault with
+  | Podem.Detected test, _ ->
+    Alcotest.(check int) "3-frame test" 3 (Array.length test.Podem.t_frames)
+  | (Podem.No_test_in_frames | Podem.Aborted), _ ->
+    Alcotest.fail "3 frames should suffice"
+
+(* --- end-to-end ---------------------------------------------------------- *)
+
+let datapath bits =
+  let d = Hlts_dfg.Benchmarks.toy in
+  let s = Hlts_sched.Basic.asap_exn (Hlts_sched.Constraints.of_dfg d) in
+  let binding = Hlts_alloc.Binding.allocate d s in
+  let etpn = Hlts_etpn.Etpn.build_exn d s binding in
+  Hlts_netlist.Expand.circuit etpn ~bits
+
+let test_atpg_full_run () =
+  let r = Atpg.run (datapath 4) in
+  Alcotest.(check bool) "high coverage" true (Atpg.coverage_pct r > 80.0);
+  Alcotest.(check int) "accounting" r.Atpg.total_faults
+    (r.Atpg.detected_random + r.Atpg.detected_det + r.Atpg.undetected);
+  Alcotest.(check bool) "cycles positive" true (r.Atpg.test_cycles > 0);
+  Alcotest.(check bool) "effort positive" true (r.Atpg.effort > 0)
+
+let test_atpg_deterministic () =
+  let r1 = Atpg.run (datapath 4) and r2 = Atpg.run (datapath 4) in
+  Alcotest.(check bool) "identical" true
+    (r1.Atpg.coverage = r2.Atpg.coverage
+    && r1.Atpg.test_cycles = r2.Atpg.test_cycles
+    && r1.Atpg.effort = r2.Atpg.effort)
+
+let test_atpg_seed_sensitivity () =
+  let cfg seed = { Atpg.default_config with Atpg.seed } in
+  let r1 = Atpg.run ~config:(cfg 1) (datapath 4) in
+  let r5 = Atpg.run ~config:(cfg 5) (datapath 4) in
+  (* both valid runs; coverages may differ but stay in a sane band *)
+  Alcotest.(check bool) "bands" true
+    (Atpg.coverage_pct r1 > 60.0 && Atpg.coverage_pct r5 > 60.0)
+
+let test_atpg_more_random_helps () =
+  let weak =
+    { Atpg.default_config with Atpg.random_lanes = 1; random_cycles = 2;
+      max_backtracks = 1; max_frames = 1 }
+  in
+  let strong =
+    { Atpg.default_config with Atpg.random_lanes = 64; random_cycles = 32;
+      random_batches = 2 }
+  in
+  let c = datapath 4 in
+  let rw = Atpg.run ~config:weak c and rs = Atpg.run ~config:strong c in
+  Alcotest.(check bool) "monotone-ish" true (rs.Atpg.coverage >= rw.Atpg.coverage)
+
+let test_atpg_lane_masking () =
+  (* lanes=1 must not use information from other lanes *)
+  let cfg = { Atpg.default_config with Atpg.random_lanes = 1 } in
+  let r = Atpg.run ~config:cfg (datapath 4) in
+  Alcotest.(check bool) "valid" true
+    (r.Atpg.coverage >= 0.0 && r.Atpg.coverage <= 1.0)
+
+(* --- BIST ----------------------------------------------------------------- *)
+
+let test_bist_runs () =
+  let r = Hlts_atpg.Bist.run (datapath 4) in
+  Alcotest.(check bool) "coverage in range" true
+    (r.Hlts_atpg.Bist.coverage >= 0.0 && r.Hlts_atpg.Bist.coverage <= 1.0);
+  Alcotest.(check bool) "detects most" true
+    (Hlts_atpg.Bist.coverage_pct r > 60.0);
+  Alcotest.(check int) "session length recorded" 48
+    r.Hlts_atpg.Bist.session_cycles
+
+let test_bist_deterministic () =
+  let r1 = Hlts_atpg.Bist.run (datapath 4) in
+  let r2 = Hlts_atpg.Bist.run (datapath 4) in
+  Alcotest.(check int) "same detected" r1.Hlts_atpg.Bist.detected
+    r2.Hlts_atpg.Bist.detected
+
+let test_bist_longer_session_helps () =
+  let cfg cycles = { Hlts_atpg.Bist.default_config with Hlts_atpg.Bist.cycles } in
+  let c = datapath 4 in
+  let short = Hlts_atpg.Bist.run ~config:(cfg 8) c in
+  let long = Hlts_atpg.Bist.run ~config:(cfg 128) c in
+  Alcotest.(check bool) "monotone-ish" true
+    (long.Hlts_atpg.Bist.coverage >= short.Hlts_atpg.Bist.coverage)
+
+let () =
+  Alcotest.run "hlts_atpg"
+    [
+      ( "fault",
+        [
+          Alcotest.test_case "universe" `Quick test_universe_counts;
+          Alcotest.test_case "collapse chains" `Quick test_collapse_buffers;
+          Alcotest.test_case "fanout stems kept" `Quick
+            test_collapse_keeps_fanout_stems;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "combinational" `Quick test_sim_combinational;
+          Alcotest.test_case "fault injection" `Quick test_sim_fault_injection;
+          Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
+        ] );
+      ( "podem",
+        [
+          Alcotest.test_case "detects all (and+dff)" `Quick
+            test_podem_detects_all_and_dff;
+          Alcotest.test_case "tests replay" `Quick test_podem_tests_replay;
+          Alcotest.test_case "frame depth" `Quick test_podem_needs_frames_for_depth;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "full run" `Quick test_atpg_full_run;
+          Alcotest.test_case "deterministic" `Quick test_atpg_deterministic;
+          Alcotest.test_case "seeds" `Quick test_atpg_seed_sensitivity;
+          Alcotest.test_case "budget monotone" `Quick test_atpg_more_random_helps;
+          Alcotest.test_case "lane masking" `Quick test_atpg_lane_masking;
+        ] );
+      ( "bist",
+        [
+          Alcotest.test_case "runs" `Quick test_bist_runs;
+          Alcotest.test_case "deterministic" `Quick test_bist_deterministic;
+          Alcotest.test_case "session length" `Quick test_bist_longer_session_helps;
+        ] );
+    ]

@@ -1,0 +1,362 @@
+(* Tests for Hlts_netlist: builder discipline, n-bit blocks (functional
+   correctness against integer arithmetic via the simulator), simplify /
+   prune, and data-path expansion. *)
+
+module N = Hlts_netlist.Netlist
+module B = N.Builder
+module Expand = Hlts_netlist.Expand
+module Sim = Hlts_sim.Sim
+module Binding = Hlts_alloc.Binding
+module Etpn = Hlts_etpn.Etpn
+module Bench = Hlts_dfg.Benchmarks
+
+(* evaluate a combinational block on concrete integers via lane 0 *)
+let eval_block ~width ~build inputs =
+  let b = B.create () in
+  let buses = List.map (fun (name, _) -> (name, B.input b name width)) inputs in
+  let outs = build b (List.map snd buses) in
+  B.output b "out" outs;
+  let c = B.finish b in
+  let sim = Sim.compile c in
+  let m = Sim.machine sim in
+  List.iter2
+    (fun (name, value) (_, _) ->
+      let words =
+        List.init width (fun i ->
+            if (value lsr i) land 1 = 1 then 1L else 0L)
+      in
+      Sim.set_bus sim m name words)
+    inputs buses;
+  Sim.eval sim m;
+  let words = Sim.read_bus sim m "out" in
+  List.fold_left
+    (fun acc (i, w) -> if Int64.logand w 1L = 1L then acc lor (1 lsl i) else acc)
+    0
+    (List.mapi (fun i w -> (i, w)) words)
+
+let mask width v = v land ((1 lsl width) - 1)
+
+let test_builder_validates () =
+  let b = B.create () in
+  let x = B.input b "x" 2 in
+  let g = B.gate b N.G_and [ List.nth x 0; List.nth x 1 ] in
+  B.output b "o" [ g ];
+  let c = B.finish b in
+  Alcotest.(check bool) "valid" true (Result.is_ok (N.validate c))
+
+let test_builder_rejects_arity () =
+  let b = B.create () in
+  let x = B.input b "x" 3 in
+  (match B.gate b N.G_and x with
+  | (_ : int) -> Alcotest.fail "arity-3 AND accepted"
+  | exception Invalid_argument _ -> ());
+  match B.gate b N.G_not (Hlts_util.Listx.take 2 x) with
+  | (_ : int) -> Alcotest.fail "arity-2 NOT accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_undriven_rejected () =
+  let b = B.create () in
+  let dangling = B.fresh b in
+  B.output b "o" [ dangling ];
+  match B.finish b with
+  | (_ : N.t) -> Alcotest.fail "undriven PO accepted"
+  | exception Invalid_argument _ -> ()
+
+let prop_adder =
+  QCheck.Test.make ~name:"ripple adder = integer add" ~count:100
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (x, y) ->
+      let r =
+        eval_block ~width:8
+          ~build:(fun b -> function
+            | [ xs; ys ] -> fst (B.ripple_adder b ~cin:(B.const0 b) xs ys)
+            | _ -> assert false)
+          [ ("x", x); ("y", y) ]
+      in
+      r = mask 8 (x + y))
+
+let prop_subtractor =
+  QCheck.Test.make ~name:"add_sub sub=1 = integer sub" ~count:100
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (x, y) ->
+      let r =
+        eval_block ~width:8
+          ~build:(fun b -> function
+            | [ xs; ys ] -> fst (B.add_sub b ~sub:(B.const1 b) xs ys)
+            | _ -> assert false)
+          [ ("x", x); ("y", y) ]
+      in
+      r = mask 8 (x - y))
+
+let prop_multiplier =
+  QCheck.Test.make ~name:"array multiplier = integer mul" ~count:100
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (x, y) ->
+      let r =
+        eval_block ~width:8
+          ~build:(fun b -> function
+            | [ xs; ys ] -> B.multiplier b xs ys
+            | _ -> assert false)
+          [ ("x", x); ("y", y) ]
+      in
+      r = mask 8 (x * y))
+
+let prop_less_than =
+  QCheck.Test.make ~name:"less_than = unsigned <" ~count:100
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (x, y) ->
+      let r =
+        eval_block ~width:8
+          ~build:(fun b -> function
+            | [ xs; ys ] -> [ B.less_than b xs ys ]
+            | _ -> assert false)
+          [ ("x", x); ("y", y) ]
+      in
+      r = if x < y then 1 else 0)
+
+let prop_equal =
+  QCheck.Test.make ~name:"equal = integer =" ~count:100
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (x, y) ->
+      let r =
+        eval_block ~width:8
+          ~build:(fun b -> function
+            | [ xs; ys ] -> [ B.equal b xs ys ]
+            | _ -> assert false)
+          [ ("x", x); ("y", y) ]
+      in
+      r = if x = y then 1 else 0)
+
+let prop_mux_tree =
+  QCheck.Test.make ~name:"mux tree selects source" ~count:60
+    QCheck.(pair (int_range 1 6) (int_bound 100))
+    (fun (n_sources, seed) ->
+      let rng = Hlts_util.Rng.create seed in
+      let values = List.init n_sources (fun _ -> Hlts_util.Rng.int rng 16) in
+      let b = B.create () in
+      let buses =
+        List.mapi (fun i _ -> B.input b (Printf.sprintf "s%d" i) 4) values
+      in
+      let sels, out = B.mux_tree b buses in
+      B.declare_input b "sel" sels;
+      B.output b "out" out;
+      let c = B.finish b in
+      let sim = Sim.compile c in
+      (* for each source index, check some select combination yields it *)
+      let m = Sim.machine sim in
+      List.iteri
+        (fun i v ->
+          Sim.set_bus sim m (Printf.sprintf "s%d" i)
+            (List.init 4 (fun bit -> if (v lsr bit) land 1 = 1 then 1L else 0L)))
+        values;
+      let n_sel = List.length sels in
+      let reachable = Hashtbl.create 8 in
+      for combo = 0 to (1 lsl n_sel) - 1 do
+        if n_sel > 0 then
+          Sim.set_bus sim m "sel"
+            (List.init n_sel (fun i ->
+                 if (combo lsr i) land 1 = 1 then 1L else 0L));
+        Sim.eval sim m;
+        let out_v =
+          List.fold_left
+            (fun acc (i, w) ->
+              if Int64.logand w 1L = 1L then acc lor (1 lsl i) else acc)
+            0
+            (List.mapi (fun i w -> (i, w)) (Sim.read_bus sim m "out"))
+        in
+        Hashtbl.replace reachable out_v ()
+      done;
+      List.for_all (fun v -> Hashtbl.mem reachable v) values)
+
+let test_register_holds_and_loads () =
+  let b = B.create () in
+  let en = List.hd (B.input b "en" 1) in
+  let d = B.input b "d" 4 in
+  let q = B.register b ~enable:en d in
+  B.output b "q" q;
+  let c = B.finish b in
+  let sim = Sim.compile c in
+  let m = Sim.machine sim in
+  let set_d v =
+    Sim.set_bus sim m "d"
+      (List.init 4 (fun i -> if (v lsr i) land 1 = 1 then 1L else 0L))
+  in
+  let q_val () =
+    List.fold_left
+      (fun acc (i, w) -> if Int64.logand w 1L = 1L then acc lor (1 lsl i) else acc)
+      0
+      (List.mapi (fun i w -> (i, w)) (Sim.read_bus sim m "q"))
+  in
+  (* load 5 *)
+  set_d 5;
+  Sim.set_bus sim m "en" [ 1L ];
+  Sim.eval sim m;
+  Sim.step sim m;
+  Sim.eval sim m;
+  Alcotest.(check int) "loaded" 5 (q_val ());
+  (* hold against new data *)
+  set_d 9;
+  Sim.set_bus sim m "en" [ 0L ];
+  Sim.eval sim m;
+  Sim.step sim m;
+  Sim.eval sim m;
+  Alcotest.(check int) "held" 5 (q_val ());
+  (* load 9 *)
+  Sim.set_bus sim m "en" [ 1L ];
+  Sim.eval sim m;
+  Sim.step sim m;
+  Sim.eval sim m;
+  Alcotest.(check int) "reloaded" 9 (q_val ())
+
+(* --- simplify / prune --------------------------------------------------- *)
+
+let test_simplify_folds_constants () =
+  let b = B.create () in
+  let x = B.input b "x" 1 in
+  let dead = B.gate b N.G_and [ List.hd x; B.const0 b ] in
+  let live = B.gate b N.G_or [ dead; List.hd x ] in
+  B.output b "o" [ live ];
+  let c = N.prune (N.simplify (B.finish b)) in
+  (* and(x,0)=0; or(0,x)=x: everything folds to a wire *)
+  Alcotest.(check int) "all gates folded" 0 (Array.length c.N.gates);
+  Alcotest.(check bool) "po is x" true
+    (List.assoc "o" c.N.pos = [ List.hd x ])
+
+let test_simplify_equivalence =
+  QCheck.Test.make ~name:"simplify preserves function" ~count:30
+    QCheck.(pair (int_bound 1000) (int_bound 255))
+    (fun (seed, stim) ->
+      (* random 8-bit two-operand circuit: (x+y)*(x-y) style *)
+      ignore seed;
+      let build simplified =
+        let b = B.create () in
+        let xs = B.input b "x" 4 and ys = B.input b "y" 4 in
+        let s, _ = B.ripple_adder b ~cin:(B.const0 b) xs ys in
+        let d, _ = B.add_sub b ~sub:(B.const1 b) xs ys in
+        let p = B.multiplier b s d in
+        B.output b "p" p;
+        let c = B.finish b in
+        if simplified then N.prune (N.simplify c) else c
+      in
+      let run c =
+        let sim = Sim.compile c in
+        let m = Sim.machine sim in
+        let x = stim land 15 and y = (stim lsr 4) land 15 in
+        Sim.set_bus sim m "x"
+          (List.init 4 (fun i -> if (x lsr i) land 1 = 1 then 1L else 0L));
+        Sim.set_bus sim m "y"
+          (List.init 4 (fun i -> if (y lsr i) land 1 = 1 then 1L else 0L));
+        Sim.eval sim m;
+        Sim.read_bus sim m "p"
+      in
+      run (build true) = run (build false))
+
+let test_full_scan () =
+  let d = Bench.toy in
+  let sch = Hlts_sched.Basic.asap_exn (Hlts_sched.Constraints.of_dfg d) in
+  let etpn = Etpn.build_exn d sch (Binding.allocate d sch) in
+  let c = Expand.circuit etpn ~bits:4 in
+  let scan = N.full_scan c in
+  Alcotest.(check int) "no dffs" 0 (Array.length scan.N.dffs);
+  Alcotest.(check int) "scan inputs added"
+    (List.length c.N.pis + Array.length c.N.dffs)
+    (List.length scan.N.pis);
+  Alcotest.(check int) "scan outputs added"
+    (List.length c.N.pos + Array.length c.N.dffs)
+    (List.length scan.N.pos);
+  Alcotest.(check bool) "still validates" true (Result.is_ok (N.validate scan));
+  (* the combinational model reaches full coverage fast *)
+  let r = Hlts_atpg.Atpg.run scan in
+  Alcotest.(check bool) "near-complete coverage" true
+    (Hlts_atpg.Atpg.coverage_pct r > 99.0)
+
+let test_prune_removes_dead () =
+  let b = B.create () in
+  let x = B.input b "x" 2 in
+  let live = B.gate b N.G_and [ List.nth x 0; List.nth x 1 ] in
+  let (_ : int) = B.gate b N.G_or [ List.nth x 0; List.nth x 1 ] in
+  let (_ : int) = B.dff b live in
+  B.output b "o" [ live ];
+  let c = N.prune (B.finish b) in
+  Alcotest.(check int) "dead or + dff gone" 1 (Array.length c.N.gates);
+  Alcotest.(check int) "no dffs" 0 (Array.length c.N.dffs)
+
+(* --- expansion ---------------------------------------------------------- *)
+
+let expand_of name =
+  let d = Option.get (Bench.find name) in
+  let s = Hlts_sched.Basic.asap_exn (Hlts_sched.Constraints.of_dfg d) in
+  let etpn = Etpn.build_exn d s (Binding.allocate d s) in
+  Expand.circuit etpn ~bits:4
+
+let test_expand_validates_all () =
+  List.iter
+    (fun (name, _) ->
+      let c = expand_of name in
+      match N.validate c with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s: %s" name msg)
+    Bench.all
+
+let test_expand_has_expected_ports () =
+  let c = expand_of "diffeq" in
+  let pi_names = List.map fst c.N.pis in
+  let po_names = List.map fst c.N.pos in
+  Alcotest.(check bool) "data input" true (List.mem "in_x" pi_names);
+  Alcotest.(check bool) "data output" true (List.mem "out_u1" po_names);
+  Alcotest.(check bool) "condition output" true (List.mem "cond_N24" po_names);
+  Alcotest.(check bool) "register enable" true
+    (List.exists (fun n -> String.length n > 3 && String.sub n 0 4 = "en_r") pi_names)
+
+let test_expand_scales_with_bits () =
+  let d = Bench.ex in
+  let s = Hlts_sched.Basic.asap_exn (Hlts_sched.Constraints.of_dfg d) in
+  let etpn = Etpn.build_exn d s (Binding.allocate d s) in
+  let g bits = Array.length (Expand.circuit etpn ~bits).N.gates in
+  Alcotest.(check bool) "4 < 8 < 16" true (g 4 < g 8 && g 8 < g 16)
+
+let test_expand_dff_count () =
+  (* one DFF per register bit *)
+  let d = Bench.toy in
+  let s = Hlts_sched.Basic.asap_exn (Hlts_sched.Constraints.of_dfg d) in
+  let binding = Binding.allocate d s in
+  let etpn = Etpn.build_exn d s binding in
+  let c = Expand.circuit etpn ~bits:4 in
+  Alcotest.(check int) "dffs = 4 * regs"
+    (4 * List.length binding.Binding.registers)
+    (Array.length c.N.dffs)
+
+let () =
+  Alcotest.run "hlts_netlist"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "validates" `Quick test_builder_validates;
+          Alcotest.test_case "arity" `Quick test_builder_rejects_arity;
+          Alcotest.test_case "undriven" `Quick test_undriven_rejected;
+          Alcotest.test_case "register" `Quick test_register_holds_and_loads;
+        ] );
+      ( "blocks",
+        [
+          QCheck_alcotest.to_alcotest prop_adder;
+          QCheck_alcotest.to_alcotest prop_subtractor;
+          QCheck_alcotest.to_alcotest prop_multiplier;
+          QCheck_alcotest.to_alcotest prop_less_than;
+          QCheck_alcotest.to_alcotest prop_equal;
+          QCheck_alcotest.to_alcotest prop_mux_tree;
+        ] );
+      ( "passes",
+        [
+          Alcotest.test_case "constant folding" `Quick test_simplify_folds_constants;
+          QCheck_alcotest.to_alcotest test_simplify_equivalence;
+          Alcotest.test_case "prune" `Quick test_prune_removes_dead;
+          Alcotest.test_case "full scan" `Quick test_full_scan;
+        ] );
+      ( "expand",
+        [
+          Alcotest.test_case "validates everywhere" `Quick test_expand_validates_all;
+          Alcotest.test_case "ports" `Quick test_expand_has_expected_ports;
+          Alcotest.test_case "scales" `Quick test_expand_scales_with_bits;
+          Alcotest.test_case "dff count" `Quick test_expand_dff_count;
+        ] );
+    ]

@@ -1,0 +1,146 @@
+(* Tests for Hlts_util: RNG determinism/uniformity and list helpers. *)
+
+open Hlts_util
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.next a) (Rng.next b)) then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_rng_copy_independent () =
+  let a = Rng.create 7 in
+  ignore (Rng.next a);
+  let b = Rng.copy a in
+  let va = Rng.next a in
+  let vb = Rng.next b in
+  Alcotest.(check int64) "copy continues identically" va vb;
+  ignore (Rng.next a);
+  (* advancing a must not affect b *)
+  let b' = Rng.copy b in
+  Alcotest.(check int64) "b unaffected" (Rng.next b) (Rng.next b')
+
+let test_rng_int_bounds () =
+  let t = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int t 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_rng_int_covers () =
+  let t = Rng.create 5 in
+  let seen = Array.make 4 false in
+  for _ = 1 to 200 do
+    seen.(Rng.int t 4) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_rng_float_bounds () =
+  let t = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.float t 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "out of range: %f" v
+  done
+
+let test_rng_bool_mixes () =
+  let t = Rng.create 13 in
+  let trues = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.bool t then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 350 && !trues < 650)
+
+let test_shuffle_permutes () =
+  let t = Rng.create 17 in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle t arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 20 Fun.id) sorted
+
+let test_take () =
+  Alcotest.(check (list int)) "take 2" [ 1; 2 ] (Listx.take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "take more" [ 1; 2 ] (Listx.take 5 [ 1; 2 ]);
+  Alcotest.(check (list int)) "take 0" [] (Listx.take 0 [ 1 ]);
+  Alcotest.(check (list int)) "take empty" [] (Listx.take 3 [])
+
+let test_group_by () =
+  let groups = Listx.group_by (fun x -> x mod 2) [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check (list (pair int (list int))))
+    "grouped, first-occurrence order"
+    [ (1, [ 1; 3; 5 ]); (0, [ 2; 4 ]) ]
+    groups
+
+let test_min_max_by () =
+  let l = [ 3.0; 1.0; 2.0 ] in
+  Alcotest.(check (option (float 0.0))) "max" (Some 3.0) (Listx.max_by Fun.id l);
+  Alcotest.(check (option (float 0.0))) "min" (Some 1.0) (Listx.min_by Fun.id l);
+  Alcotest.(check (option (float 0.0))) "empty" None (Listx.max_by Fun.id []);
+  (* first of equals wins: stability *)
+  let pairs = [ (1, 5.0); (2, 5.0) ] in
+  match Listx.max_by snd pairs with
+  | Some (i, _) -> Alcotest.(check int) "stable" 1 i
+  | None -> Alcotest.fail "expected Some"
+
+let test_sum_by () =
+  Alcotest.(check (float 1e-9)) "sum" 6.0 (Listx.sum_by Fun.id [ 1.0; 2.0; 3.0 ])
+
+let test_pairs () =
+  Alcotest.(check int) "choose 2 of 4" 6 (List.length (Listx.pairs [ 1; 2; 3; 4 ]));
+  Alcotest.(check (list (pair int int)))
+    "order" [ (1, 2); (1, 3); (2, 3) ] (Listx.pairs [ 1; 2; 3 ]);
+  Alcotest.(check (list (pair int int))) "singleton" [] (Listx.pairs [ 1 ])
+
+let test_index_of () =
+  Alcotest.(check (option int)) "found" (Some 1) (Listx.index_of (( = ) 5) [ 4; 5; 6 ]);
+  Alcotest.(check (option int)) "missing" None (Listx.index_of (( = ) 9) [ 4; 5 ])
+
+let prop_pairs_count =
+  QCheck.Test.make ~name:"pairs length is n*(n-1)/2" ~count:100
+    QCheck.(list_of_size Gen.(0 -- 30) int)
+    (fun l ->
+      let n = List.length l in
+      List.length (Listx.pairs l) = n * (n - 1) / 2)
+
+let prop_take_prefix =
+  QCheck.Test.make ~name:"take yields a prefix" ~count:100
+    QCheck.(pair (int_bound 20) (list int))
+    (fun (n, l) ->
+      let t = Listx.take n l in
+      List.length t = min n (List.length l)
+      && List.for_all2 ( = ) t (Listx.take (List.length t) l))
+
+let () =
+  Alcotest.run "hlts_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "copy independent" `Quick test_rng_copy_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int covers residues" `Quick test_rng_int_covers;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "bool mixes" `Quick test_rng_bool_mixes;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+        ] );
+      ( "listx",
+        [
+          Alcotest.test_case "take" `Quick test_take;
+          Alcotest.test_case "group_by" `Quick test_group_by;
+          Alcotest.test_case "min/max_by" `Quick test_min_max_by;
+          Alcotest.test_case "sum_by" `Quick test_sum_by;
+          Alcotest.test_case "pairs" `Quick test_pairs;
+          Alcotest.test_case "index_of" `Quick test_index_of;
+          QCheck_alcotest.to_alcotest prop_pairs_count;
+          QCheck_alcotest.to_alcotest prop_take_prefix;
+        ] );
+    ]
