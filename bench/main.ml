@@ -13,35 +13,35 @@ module Experiments = Hlts_eval.Experiments
 
 let usage =
   "bench/main.exe [--table 1|2|3|extra] [--figure 1|2|3] \
-   [--ablation params|balance] [--bechamel] [--seed N] [--all]"
+   [--ablation params|balance] [--bechamel] [--trace FILE] [--seed N] [--all]"
 
 let atpg_config seed = { Hlts_atpg.Atpg.default_config with Hlts_atpg.Atpg.seed }
 
-let elapsed f =
-  let t0 = Unix.gettimeofday () in
-  f ();
-  Printf.printf "[%.1fs]\n%!" (Unix.gettimeofday () -. t0)
+let elapsed label f =
+  let t0 = Hlts_obs.Clock.now_ns () in
+  Hlts_obs.span ~cat:"bench" label (fun _ -> f ());
+  Printf.printf "[%.1fs]\n%!" (Hlts_obs.Clock.seconds_since t0)
 
 let run_table seed which =
   let atpg = atpg_config seed in
   match which with
   | "1" ->
-    elapsed (fun () ->
+    elapsed "table1" (fun () ->
         Render.table Format.std_formatter
           ~title:"Table 1: area-optimized Ex benchmark"
           (Experiments.table1 ~atpg ()))
   | "2" ->
-    elapsed (fun () ->
+    elapsed "table2" (fun () ->
         Render.table Format.std_formatter ~with_area:true
           ~title:"Table 2: area-optimized Dct benchmark"
           (Experiments.table2 ~atpg ()))
   | "3" ->
-    elapsed (fun () ->
+    elapsed "table3" (fun () ->
         Render.table Format.std_formatter ~with_area:true
           ~title:"Table 3: area-optimized Diffeq benchmark"
           (Experiments.table3 ~atpg ()))
   | "extra" ->
-    elapsed (fun () ->
+    elapsed "table-extra" (fun () ->
         List.iter
           (fun (name, rows) ->
             Render.table Format.std_formatter ~with_area:true
@@ -76,7 +76,7 @@ let run_ablation seed which =
       "Ablation X2: (k, alpha, beta) sweep of Ours on Ex at 8 bit\n\
        (the paper: \"the chosen parameters do not influence so much the \
        final results\")\n";
-    elapsed (fun () ->
+    elapsed "ablation-params" (fun () ->
         List.iter
           (fun ((k, alpha, beta), row) ->
             Printf.printf
@@ -89,7 +89,7 @@ let run_ablation seed which =
   | "balance" ->
     Printf.printf
       "Ablation X3: balance vs connectivity candidate selection (same engine)\n";
-    elapsed (fun () ->
+    elapsed "ablation-balance" (fun () ->
         List.iter
           (fun (label, row) ->
             Printf.printf
@@ -100,7 +100,7 @@ let run_ablation seed which =
   | "latency" ->
     Printf.printf
       "Ablation X5 (extension): latency budget sweep of Ours at 8 bit\n";
-    elapsed (fun () ->
+    elapsed "ablation-latency" (fun () ->
         List.iter
           (fun ((name, factor), row) ->
             Printf.printf
@@ -111,7 +111,7 @@ let run_ablation seed which =
   | "bist" ->
     Printf.printf
       "Ablation X7 (extension): BIST-mode coverage (LFSR + MISR, 48 cycles)\n";
-    elapsed (fun () ->
+    elapsed "ablation-bist" (fun () ->
         List.iter
           (fun (name, covs) ->
             Printf.printf "  %-7s %s\n" name
@@ -121,7 +121,7 @@ let run_ablation seed which =
   | "scan" ->
     Printf.printf
       "Ablation X6 (extension): non-scan (the paper's setting) vs full scan\n";
-    elapsed (fun () ->
+    elapsed "ablation-scan" (fun () ->
         List.iter
           (fun (name, base, scan_cov, scan_effort) ->
             Printf.printf
@@ -133,7 +133,7 @@ let run_ablation seed which =
     Printf.printf
       "Ablation X4 (extension): CAMAD designs at 8 bit, without and with\n\
        two analysis-recommended observation points\n";
-    elapsed (fun () ->
+    elapsed "ablation-testpoints" (fun () ->
         List.iter
           (fun (name, base, tapped) ->
             Printf.printf
@@ -189,6 +189,7 @@ let run_bechamel () =
 
 let () =
   let seed = ref 1 in
+  let trace = ref None in
   let actions : (unit -> unit) list ref = ref [] in
   let add f = actions := f :: !actions in
   let all seed =
@@ -218,12 +219,27 @@ let () =
         Arg.Unit (fun () -> add run_bechamel),
         "       time the synthesis pipelines with Bechamel" );
       ("--seed", Arg.Set_int seed, "N      ATPG random seed (default 1)");
+      ( "--trace",
+        Arg.String (fun f -> trace := Some f),
+        "FILE   write a Chrome trace_event file of the run" );
       ( "--all",
         Arg.Unit (fun () -> add (fun () -> all !seed)),
         "       run everything (the default)" );
     ]
   in
   Arg.parse spec (fun s -> Printf.eprintf "unexpected argument %S\n" s) usage;
-  match List.rev !actions with
-  | [] -> all !seed
-  | actions -> List.iter (fun f -> f ()) actions
+  let run () =
+    match List.rev !actions with
+    | [] -> all !seed
+    | actions -> List.iter (fun f -> f ()) actions
+  in
+  match !trace with
+  | None -> run ()
+  | Some path ->
+    let oc = open_out path in
+    let sink = Hlts_obs.chrome_sink (output_string oc) in
+    Fun.protect
+      ~finally:(fun () ->
+        sink.Hlts_obs.flush ();
+        close_out oc)
+      (fun () -> Hlts_obs.with_sink sink run)

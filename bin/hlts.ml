@@ -5,6 +5,7 @@ module Flows = Hlts_synth.Flows
 module Eval = Hlts_eval.Eval
 module Render = Hlts_eval.Render
 module Experiments = Hlts_eval.Experiments
+module Obs = Hlts_obs
 
 let find_bench name =
   match Hlts_dfg.Benchmarks.find name with
@@ -42,6 +43,54 @@ let seed_arg =
 
 let atpg_config seed = { Hlts_atpg.Atpg.default_config with Hlts_atpg.Atpg.seed }
 
+(* --- observability options --- *)
+
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event file to $(docv); load it in \
+     chrome://tracing or Perfetto to see the synthesis timeline."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let jsonl_arg =
+  let doc = "Append every observability event to $(docv), one JSON object per line." in
+  Arg.(value & opt (some string) None & info [ "jsonl" ] ~docv:"FILE" ~doc)
+
+let stats_arg =
+  let doc = "Print per-phase timing, counters and histograms after the run." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+(* Installs the requested sinks around [f]; file sinks are flushed and
+   closed on the way out, the summary (if any) is printed last. *)
+let with_obs ~stats ~trace ~jsonl f =
+  let installed = ref [] and closers = ref [] in
+  let install sink =
+    Obs.add_sink sink;
+    installed := sink :: !installed
+  in
+  let open_file make path =
+    let oc = open_out path in
+    let sink = make (output_string oc) in
+    closers := (fun () -> sink.Obs.flush (); close_out oc) :: !closers;
+    install sink
+  in
+  let summary =
+    if stats then begin
+      let s = Obs.Summary.create () in
+      install (Obs.Summary.sink s);
+      Some s
+    end
+    else None
+  in
+  Option.iter (open_file Obs.chrome_sink) trace;
+  Option.iter (open_file Obs.jsonl_sink) jsonl;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun close -> close ()) !closers;
+      List.iter Obs.remove_sink !installed;
+      Option.iter (fun s -> Format.printf "%a@." Obs.Summary.pp s) summary)
+    f
+
 let with_errors f =
   match f () with
   | Ok () -> 0
@@ -69,24 +118,26 @@ let list_cmd =
     Term.(const run $ const ())
 
 let synth_cmd =
-  let run bench approach bits =
+  let run bench approach bits stats trace jsonl =
     with_errors (fun () ->
         let* d = find_bench bench in
         let* a = find_approach approach in
-        let o = Eval.outcome a d ~bits in
-        Render.schedule_figure Format.std_formatter d o;
-        let stats = Hlts_etpn.Etpn.stats o.Flows.etpn in
-        Printf.printf
-          "registers: %d   units: %d   mux slices: %d   area: %.3f mm2\n"
-          stats.Hlts_etpn.Etpn.n_registers stats.Hlts_etpn.Etpn.n_fus
-          stats.Hlts_etpn.Etpn.n_mux_slices
-          (Hlts_floorplan.Floorplan.area o.Flows.etpn ~bits);
-        Ok ())
+        with_obs ~stats ~trace ~jsonl (fun () ->
+            let o = Eval.outcome a d ~bits in
+            Render.schedule_figure Format.std_formatter d o;
+            let stats = Hlts_etpn.Etpn.stats o.Flows.etpn in
+            Printf.printf
+              "registers: %d   units: %d   mux slices: %d   area: %.3f mm2\n"
+              stats.Hlts_etpn.Etpn.n_registers stats.Hlts_etpn.Etpn.n_fus
+              stats.Hlts_etpn.Etpn.n_mux_slices
+              (Hlts_floorplan.Floorplan.area o.Flows.etpn ~bits);
+            Ok ()))
   in
   Cmd.v
     (Cmd.info "synth"
        ~doc:"Synthesize a benchmark and print its schedule and allocation.")
-    Term.(const run $ bench_arg $ approach_arg $ bits_arg)
+    Term.(const run $ bench_arg $ approach_arg $ bits_arg $ stats_arg
+          $ trace_arg $ jsonl_arg)
 
 let testability_cmd =
   let run bench approach bits =
@@ -117,25 +168,27 @@ let testability_cmd =
     Term.(const run $ bench_arg $ approach_arg $ bits_arg)
 
 let atpg_cmd =
-  let run bench approach bits seed =
+  let run bench approach bits seed stats trace jsonl =
     with_errors (fun () ->
         let* d = find_bench bench in
         let* a = find_approach approach in
-        let row = Eval.evaluate ~atpg:(atpg_config seed) a d ~bits in
-        Printf.printf
-          "%s / %s / %d bit:\n\
-          \  gates: %d   fault coverage: %.2f%%   tg effort: %d (%.2fs)\n\
-          \  test cycles: %d   area: %.3f mm2   seq depth: %.1f\n"
-          bench
-          (Flows.approach_name a)
-          bits row.Eval.gate_count row.Eval.fault_coverage_pct
-          row.Eval.tg_effort row.Eval.tg_seconds row.Eval.test_cycles
-          row.Eval.area_mm2 row.Eval.seq_depth;
-        Ok ())
+        with_obs ~stats ~trace ~jsonl (fun () ->
+            let row = Eval.evaluate ~atpg:(atpg_config seed) a d ~bits in
+            Printf.printf
+              "%s / %s / %d bit:\n\
+              \  gates: %d   fault coverage: %.2f%%   tg effort: %d (%.2fs)\n\
+              \  test cycles: %d   area: %.3f mm2   seq depth: %.1f\n"
+              bench
+              (Flows.approach_name a)
+              bits row.Eval.gate_count row.Eval.fault_coverage_pct
+              row.Eval.tg_effort row.Eval.tg_seconds row.Eval.test_cycles
+              row.Eval.area_mm2 row.Eval.seq_depth;
+            Ok ()))
   in
   Cmd.v
     (Cmd.info "atpg" ~doc:"Run the full synthesis + test-generation pipeline.")
-    Term.(const run $ bench_arg $ approach_arg $ bits_arg $ seed_arg)
+    Term.(const run $ bench_arg $ approach_arg $ bits_arg $ seed_arg
+          $ stats_arg $ trace_arg $ jsonl_arg)
 
 let table_cmd =
   let which =
@@ -309,6 +362,40 @@ let compile_cmd =
        ~doc:"Compile a behavioral description and synthesize it.")
     Term.(const run $ file $ approach_arg $ bits_arg)
 
+let profile_cmd =
+  let run bench approach bits seed trace jsonl =
+    with_errors (fun () ->
+        let* d = find_bench bench in
+        let* a = find_approach approach in
+        let summary = Obs.Summary.create () in
+        with_obs ~stats:false ~trace ~jsonl (fun () ->
+            Obs.with_sink (Obs.Summary.sink summary) (fun () ->
+                (* The enclosing span accounts any un-instrumented time
+                   to "other", so the phase breakdown sums to the total. *)
+                let row =
+                  Obs.span ~cat:"other" "profile" (fun _ ->
+                      Eval.evaluate ~atpg:(atpg_config seed) a d ~bits)
+                in
+                Printf.printf
+                  "profile of %s / %s / %d bit (seed %d):\n\
+                  \  steps: %d   registers: %d   units: %d   gates: %d\n\
+                  \  coverage: %.2f%%   area: %.3f mm2\n\n"
+                  bench
+                  (Flows.approach_name a)
+                  bits seed row.Eval.schedule_length row.Eval.n_registers
+                  row.Eval.n_fus row.Eval.gate_count
+                  row.Eval.fault_coverage_pct row.Eval.area_mm2;
+                Format.printf "%a@." Obs.Summary.pp summary;
+                Ok ())))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run the full pipeline and print a per-phase time and counter \
+          breakdown (testability, candidates, merge, reschedule, atpg, ...).")
+    Term.(const run $ bench_arg $ approach_arg $ bits_arg $ seed_arg
+          $ trace_arg $ jsonl_arg)
+
 let () =
   let info =
     Cmd.info "hlts" ~version:"1.0.0"
@@ -321,6 +408,7 @@ let () =
     (Cmd.eval'
        (Cmd.group info ~default
           [
-            list_cmd; synth_cmd; testability_cmd; atpg_cmd; table_cmd;
-            figure_cmd; ablation_cmd; verify_cmd; dot_cmd; compile_cmd;
+            list_cmd; synth_cmd; testability_cmd; atpg_cmd; profile_cmd;
+            table_cmd; figure_cmd; ablation_cmd; verify_cmd; dot_cmd;
+            compile_cmd;
           ]))

@@ -2,6 +2,7 @@ module Netlist = Hlts_netlist.Netlist
 module Fault = Hlts_fault.Fault
 module Sim = Hlts_sim.Sim
 module Rng = Hlts_util.Rng
+module Obs = Hlts_obs
 
 type config = {
   seed : int;
@@ -139,42 +140,48 @@ let pack_tests sim tests =
   (stimuli, responses)
 
 let run ?(config = default_config) circuit =
-  let t0 = Sys.time () in
-  let sim = Sim.compile circuit in
+  Obs.span ~cat:"atpg" "atpg.run" @@ fun run_sp ->
+  let t0 = Obs.Clock.now_ns () in
+  let sim = Obs.span ~cat:"atpg" "atpg.compile" (fun _ -> Sim.compile circuit) in
   let faults = Fault.collapsed_universe circuit in
   let total_faults = List.length faults in
+  Obs.set run_sp "faults" (Obs.Int total_faults);
   let rng = Rng.create config.seed in
   let evals = ref 0 in
   let detected_random = ref 0 in
   let test_cycles = ref 0 in
   (* ---- random phase ---- *)
   let remaining = ref faults in
-  for _batch = 1 to config.random_batches do
-    if !remaining <> [] then begin
-      let stimuli, responses =
-        random_batch sim rng ~lanes:config.random_lanes config.random_cycles
-      in
-      let lane_mask =
-        if config.random_lanes >= 64 then -1L
-        else Int64.sub (Int64.shift_left 1L config.random_lanes) 1L
-      in
-      let prefix = Array.make 64 0 in
-      remaining :=
-        List.filter
-          (fun fault ->
-            match
-              replay_fault ~mask:lane_mask sim fault stimuli responses evals
-            with
-            | None -> true
-            | Some (cycle, diff) ->
-              incr detected_random;
-              let lane = first_lane diff in
-              prefix.(lane) <- max prefix.(lane) (cycle + 1);
-              false)
-          !remaining;
-      Array.iter (fun p -> test_cycles := !test_cycles + p) prefix
-    end
-  done;
+  Obs.span ~cat:"atpg" "atpg.random_phase" (fun rsp ->
+      for _batch = 1 to config.random_batches do
+        if !remaining <> [] then begin
+          let stimuli, responses =
+            random_batch sim rng ~lanes:config.random_lanes config.random_cycles
+          in
+          let lane_mask =
+            if config.random_lanes >= 64 then -1L
+            else Int64.sub (Int64.shift_left 1L config.random_lanes) 1L
+          in
+          let prefix = Array.make 64 0 in
+          remaining :=
+            List.filter
+              (fun fault ->
+                match
+                  replay_fault ~mask:lane_mask sim fault stimuli responses evals
+                with
+                | None -> true
+                | Some (cycle, diff) ->
+                  incr detected_random;
+                  let lane = first_lane diff in
+                  prefix.(lane) <- max prefix.(lane) (cycle + 1);
+                  false)
+              !remaining;
+          Array.iter (fun p -> test_cycles := !test_cycles + p) prefix
+        end
+      done;
+      Obs.set rsp "detected" (Obs.Int !detected_random);
+      if !detected_random > 0 then
+        Obs.count ~by:!detected_random "atpg.detected_random");
   (* ---- deterministic phase ---- *)
   let detected_det = ref 0 in
   let implications = ref 0 and backtracks = ref 0 in
@@ -203,53 +210,65 @@ let run ?(config = default_config) circuit =
     | [] -> ()
     | fault :: rest ->
       queue := rest;
+      Obs.count "atpg.faults_tried";
       let verdict, stats =
         Podem.generate sim ~max_frames:config.max_frames
           ~max_backtracks:config.max_backtracks fault
       in
       implications := !implications + stats.Podem.implications;
       backtracks := !backtracks + stats.Podem.backtracks;
+      if stats.Podem.backtracks > 0 then
+        Obs.count ~by:stats.Podem.backtracks "atpg.backtracks";
       (match verdict with
       | Podem.Detected test ->
         incr detected_det;
+        Obs.count "atpg.detected_det";
         test_cycles := !test_cycles + Array.length test.Podem.t_frames;
         pending_tests := test :: !pending_tests;
         all_tests := test :: !all_tests;
         if List.length !pending_tests >= 64 then queue := drop_batch !queue
       | Podem.Aborted | Podem.No_test_in_frames ->
+        Obs.count "atpg.aborted";
         aborted := fault :: !aborted);
       process ()
   in
-  process ();
-  (* final pass: every generated test gets a chance to catch previously
-     aborted faults *)
-  let rec chunks = function
-    | [] -> ()
-    | tests ->
-      let batch = Hlts_util.Listx.take 64 tests in
-      let rest =
-        if List.length tests > 64 then
-          List.filteri (fun i _ -> i >= 64) tests
-        else []
+  Obs.span ~cat:"atpg" "atpg.det_phase" (fun dsp ->
+      process ();
+      (* final pass: every generated test gets a chance to catch
+         previously aborted faults *)
+      let rec chunks = function
+        | [] -> ()
+        | tests ->
+          let batch = Hlts_util.Listx.take 64 tests in
+          let rest =
+            if List.length tests > 64 then
+              List.filteri (fun i _ -> i >= 64) tests
+            else []
+          in
+          pending_tests := batch;
+          aborted := drop_batch !aborted;
+          chunks rest
       in
-      pending_tests := batch;
-      aborted := drop_batch !aborted;
-      chunks rest
-  in
-  chunks !all_tests;
+      chunks !all_tests;
+      Obs.set dsp "detected" (Obs.Int !detected_det);
+      Obs.set dsp "backtracks" (Obs.Int !backtracks));
   let undetected = List.length !aborted in
   let detected = total_faults - undetected in
+  let coverage =
+    if total_faults = 0 then 1.0
+    else float_of_int detected /. float_of_int total_faults
+  in
+  Obs.set run_sp "coverage" (Obs.Float coverage);
+  Obs.set run_sp "effort" (Obs.Int (!implications + !backtracks + !evals));
   {
     total_faults;
     detected_random = !detected_random;
     detected_det = !detected_det;
     undetected;
-    coverage =
-      (if total_faults = 0 then 1.0
-       else float_of_int detected /. float_of_int total_faults);
+    coverage;
     test_cycles = !test_cycles;
     effort = !implications + !backtracks + !evals;
-    seconds = Sys.time () -. t0;
+    seconds = Obs.Clock.seconds_since t0;
     gate_count = Sim.gate_count sim;
     dff_count = Array.length circuit.Netlist.dffs;
   }

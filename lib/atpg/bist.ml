@@ -51,7 +51,8 @@ let session ?fault sim ~seed ~cycles =
   !signature
 
 let run ?(config = default_config) circuit =
-  let t0 = Sys.time () in
+  Hlts_obs.span ~cat:"atpg" "bist.run" @@ fun sp ->
+  let t0 = Hlts_obs.Clock.now_ns () in
   let sim = Sim.compile circuit in
   let faults = Fault.collapsed_universe circuit in
   let golden = session sim ~seed:config.seed ~cycles:config.cycles in
@@ -63,6 +64,8 @@ let run ?(config = default_config) circuit =
          faults)
   in
   let total_faults = List.length faults in
+  Hlts_obs.set sp "faults" (Hlts_obs.Int total_faults);
+  Hlts_obs.set sp "detected" (Hlts_obs.Int detected);
   {
     total_faults;
     detected;
@@ -70,7 +73,7 @@ let run ?(config = default_config) circuit =
       (if total_faults = 0 then 1.0
        else float_of_int detected /. float_of_int total_faults);
     session_cycles = config.cycles;
-    seconds = Sys.time () -. t0;
+    seconds = Hlts_obs.Clock.seconds_since t0;
   }
 
 let coverage_pct r = 100.0 *. r.coverage

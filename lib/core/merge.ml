@@ -17,6 +17,7 @@ type outcome = {
    first — compact lifetimes enable the register mergers SR1 wants — then
    the critical-path length as the paper's fallback. *)
 let order_metric dfg cons =
+  Hlts_obs.count "sched.reschedule_attempts";
   match Basic.asap cons with
   | Error _ -> None
   | Ok sched ->

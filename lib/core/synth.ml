@@ -1,4 +1,5 @@
 module Testability = Hlts_testability.Testability
+module Obs = Hlts_obs
 
 type stop =
   | Cost_improving
@@ -42,7 +43,9 @@ type result = {
   iterations : int;
 }
 
-let attempt state ~bits = function
+let attempt state ~bits pair =
+  Obs.count "synth.merge_attempts";
+  match pair with
   | Candidates.Units (a, b) -> Merge.modules state ~bits a b
   | Candidates.Registers (a, b) -> Merge.registers state ~bits a b
 
@@ -50,10 +53,18 @@ let attempt state ~bits = function
    dE/dH for each feasible merger, commit the cheapest acceptable one.
    If none of the top-k qualifies, the scan widens down the score-ordered
    list (keeping the testability priority) until an acceptable merger is
-   found; [None] when none exists anywhere, which terminates the loop. *)
-let step params ~budget state =
+   found; [None] when none exists anywhere, which terminates the loop.
+   [sp] is the enclosing iteration span; candidate-pool behaviour is
+   reported on it. *)
+let step params ~budget ~sp state =
   let analysis = Testability.analyze (State.etpn state) in
-  let scored = Candidates.all_scored state analysis params.strategy in
+  let scored =
+    Obs.span ~cat:"candidates" "candidates.score" (fun csp ->
+        let scored = Candidates.all_scored state analysis params.strategy in
+        Obs.set csp "pool" (Obs.Int (List.length scored));
+        scored)
+  in
+  Obs.set sp "pool" (Obs.Int (List.length scored));
   (* dE is in control steps; dH in mm2. To make alpha/beta trade them
      off the way the paper's parameter triples do, dH is expressed in
      register-equivalents at the target bit width (one register of the
@@ -87,27 +98,51 @@ let step params ~budget state =
   match best_of_top with
   | Some best -> Some (best, cost best)
   | None ->
+    let widened = ref 0 in
     let rec widen = function
       | [] -> None
       | pair :: rest -> begin
+        incr widened;
         match attempt state ~bits:params.bits pair with
         | Some o when acceptable o -> Some (o, cost o)
         | Some _ | None -> widen rest
       end
     in
-    widen rest
+    let found = widen rest in
+    Obs.set sp "widened" (Obs.Int !widened);
+    if !widened > 0 then Obs.count ~by:!widened "synth.scans_widened";
+    found
 
 let run ?(params = default_params) dfg =
+  Obs.span ~cat:"synth" "synth.run" @@ fun run_sp ->
   let critical_path = Hlts_dfg.Dfg.longest_chain dfg in
   let budget =
     if params.latency_factor = infinity then max_int
     else
       int_of_float (ceil (params.latency_factor *. float_of_int critical_path))
   in
+  let reg_unit = Hlts_floorplan.Module_library.reg_area ~bits:params.bits in
   let rec loop state records iteration =
     if iteration >= params.max_iterations then (state, records, iteration)
     else
-      match step params ~budget state with
+      let stepped =
+        (* One span per Algorithm-1 iteration. A committed merge carries
+           accepted/dE/dH/cost args; the terminating scan (no acceptable
+           merger anywhere) carries only pool/widened. *)
+        Obs.span ~cat:"merge" "synth.iteration" (fun sp ->
+            Obs.set sp "iteration" (Obs.Int iteration);
+            match step params ~budget ~sp state with
+            | None -> None
+            | Some (outcome, cost) ->
+              Obs.set sp "accepted" (Obs.Str outcome.Merge.description);
+              Obs.set sp "dE" (Obs.Int outcome.Merge.delta_e);
+              Obs.set sp "dH_mm2" (Obs.Float outcome.Merge.delta_h);
+              Obs.set sp "dH_units" (Obs.Float (outcome.Merge.delta_h /. reg_unit));
+              Obs.set sp "cost" (Obs.Float cost);
+              Obs.count "synth.commits";
+              Some (outcome, cost))
+      in
+      match stepped with
       | None -> (state, records, iteration)
       | Some (outcome, cost) ->
         let state' = outcome.Merge.state in
@@ -129,4 +164,5 @@ let run ?(params = default_params) dfg =
   in
   let state0 = State.init dfg in
   let final, records, iterations = loop state0 [] 0 in
+  Obs.set run_sp "iterations" (Obs.Int iterations);
   { final; records = List.rev records; iterations }

@@ -33,6 +33,7 @@ type t = {
 }
 
 let build dfg schedule binding =
+  Hlts_obs.span ~cat:"etpn" "etpn.build" @@ fun _ ->
   if not (Schedule.respects dfg schedule) then
     Error "schedule violates data dependencies"
   else

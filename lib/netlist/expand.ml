@@ -43,6 +43,8 @@ let sel_assignments sels i =
   List.mapi (fun bit net -> (net, (i lsr bit) land 1 = 1)) sels
 
 let circuit_with_plan etpn ~bits =
+  Hlts_obs.span ~cat:"netlist" "netlist.expand" @@ fun sp ->
+  Hlts_obs.set sp "bits" (Hlts_obs.Int bits);
   let b = B.create () in
   let bus_of_node : (int, int list) Hashtbl.t = Hashtbl.create 32 in
   let reg_feed : (int, int list) Hashtbl.t = Hashtbl.create 32 in

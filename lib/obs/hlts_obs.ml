@@ -1,0 +1,605 @@
+module Clock = struct
+  (* CLOCK_MONOTONIC via the bechamel stubs already in the build
+     environment; Sys.time (CPU time) and Unix.gettimeofday (settable)
+     are both wrong for profiling. *)
+  let now_ns () = Monotonic_clock.now ()
+  let seconds_since t0 = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9
+end
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let rec emit buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> begin
+      match Float.classify_float f with
+      | FP_nan | FP_infinite -> Buffer.add_string buf "null"
+      | FP_normal | FP_subnormal | FP_zero ->
+        Buffer.add_string buf (Printf.sprintf "%.12g" f)
+    end
+    | Str s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+    | List l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf v)
+        l;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\":";
+          emit buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+  let to_string v =
+    let buf = Buffer.create 256 in
+    emit buf v;
+    Buffer.contents buf
+
+  exception Parse of string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail fmt =
+      Printf.ksprintf (fun m -> raise (Parse (Printf.sprintf "%s at %d" m !pos))) fmt
+    in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+        advance ()
+      done
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail "expected %c" c
+    in
+    let literal word v =
+      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail "bad literal"
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> advance ()
+          | '\\' ->
+            advance ();
+            (if !pos >= n then fail "bad escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char buf '"'; advance ()
+               | '\\' -> Buffer.add_char buf '\\'; advance ()
+               | '/' -> Buffer.add_char buf '/'; advance ()
+               | 'b' -> Buffer.add_char buf '\b'; advance ()
+               | 'f' -> Buffer.add_char buf '\012'; advance ()
+               | 'n' -> Buffer.add_char buf '\n'; advance ()
+               | 'r' -> Buffer.add_char buf '\r'; advance ()
+               | 't' -> Buffer.add_char buf '\t'; advance ()
+               | 'u' ->
+                 advance ();
+                 if !pos + 4 > n then fail "bad \\u escape";
+                 let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+                 pos := !pos + 4;
+                 (* BMP code points as UTF-8; enough for anything the
+                    emitter produces *)
+                 if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                 else if code < 0x800 then begin
+                   Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                   Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                 end
+                 else begin
+                   Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                   Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                   Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                 end
+               | c -> fail "bad escape \\%c" c);
+            loop ()
+          | c -> Buffer.add_char buf c; advance (); loop ()
+      in
+      loop ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do advance () done;
+      let lit = String.sub s start (!pos - start) in
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') lit then
+        match float_of_string_opt lit with
+        | Some f -> Float f
+        | None -> fail "bad number %s" lit
+      else
+        match int_of_string_opt lit with
+        | Some i -> Int i
+        | None -> fail "bad number %s" lit
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end"
+      | Some '"' -> Str (parse_string ())
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); List [] end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items (v :: acc)
+            | Some ']' -> advance (); List (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          items []
+        end
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            (k, parse_value ())
+          in
+          let rec fields acc =
+            let f = field () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); fields (f :: acc)
+            | Some '}' -> advance (); Obj (List.rev (f :: acc))
+            | _ -> fail "expected , or }"
+          in
+          fields []
+        end
+      | Some c -> if is_start_of_number c then parse_number () else fail "unexpected %c" c
+    and is_start_of_number c =
+      match c with '0' .. '9' | '-' -> true | _ -> false
+    in
+    match parse_value () with
+    | v ->
+      skip_ws ();
+      if !pos <> n then Error (Printf.sprintf "trailing garbage at %d" !pos)
+      else Ok v
+    | exception Parse msg -> Error msg
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | Null | Bool _ | Int _ | Float _ | Str _ | List _ -> None
+end
+
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type event =
+  | Span_begin of { name : string; cat : string; ts_ns : int64; depth : int }
+  | Span_end of {
+      name : string;
+      cat : string;
+      ts_ns : int64;
+      dur_ns : int64;
+      depth : int;
+      args : (string * value) list;
+    }
+  | Count of { name : string; delta : int; ts_ns : int64 }
+  | Gauge of { name : string; v : float; ts_ns : int64 }
+  | Sample of { name : string; v : float; ts_ns : int64 }
+  | Instant of {
+      name : string;
+      cat : string;
+      args : (string * value) list;
+      ts_ns : int64;
+    }
+
+type sink = { emit : event -> unit; flush : unit -> unit }
+
+let sinks : sink list ref = ref []
+let depth = ref 0
+
+let enabled () = !sinks <> []
+let add_sink s = sinks := !sinks @ [ s ]
+let remove_sink s = sinks := List.filter (fun s' -> s' != s) !sinks
+let clear_sinks () = sinks := []
+
+let broadcast ev = List.iter (fun s -> s.emit ev) !sinks
+
+let with_sink s f =
+  add_sink s;
+  Fun.protect
+    ~finally:(fun () ->
+      remove_sink s;
+      s.flush ())
+    f
+
+type span = { mutable args : (string * value) list; live : bool }
+
+let dummy = { args = []; live = false }
+
+let set sp key v = if sp.live then sp.args <- (key, v) :: sp.args
+
+let span ?(cat = "") name f =
+  if not (enabled ()) then f dummy
+  else begin
+    let t0 = Clock.now_ns () in
+    let d = !depth in
+    depth := d + 1;
+    broadcast (Span_begin { name; cat; ts_ns = t0; depth = d });
+    let sp = { args = []; live = true } in
+    Fun.protect
+      ~finally:(fun () ->
+        depth := d;
+        let t1 = Clock.now_ns () in
+        broadcast
+          (Span_end
+             {
+               name;
+               cat;
+               ts_ns = t1;
+               dur_ns = Int64.sub t1 t0;
+               depth = d;
+               args = List.rev sp.args;
+             }))
+      (fun () -> f sp)
+  end
+
+let count ?(by = 1) name =
+  if enabled () then broadcast (Count { name; delta = by; ts_ns = Clock.now_ns () })
+
+let gauge name v =
+  if enabled () then broadcast (Gauge { name; v; ts_ns = Clock.now_ns () })
+
+let sample name v =
+  if enabled () then broadcast (Sample { name; v; ts_ns = Clock.now_ns () })
+
+let instant ?(cat = "") ?(args = []) name =
+  if enabled () then broadcast (Instant { name; cat; args; ts_ns = Clock.now_ns () })
+
+(* ---- shared rendering helpers ---------------------------------------- *)
+
+let json_of_value = function
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Str s -> Json.Str s
+  | Bool b -> Json.Bool b
+
+let json_of_args args =
+  Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) args)
+
+let us_of_ns ns = Int64.to_float ns /. 1000.0
+
+(* ---- summary sink ----------------------------------------------------- *)
+
+module Summary = struct
+  type span_stat = {
+    spans : int;
+    total_ns : int64;
+    self_ns : int64;
+    max_ns : int64;
+  }
+
+  type sample_stat = { n : int; sum : float; min_v : float; max_v : float }
+
+  type frame = { mutable child_ns : int64 }
+
+  type t = {
+    spans_tbl : (string * string, span_stat) Hashtbl.t;
+    mutable span_order : (string * string) list;  (* reversed first-seen *)
+    mutable stack : frame list;
+    counters_tbl : (string, int) Hashtbl.t;
+    mutable counter_order : string list;
+    gauges_tbl : (string, float) Hashtbl.t;
+    mutable gauge_order : string list;
+    samples_tbl : (string, sample_stat) Hashtbl.t;
+    mutable sample_order : string list;
+  }
+
+  let create () =
+    {
+      spans_tbl = Hashtbl.create 32;
+      span_order = [];
+      stack = [];
+      counters_tbl = Hashtbl.create 32;
+      counter_order = [];
+      gauges_tbl = Hashtbl.create 16;
+      gauge_order = [];
+      samples_tbl = Hashtbl.create 16;
+      sample_order = [];
+    }
+
+  let emit t = function
+    | Span_begin _ -> t.stack <- { child_ns = 0L } :: t.stack
+    | Span_end { name; cat; dur_ns; args = _; _ } ->
+      let child_ns, rest =
+        match t.stack with
+        | fr :: rest -> (fr.child_ns, rest)
+        | [] -> (0L, [])  (* unbalanced: sink installed mid-span *)
+      in
+      t.stack <- rest;
+      (match t.stack with
+      | parent :: _ -> parent.child_ns <- Int64.add parent.child_ns dur_ns
+      | [] -> ());
+      let self_ns = Int64.max 0L (Int64.sub dur_ns child_ns) in
+      let key = (cat, name) in
+      let prev =
+        match Hashtbl.find_opt t.spans_tbl key with
+        | Some st -> st
+        | None ->
+          t.span_order <- key :: t.span_order;
+          { spans = 0; total_ns = 0L; self_ns = 0L; max_ns = 0L }
+      in
+      Hashtbl.replace t.spans_tbl key
+        {
+          spans = prev.spans + 1;
+          total_ns = Int64.add prev.total_ns dur_ns;
+          self_ns = Int64.add prev.self_ns self_ns;
+          max_ns = Int64.max prev.max_ns dur_ns;
+        }
+    | Count { name; delta; _ } ->
+      (match Hashtbl.find_opt t.counters_tbl name with
+      | Some v -> Hashtbl.replace t.counters_tbl name (v + delta)
+      | None ->
+        t.counter_order <- name :: t.counter_order;
+        Hashtbl.replace t.counters_tbl name delta)
+    | Gauge { name; v; _ } ->
+      if not (Hashtbl.mem t.gauges_tbl name) then
+        t.gauge_order <- name :: t.gauge_order;
+      Hashtbl.replace t.gauges_tbl name v
+    | Sample { name; v; _ } ->
+      let prev =
+        match Hashtbl.find_opt t.samples_tbl name with
+        | Some st -> st
+        | None ->
+          t.sample_order <- name :: t.sample_order;
+          { n = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity }
+      in
+      Hashtbl.replace t.samples_tbl name
+        {
+          n = prev.n + 1;
+          sum = prev.sum +. v;
+          min_v = min prev.min_v v;
+          max_v = max prev.max_v v;
+        }
+    | Instant _ -> ()
+
+  let sink t = { emit = emit t; flush = (fun () -> ()) }
+
+  let span_stats t =
+    List.rev_map
+      (fun key -> (key, Hashtbl.find t.spans_tbl key))
+      t.span_order
+
+  let seconds ns = Int64.to_float ns /. 1e9
+
+  let phases t =
+    let order = ref [] in
+    let totals = Hashtbl.create 8 in
+    List.iter
+      (fun ((cat, _), st) ->
+        if not (Hashtbl.mem totals cat) then order := cat :: !order;
+        let prev = Option.value ~default:0L (Hashtbl.find_opt totals cat) in
+        Hashtbl.replace totals cat (Int64.add prev st.self_ns))
+      (span_stats t);
+    List.rev_map (fun cat -> (cat, seconds (Hashtbl.find totals cat))) !order
+
+  let total_seconds t =
+    List.fold_left (fun acc (_, s) -> acc +. s) 0.0 (phases t)
+
+  let counters t =
+    List.rev_map (fun name -> (name, Hashtbl.find t.counters_tbl name)) t.counter_order
+
+  let counter t name = Option.value ~default:0 (Hashtbl.find_opt t.counters_tbl name)
+
+  let gauges t =
+    List.rev_map (fun name -> (name, Hashtbl.find t.gauges_tbl name)) t.gauge_order
+
+  let samples t =
+    List.rev_map (fun name -> (name, Hashtbl.find t.samples_tbl name)) t.sample_order
+
+  let pp ppf t =
+    let open Format in
+    let total = total_seconds t in
+    let phases = List.sort (fun (_, a) (_, b) -> compare b a) (phases t) in
+    fprintf ppf "@[<v>per-phase breakdown (self time):@,";
+    List.iter
+      (fun (cat, s) ->
+        let cat = if cat = "" then "(uncategorized)" else cat in
+        fprintf ppf "  %-14s %8.3fs  %5.1f%%@," cat s
+          (if total > 0.0 then 100.0 *. s /. total else 0.0))
+      phases;
+    fprintf ppf "  %-14s %8.3fs  100.0%%@," "total" total;
+    let stats = span_stats t in
+    if stats <> [] then begin
+      fprintf ppf "@,spans:%34s%8s%10s%10s%10s@," "" "count" "total" "self" "max";
+      List.iter
+        (fun ((cat, name), st) ->
+          fprintf ppf "  %-14s %-23s %8d %9.3fs %9.3fs %9.3fs@," cat name
+            st.spans (seconds st.total_ns) (seconds st.self_ns)
+            (seconds st.max_ns))
+        stats
+    end;
+    let counters = counters t in
+    if counters <> [] then begin
+      fprintf ppf "@,counters:@,";
+      List.iter (fun (name, v) -> fprintf ppf "  %-38s %12d@," name v) counters
+    end;
+    let gauges = gauges t in
+    if gauges <> [] then begin
+      fprintf ppf "@,gauges:@,";
+      List.iter (fun (name, v) -> fprintf ppf "  %-38s %12.3f@," name v) gauges
+    end;
+    let samples = samples t in
+    if samples <> [] then begin
+      fprintf ppf "@,histograms:%29s%8s%12s%10s%10s@," "" "n" "mean" "min" "max";
+      List.iter
+        (fun (name, st) ->
+          fprintf ppf "  %-38s %7d %11.3f %9.3f %9.3f@," name st.n
+            (if st.n = 0 then 0.0 else st.sum /. float_of_int st.n)
+            st.min_v st.max_v)
+        samples
+    end;
+    fprintf ppf "@]"
+end
+
+(* ---- JSONL sink -------------------------------------------------------- *)
+
+let jsonl_sink write =
+  let line fields =
+    write (Json.to_string (Json.Obj fields));
+    write "\n"
+  in
+  let emit = function
+    | Span_begin { name; cat; ts_ns; depth } ->
+      line
+        [
+          ("ev", Json.Str "begin"); ("name", Json.Str name);
+          ("cat", Json.Str cat); ("ts_us", Json.Float (us_of_ns ts_ns));
+          ("depth", Json.Int depth);
+        ]
+    | Span_end { name; cat; ts_ns; dur_ns; depth; args } ->
+      line
+        [
+          ("ev", Json.Str "end"); ("name", Json.Str name);
+          ("cat", Json.Str cat); ("ts_us", Json.Float (us_of_ns ts_ns));
+          ("dur_us", Json.Float (us_of_ns dur_ns)); ("depth", Json.Int depth);
+          ("args", json_of_args args);
+        ]
+    | Count { name; delta; ts_ns } ->
+      line
+        [
+          ("ev", Json.Str "count"); ("name", Json.Str name);
+          ("delta", Json.Int delta); ("ts_us", Json.Float (us_of_ns ts_ns));
+        ]
+    | Gauge { name; v; ts_ns } ->
+      line
+        [
+          ("ev", Json.Str "gauge"); ("name", Json.Str name);
+          ("value", Json.Float v); ("ts_us", Json.Float (us_of_ns ts_ns));
+        ]
+    | Sample { name; v; ts_ns } ->
+      line
+        [
+          ("ev", Json.Str "sample"); ("name", Json.Str name);
+          ("value", Json.Float v); ("ts_us", Json.Float (us_of_ns ts_ns));
+        ]
+    | Instant { name; cat; args; ts_ns } ->
+      line
+        [
+          ("ev", Json.Str "instant"); ("name", Json.Str name);
+          ("cat", Json.Str cat); ("ts_us", Json.Float (us_of_ns ts_ns));
+          ("args", json_of_args args);
+        ]
+  in
+  { emit; flush = (fun () -> ()) }
+
+(* ---- Chrome trace_event sink ------------------------------------------- *)
+
+let chrome_sink write =
+  let t0 = Clock.now_ns () in
+  let buf = Buffer.create 4096 in
+  let first = ref true in
+  let flushed = ref false in
+  let totals : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let rel ts = us_of_ns (Int64.sub ts t0) in
+  let record fields =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    Buffer.add_string buf (Json.to_string (Json.Obj fields))
+  in
+  let common name ph ts =
+    [
+      ("name", Json.Str name); ("ph", Json.Str ph);
+      ("ts", Json.Float (rel ts)); ("pid", Json.Int 1); ("tid", Json.Int 1);
+    ]
+  in
+  let counter_record name ts v =
+    record (common name "C" ts @ [ ("args", Json.Obj [ ("value", v) ]) ])
+  in
+  let emit = function
+    | Span_begin _ -> ()
+    | Span_end { name; cat; ts_ns; dur_ns; args; _ } ->
+      let cat = if cat = "" then "default" else cat in
+      record
+        (common name "X" (Int64.sub ts_ns dur_ns)
+        @ [
+            ("cat", Json.Str cat); ("dur", Json.Float (us_of_ns dur_ns));
+            ("args", json_of_args args);
+          ])
+    | Count { name; delta; ts_ns } ->
+      let total =
+        float_of_int delta
+        +. Option.value ~default:0.0 (Hashtbl.find_opt totals name)
+      in
+      Hashtbl.replace totals name total;
+      counter_record name ts_ns (Json.Float total)
+    | Gauge { name; v; ts_ns } | Sample { name; v; ts_ns } ->
+      counter_record name ts_ns (Json.Float v)
+    | Instant { name; cat; args; ts_ns } ->
+      let cat = if cat = "" then "default" else cat in
+      record
+        (common name "i" ts_ns
+        @ [ ("cat", Json.Str cat); ("s", Json.Str "t"); ("args", json_of_args args) ])
+  in
+  let flush () =
+    if not !flushed then begin
+      flushed := true;
+      write "{\"traceEvents\":[\n";
+      write (Buffer.contents buf);
+      write "\n],\"displayTimeUnit\":\"ms\"}\n"
+    end
+  in
+  { emit; flush }

@@ -1,0 +1,194 @@
+(** Observability substrate for the synthesis pipeline: hierarchical
+    timed spans, named counters/gauges/histograms and pluggable sinks.
+
+    The library is *passive by default*: with no sink installed every
+    entry point degenerates to a single list-emptiness check, no clock
+    is read and no allocation happens, so instrumented hot paths cost
+    nothing and synthesis results are byte-identical with and without
+    instrumentation. Event *content* (names, categories, argument
+    values, ordering) is deterministic for a fixed seed; only the
+    timestamp fields vary between runs, so traces diff cleanly.
+
+    Three sinks ship with the library:
+
+    - {!Summary} — in-memory aggregation (per-span totals and self
+      time, counter sums, sample statistics) with a per-phase
+      wall-clock breakdown whose phase times sum to the total;
+    - {!jsonl_sink} — one JSON object per event, one event per line;
+    - {!chrome_sink} — Chrome [trace_event] format, loadable in
+      [chrome://tracing] and Perfetto. *)
+
+(** Monotonic wall clock. Every [seconds] field reported anywhere in
+    the system (ATPG, BIST, bench [elapsed], profile breakdowns) is
+    derived from this one clock, so times are comparable across
+    subsystems and immune to wall-clock adjustments. *)
+module Clock : sig
+  val now_ns : unit -> int64
+  (** Monotonic timestamp in nanoseconds. Only differences are
+      meaningful. *)
+
+  val seconds_since : int64 -> float
+  (** [seconds_since t0] is the elapsed wall time since the
+      {!now_ns} reading [t0], in seconds. *)
+end
+
+(** Minimal JSON tree: emission (used by the sinks) and parsing (used
+    by the tests to check well-formedness by round-trip). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact rendering; strings are escaped per RFC 8259, non-finite
+      floats become [null]. *)
+
+  val of_string : string -> (t, string) result
+  (** Strict parser for the subset {!to_string} emits (which is plain
+      JSON); rejects trailing garbage. *)
+
+  val member : string -> t -> t option
+  (** Field lookup in an [Obj]; [None] otherwise. *)
+end
+
+(** Argument values attached to spans and instant events. *)
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+(** The event stream delivered to sinks. Timestamps are {!Clock}
+    readings; [depth] is the span-nesting depth (0 = root). *)
+type event =
+  | Span_begin of { name : string; cat : string; ts_ns : int64; depth : int }
+  | Span_end of {
+      name : string;
+      cat : string;
+      ts_ns : int64;
+      dur_ns : int64;
+      depth : int;
+      args : (string * value) list;
+    }
+  | Count of { name : string; delta : int; ts_ns : int64 }
+  | Gauge of { name : string; v : float; ts_ns : int64 }
+  | Sample of { name : string; v : float; ts_ns : int64 }
+  | Instant of {
+      name : string;
+      cat : string;
+      args : (string * value) list;
+      ts_ns : int64;
+    }
+
+type sink = {
+  emit : event -> unit;
+  flush : unit -> unit;  (** complete any buffered output; idempotent *)
+}
+
+val enabled : unit -> bool
+(** [true] iff at least one sink is installed. *)
+
+val add_sink : sink -> unit
+
+val remove_sink : sink -> unit
+(** Removes a previously added sink (by physical equality). *)
+
+val clear_sinks : unit -> unit
+
+val with_sink : sink -> (unit -> 'a) -> 'a
+(** [with_sink s f] installs [s], runs [f], then flushes and removes
+    [s] — exception-safe. *)
+
+type span
+(** A live span handle, used to attach arguments. When no sink is
+    installed a shared dummy handle is passed and {!set} is a no-op. *)
+
+val span : ?cat:string -> string -> (span -> 'a) -> 'a
+(** [span ~cat name f] times [f] with the monotonic clock and reports
+    a [Span_begin]/[Span_end] pair around it (exception-safe). [cat]
+    is the phase the span accounts to in per-phase breakdowns
+    ("testability", "candidates", "merge", "reschedule", "atpg", ...). *)
+
+val set : span -> string -> value -> unit
+(** Attach an argument to the running span; arguments are reported in
+    insertion order on the [Span_end] event. *)
+
+val count : ?by:int -> string -> unit
+(** Increment a named counter (default 1). *)
+
+val gauge : string -> float -> unit
+(** Record the current value of a named gauge. *)
+
+val sample : string -> float -> unit
+(** Add an observation to a named histogram. *)
+
+val instant : ?cat:string -> ?args:(string * value) list -> string -> unit
+(** A point event. *)
+
+(** In-memory aggregation sink. Self time of a span is its duration
+    minus the durations of its direct children, so summing self time
+    over all spans (grouped by category) reproduces the total observed
+    wall time exactly — the per-phase breakdown always adds up. *)
+module Summary : sig
+  type t
+
+  type span_stat = {
+    spans : int;        (** number of completed spans *)
+    total_ns : int64;   (** inclusive wall time *)
+    self_ns : int64;    (** exclusive wall time *)
+    max_ns : int64;     (** longest single span *)
+  }
+
+  type sample_stat = {
+    n : int;
+    sum : float;
+    min_v : float;
+    max_v : float;
+  }
+
+  val create : unit -> t
+
+  val sink : t -> sink
+
+  val phases : t -> (string * float) list
+  (** Per-category self time in seconds, in first-seen order. *)
+
+  val total_seconds : t -> float
+  (** Total observed wall time = sum of {!phases}. *)
+
+  val span_stats : t -> ((string * string) * span_stat) list
+  (** Keyed by [(category, name)], first-seen order. *)
+
+  val counters : t -> (string * int) list
+  (** Counter sums, first-seen order. *)
+
+  val counter : t -> string -> int
+  (** A single counter's sum; 0 if never incremented. *)
+
+  val gauges : t -> (string * float) list
+  (** Last recorded value per gauge. *)
+
+  val samples : t -> (string * sample_stat) list
+
+  val pp : Format.formatter -> t -> unit
+  (** Human-readable report: per-phase breakdown (self time and
+      share), per-span table, counters, gauges and histograms. *)
+end
+
+val jsonl_sink : (string -> unit) -> sink
+(** [jsonl_sink write] renders each event as one JSON object per line
+    through [write]. Line shapes: [{"ev":"begin"|"end"|"count"|
+    "gauge"|"sample"|"instant", "name":..., ...}] with timestamps in
+    microseconds. *)
+
+val chrome_sink : (string -> unit) -> sink
+(** [chrome_sink write] buffers Chrome [trace_event] records and emits
+    a complete [{"traceEvents":[...]}] document on [flush]. Spans
+    become ["X"] (complete) events, counters/gauges ["C"] events and
+    instants ["i"] events; timestamps are microseconds relative to
+    sink creation. *)

@@ -127,6 +127,7 @@ let fire t (m : marking) tr_id : marking * int =
 let marking_time (m : marking) = List.fold_left (fun acc (_, a) -> max acc a) 0 m
 
 let critical_path ?(max_nodes = 200_000) t =
+  Hlts_obs.span ~cat:"petri" "petri.critical_path" @@ fun sp ->
   let visited : (marking, unit) Hashtbl.t = Hashtbl.create 256 in
   let nodes = ref 0 in
   let best_time = ref 0 in
@@ -156,6 +157,8 @@ let critical_path ?(max_nodes = 200_000) t =
   let m0 = initial_marking t in
   best_time := marking_time m0;
   explore m0 [];
+  Hlts_obs.set sp "tree_nodes" (Hlts_obs.Int !nodes);
+  Hlts_obs.sample "petri.tree_nodes" (float_of_int !nodes);
   { total_time = !best_time; steps = List.rev !best_steps; tree_nodes = !nodes }
 
 let execution_time ?max_nodes t = (critical_path ?max_nodes t).total_time

@@ -4,6 +4,7 @@ module Op = Hlts_dfg.Op
 let ids_of cons = List.map (fun o -> o.Dfg.id) (Constraints.dfg cons).Dfg.ops
 
 let asap cons =
+  Hlts_obs.span ~cat:"reschedule" "sched.asap" @@ fun _ ->
   if not (Constraints.is_acyclic cons) then Error "cyclic constraints"
   else begin
     let steps = Hashtbl.create 16 in
@@ -27,6 +28,7 @@ let asap_exn cons =
   | Error msg -> invalid_arg ("Basic.asap: " ^ msg)
 
 let alap cons ~latency =
+  Hlts_obs.span ~cat:"reschedule" "sched.alap" @@ fun _ ->
   match asap cons with
   | Error _ as e -> e
   | Ok early ->
@@ -53,6 +55,7 @@ let alap cons ~latency =
     end
 
 let mobility cons ~latency =
+  Hlts_obs.count "sched.mobility_recomputes";
   let early = asap_exn cons in
   match alap cons ~latency with
   | Error msg -> invalid_arg ("Basic.mobility: " ^ msg)

@@ -8,6 +8,7 @@ type frames = {
 
 (* Re-tightens frames to a fixpoint after pinning operations. *)
 let tighten cons fr =
+  Hlts_obs.count "sched.mobility_recomputes";
   let ids = List.map (fun o -> o.Dfg.id) (Constraints.dfg cons).Dfg.ops in
   let changed = ref true in
   while !changed do
@@ -33,6 +34,7 @@ let tighten cons fr =
 let class_of_op o = List.hd (Op.classes_for o.Dfg.kind)
 
 let schedule cons ?latency () =
+  Hlts_obs.span ~cat:"reschedule" "sched.fds" @@ fun _ ->
   match Basic.asap cons with
   | Error _ as e -> e
   | Ok early ->

@@ -4,6 +4,8 @@ module Op = Hlts_dfg.Op
 let class_of_op o = List.hd (Op.classes_for o.Dfg.kind)
 
 let schedule cons ?latency () =
+  Hlts_obs.span ~cat:"reschedule" "sched.mobility_path" @@ fun _ ->
+  Hlts_obs.count "sched.mobility_recomputes";
   match Basic.asap cons with
   | Error _ as e -> e
   | Ok early ->

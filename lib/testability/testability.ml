@@ -54,6 +54,9 @@ let cond_co = 0.85
 let big = infinity
 
 let analyze etpn =
+  Hlts_obs.span ~cat:"testability" "testability.analyze" @@ fun sp ->
+  Hlts_obs.set sp "nodes" (Hlts_obs.Int (List.length etpn.Etpn.nodes));
+  Hlts_obs.count "testability.analyses";
   let out_cc = Hashtbl.create 64 and out_sc = Hashtbl.create 64 in
   let node_co = Hashtbl.create 64 and node_so = Hashtbl.create 64 in
   List.iter

@@ -18,9 +18,19 @@ let word = next
 
 let int t bound =
   assert (bound > 0);
-  (* Keep 62 bits so the value fits OCaml's 63-bit native int. *)
-  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
-  v mod bound
+  (* Rejection sampling over 62-bit draws (so the value fits OCaml's
+     63-bit native int): the topmost [2^62 mod bound] values are
+     discarded and redrawn, making every residue equally likely — a
+     plain [mod] favours small residues when [bound] does not divide
+     2^62. 2^62 itself overflows native int, so the remainder is
+     computed from [max_int] = 2^62 - 1. *)
+  let rem = ((max_int mod bound) + 1) mod bound in
+  let cutoff = max_int - rem in
+  let rec draw () =
+    let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+    if v > cutoff then draw () else v mod bound
+  in
+  draw ()
 
 let float t bound =
   let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in

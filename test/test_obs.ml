@@ -1,0 +1,250 @@
+(* Tests for Hlts_obs: disabled-mode transparency, span nesting, summary
+   aggregation (self-time accounting, counters, samples) and sink output
+   well-formedness checked by round-trip parsing. *)
+
+module Obs = Hlts_obs
+
+let recording () =
+  let events = ref [] in
+  let sink = { Obs.emit = (fun e -> events := e :: !events); flush = ignore } in
+  (sink, fun () -> List.rev !events)
+
+(* --- disabled mode ------------------------------------------------------ *)
+
+let test_disabled_transparent () =
+  Obs.clear_sinks ();
+  Alcotest.(check bool) "no sink installed" false (Obs.enabled ());
+  let r =
+    Obs.span ~cat:"x" "outer" (fun sp ->
+        Obs.set sp "k" (Obs.Int 1);
+        Obs.count "c";
+        Obs.gauge "g" 2.0;
+        Obs.sample "s" 3.0;
+        Obs.instant "i";
+        Obs.span "inner" (fun _ -> 41) + 1)
+  in
+  Alcotest.(check int) "value passes through" 42 r
+
+(* --- spans -------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  let sink, events = recording () in
+  let r =
+    Obs.with_sink sink (fun () ->
+        Obs.span ~cat:"a" "outer" (fun sp ->
+            Obs.set sp "note" (Obs.Str "hi");
+            Obs.span ~cat:"b" "inner" (fun _ -> ());
+            7))
+  in
+  Alcotest.(check int) "result" 7 r;
+  match events () with
+  | [
+   Obs.Span_begin { name = "outer"; cat = "a"; depth = 0; _ };
+   Obs.Span_begin { name = "inner"; cat = "b"; depth = 1; _ };
+   Obs.Span_end { name = "inner"; depth = 1; dur_ns = d_in; _ };
+   Obs.Span_end { name = "outer"; depth = 0; dur_ns = d_out; args; _ };
+  ] ->
+    Alcotest.(check bool) "inner within outer" true (d_in <= d_out);
+    Alcotest.(check bool) "durations non-negative" true (d_in >= 0L);
+    Alcotest.(check bool) "args on end event" true
+      (args = [ ("note", Obs.Str "hi") ])
+  | evs -> Alcotest.failf "unexpected event sequence (%d events)" (List.length evs)
+
+let test_span_exception_safe () =
+  let sink, events = recording () in
+  Obs.with_sink sink (fun () ->
+      (try Obs.span "boom" (fun _ -> raise Exit) with Exit -> ());
+      (* depth must be restored: the next root span reports depth 0 *)
+      Obs.span "after" (fun _ -> ()));
+  let ends =
+    List.filter_map
+      (function
+        | Obs.Span_end { name; depth; _ } -> Some (name, depth) | _ -> None)
+      (events ())
+  in
+  Alcotest.(check (list (pair string int)))
+    "end events emitted, depth restored"
+    [ ("boom", 0); ("after", 0) ]
+    ends
+
+(* --- summary ------------------------------------------------------------ *)
+
+let test_counter_aggregation () =
+  let s = Obs.Summary.create () in
+  Obs.with_sink (Obs.Summary.sink s) (fun () ->
+      Obs.count "a";
+      Obs.count ~by:4 "a";
+      Obs.count "b";
+      Obs.gauge "g" 1.5;
+      Obs.gauge "g" 2.5;
+      Obs.sample "h" 1.0;
+      Obs.sample "h" 3.0);
+  Alcotest.(check int) "a summed" 5 (Obs.Summary.counter s "a");
+  Alcotest.(check int) "b" 1 (Obs.Summary.counter s "b");
+  Alcotest.(check int) "missing is 0" 0 (Obs.Summary.counter s "zzz");
+  Alcotest.(check (list (pair string int)))
+    "first-seen order" [ ("a", 5); ("b", 1) ] (Obs.Summary.counters s);
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "gauge keeps last" [ ("g", 2.5) ] (Obs.Summary.gauges s);
+  match Obs.Summary.samples s with
+  | [ ("h", st) ] ->
+    Alcotest.(check int) "n" 2 st.Obs.Summary.n;
+    Alcotest.(check (float 1e-9)) "sum" 4.0 st.Obs.Summary.sum;
+    Alcotest.(check (float 1e-9)) "min" 1.0 st.Obs.Summary.min_v;
+    Alcotest.(check (float 1e-9)) "max" 3.0 st.Obs.Summary.max_v
+  | _ -> Alcotest.fail "expected one histogram"
+
+let test_summary_phases_sum () =
+  let s = Obs.Summary.create () in
+  let spin () = ignore (Sys.opaque_identity (Array.init 2000 Fun.id)) in
+  Obs.with_sink (Obs.Summary.sink s) (fun () ->
+      Obs.span ~cat:"synth" "run" (fun _ ->
+          spin ();
+          Obs.span ~cat:"merge" "iter" (fun _ ->
+              spin ();
+              Obs.span ~cat:"reschedule" "asap" (fun _ -> spin ()));
+          Obs.span ~cat:"merge" "iter" (fun _ -> spin ())));
+  let phases = Obs.Summary.phases s in
+  let total = Obs.Summary.total_seconds s in
+  Alcotest.(check (slist string compare))
+    "has the three phases"
+    [ "synth"; "merge"; "reschedule" ]
+    (List.map fst phases);
+  let sum = List.fold_left (fun acc (_, t) -> acc +. t) 0.0 phases in
+  Alcotest.(check (float 1e-12)) "self times sum to total" total sum;
+  (* self time of a parent excludes its children *)
+  List.iter
+    (fun ((_, _), st) ->
+      Alcotest.(check bool) "self <= total per span" true
+        (st.Obs.Summary.self_ns <= st.Obs.Summary.total_ns))
+    (Obs.Summary.span_stats s);
+  match List.assoc_opt ("merge", "iter") (Obs.Summary.span_stats s) with
+  | Some st -> Alcotest.(check int) "two merge spans" 2 st.Obs.Summary.spans
+  | None -> Alcotest.fail "merge/iter not aggregated"
+
+(* --- JSON --------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let open Obs.Json in
+  let doc =
+    Obj
+      [
+        ("s", Str "a\"b\\c\nd\te\r \x01 é");
+        ("i", Int (-42));
+        ("f", Float 1.5);
+        ("b", Bool true);
+        ("n", Null);
+        ("l", List [ Int 1; Str ""; Obj [] ]);
+      ]
+  in
+  (match of_string (to_string doc) with
+  | Ok doc' -> Alcotest.(check bool) "round-trips" true (doc = doc')
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match of_string "{\"a\": 1} junk" with
+  | Ok _ -> Alcotest.fail "trailing garbage accepted"
+  | Error _ -> ());
+  match of_string "{\"a\":" with
+  | Ok _ -> Alcotest.fail "truncated input accepted"
+  | Error _ -> ()
+
+(* --- file sinks --------------------------------------------------------- *)
+
+let run_workload () =
+  Obs.span ~cat:"synth" "run" (fun sp ->
+      Obs.set sp "iteration" (Obs.Int 1);
+      Obs.set sp "ok" (Obs.Bool true);
+      Obs.count "c";
+      Obs.count ~by:3 "c";
+      Obs.gauge "g" 0.5;
+      Obs.sample "h" 2.0;
+      Obs.instant ~args:[ ("why", Obs.Str "test") ] "tick";
+      Obs.span ~cat:"merge" "iter" (fun _ -> ()))
+
+let test_jsonl_wellformed () =
+  let buf = Buffer.create 256 in
+  Obs.with_sink (Obs.jsonl_sink (Buffer.add_string buf)) run_workload;
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check bool) "emitted lines" true (List.length lines >= 8);
+  let kinds =
+    List.map
+      (fun line ->
+        match Obs.Json.of_string line with
+        | Error e -> Alcotest.failf "bad JSONL line %S: %s" line e
+        | Ok doc -> (
+          match Obs.Json.member "ev" doc with
+          | Some (Obs.Json.Str k) -> k
+          | _ -> Alcotest.failf "line without ev: %S" line))
+      lines
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) ("known kind " ^ k) true
+        (List.mem k [ "begin"; "end"; "count"; "gauge"; "sample"; "instant" ]))
+    kinds;
+  Alcotest.(check bool) "has span ends" true (List.mem "end" kinds)
+
+let test_chrome_wellformed () =
+  let buf = Buffer.create 256 in
+  Obs.with_sink (Obs.chrome_sink (Buffer.add_string buf)) run_workload;
+  match Obs.Json.of_string (Buffer.contents buf) with
+  | Error e -> Alcotest.failf "trace does not parse: %s" e
+  | Ok doc -> (
+    match Obs.Json.member "traceEvents" doc with
+    | Some (Obs.Json.List events) ->
+      Alcotest.(check bool) "nonempty" true (events <> []);
+      let num = function
+        | Some (Obs.Json.Float f) -> f
+        | Some (Obs.Json.Int i) -> float_of_int i
+        | _ -> Alcotest.fail "missing numeric field"
+      in
+      List.iter
+        (fun e ->
+          match Obs.Json.member "ph" e with
+          | Some (Obs.Json.Str "X") ->
+            Alcotest.(check bool) "dur >= 0" true
+              (num (Obs.Json.member "dur" e) >= 0.0);
+            Alcotest.(check bool) "ts >= 0" true
+              (num (Obs.Json.member "ts" e) >= 0.0)
+          | Some (Obs.Json.Str ("C" | "i")) -> ()
+          | _ -> Alcotest.fail "unexpected event phase")
+        events
+    | _ -> Alcotest.fail "no traceEvents array")
+
+let test_with_sink_removes () =
+  let sink, _ = recording () in
+  Obs.with_sink sink (fun () ->
+      Alcotest.(check bool) "enabled inside" true (Obs.enabled ()));
+  Alcotest.(check bool) "disabled after" false (Obs.enabled ());
+  (* exception path also removes *)
+  (try Obs.with_sink sink (fun () -> raise Exit) with Exit -> ());
+  Alcotest.(check bool) "disabled after raise" false (Obs.enabled ())
+
+let () =
+  Alcotest.run "hlts_obs"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "disabled transparent" `Quick
+            test_disabled_transparent;
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception safe" `Quick test_span_exception_safe;
+          Alcotest.test_case "with_sink removes" `Quick test_with_sink_removes;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "counter aggregation" `Quick
+            test_counter_aggregation;
+          Alcotest.test_case "phases sum to total" `Quick
+            test_summary_phases_sum;
+        ] );
+      ( "formats",
+        [
+          Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "jsonl well-formed" `Quick test_jsonl_wellformed;
+          Alcotest.test_case "chrome trace well-formed" `Quick
+            test_chrome_wellformed;
+        ] );
+    ]

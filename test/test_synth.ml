@@ -245,6 +245,44 @@ let test_k_influences_path () =
   Alcotest.(check bool) "both consistent" true
     (State.consistent r1.Synth.final && State.consistent r9.Synth.final)
 
+let test_iteration_spans () =
+  (* every committed merge emits exactly one "synth.iteration" span whose
+     cost argument satisfies the paper's cost = alpha*dE + beta*dH *)
+  let params = Synth.default_params in
+  let events = ref [] in
+  let sink =
+    { Hlts_obs.emit = (fun e -> events := e :: !events); flush = ignore }
+  in
+  let r = Hlts_obs.with_sink sink (fun () -> Synth.run ~params B.ex) in
+  let committed =
+    List.filter_map
+      (function
+        | Hlts_obs.Span_end { name = "synth.iteration"; args; _ }
+          when List.mem_assoc "cost" args ->
+          Some args
+        | _ -> None)
+      (List.rev !events)
+  in
+  Alcotest.(check int) "one span per committed merge" r.Synth.iterations
+    (List.length committed);
+  List.iter
+    (fun args ->
+      match
+        ( List.assoc_opt "cost" args,
+          List.assoc_opt "dE" args,
+          List.assoc_opt "dH_units" args )
+      with
+      | ( Some (Hlts_obs.Float cost),
+          Some (Hlts_obs.Int de),
+          Some (Hlts_obs.Float dh_units) ) ->
+        Alcotest.(check (float 1e-9))
+          "cost = alpha*dE + beta*dH"
+          ((params.Synth.alpha *. float_of_int de)
+          +. (params.Synth.beta *. dh_units))
+          cost
+      | _ -> Alcotest.fail "iteration span lacks cost/dE/dH arguments")
+    committed
+
 let test_deterministic () =
   let r1 = Synth.run B.diffeq and r2 = Synth.run B.diffeq in
   Alcotest.(check int) "same iterations" r1.Synth.iterations r2.Synth.iterations;
@@ -391,6 +429,7 @@ let () =
           Alcotest.test_case "latency budget" `Quick test_latency_budget_respected;
           Alcotest.test_case "exhaustive compacts" `Quick test_exhaustive_compacts_more;
           Alcotest.test_case "k variants" `Quick test_k_influences_path;
+          Alcotest.test_case "iteration spans" `Quick test_iteration_spans;
           Alcotest.test_case "deterministic" `Quick test_deterministic;
         ] );
       ( "test_points",

@@ -43,6 +43,27 @@ let test_rng_int_covers () =
   done;
   Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
 
+let test_rng_int_rejection () =
+  (* bound = 3*2^60: one quarter of the 62-bit draws fall above the
+     largest multiple of the bound and must be redrawn. *)
+  let bound = 3 * (1 lsl 60) in
+  let a = Rng.create 99 and b = Rng.create 99 in
+  let n = 200 in
+  for _ = 1 to n do
+    let va = Rng.int a bound in
+    let vb = Rng.int b bound in
+    if va < 0 || va >= bound then Alcotest.failf "out of range: %d" va;
+    Alcotest.(check bool) "deterministic" true (va = vb)
+  done;
+  (* at least one rejection happened: the stream advanced further than
+     one raw draw per call *)
+  let plain = Rng.create 99 in
+  for _ = 1 to n do
+    ignore (Rng.next plain)
+  done;
+  Alcotest.(check bool) "redraws consumed extra words" false
+    (Int64.equal (Rng.next a) (Rng.next plain))
+
 let test_rng_float_bounds () =
   let t = Rng.create 11 in
   for _ = 1 to 1000 do
@@ -128,6 +149,8 @@ let () =
           Alcotest.test_case "copy independent" `Quick test_rng_copy_independent;
           Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
           Alcotest.test_case "int covers residues" `Quick test_rng_int_covers;
+          Alcotest.test_case "int rejection sampling" `Quick
+            test_rng_int_rejection;
           Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
           Alcotest.test_case "bool mixes" `Quick test_rng_bool_mixes;
           Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
