@@ -13,7 +13,8 @@ module Experiments = Hlts_eval.Experiments
 
 let usage =
   "bench/main.exe [--table 1|2|3|extra] [--figure 1|2|3] \
-   [--ablation params|balance] [--bechamel] [--trace FILE] [--seed N] [--all]"
+   [--ablation params|balance] [--bechamel] [--trace FILE] [--seed N] \
+   [--json FILE] [--json-bench NAMES] [--all]"
 
 let atpg_config seed = { Hlts_atpg.Atpg.default_config with Hlts_atpg.Atpg.seed }
 
@@ -144,6 +145,96 @@ let run_ablation seed which =
           (Experiments.test_points ~atpg ()))
   | other -> Printf.eprintf "unknown ablation %S\n" other
 
+(* --- JSON perf trajectory (BENCH_synth.json) ------------------------ *)
+
+(* Machine-readable synthesis benchmark: for every paper benchmark at
+   4/8/16 bits, one [Synth.run] under a Summary sink, reporting wall
+   time, iteration count, the hlts_obs counters (so the numbers are
+   self-consistent with [hlts profile]) and the final E/H. The
+   [records_digest] is an MD5 over the full iteration record sequence
+   (description, dE, dH, cost, seq-depth — floats rendered as hex so
+   the digest is bit-exact); two runs produce the same digest iff the
+   merge trajectories are identical. Everything except [wall_s] is
+   deterministic. *)
+
+module Synth = Hlts_synth.Synth
+module State = Hlts_synth.State
+
+let json_benchmarks = [ "ex"; "dct"; "diffeq"; "ewf"; "paulin"; "tseng" ]
+
+let json_widths = [ 4; 8; 16 ]
+
+let records_digest records =
+  let line r =
+    Printf.sprintf "%d|%s|%d|%h|%h|%h" r.Synth.iteration r.Synth.description
+      r.Synth.delta_e r.Synth.delta_h r.Synth.cost r.Synth.seq_depth
+  in
+  Digest.to_hex (Digest.string (String.concat "\n" (List.map line records)))
+
+let json_entry name dfg bits =
+  let summary = Hlts_obs.Summary.create () in
+  let params = { Synth.default_params with Synth.bits } in
+  let t0 = Hlts_obs.Clock.now_ns () in
+  let r =
+    Hlts_obs.with_sink (Hlts_obs.Summary.sink summary) (fun () ->
+        Synth.run ~params dfg)
+  in
+  let wall_s = Hlts_obs.Clock.seconds_since t0 in
+  let counter = Hlts_obs.Summary.counter summary in
+  let open Hlts_obs.Json in
+  Obj
+    [
+      ("name", Str name);
+      ("bits", Int bits);
+      ("wall_s", Float wall_s);
+      ("iterations", Int r.Synth.iterations);
+      ("merge_attempts", Int (counter "synth.merge_attempts"));
+      ("reschedule_attempts", Int (counter "sched.reschedule_attempts"));
+      ("testability_analyses", Int (counter "testability.analyses"));
+      ("scans_widened", Int (counter "synth.scans_widened"));
+      ("commits", Int (counter "synth.commits"));
+      ("final_e", Int (State.execution_time r.Synth.final));
+      ("final_h", Float (State.area r.Synth.final ~bits));
+      ( "schedule_length",
+        Int (Hlts_sched.Schedule.length r.Synth.final.State.schedule) );
+      ("records_digest", Str (records_digest r.Synth.records));
+    ]
+
+let run_json ~only file =
+  let selected =
+    match only with
+    | [] -> json_benchmarks
+    | names ->
+      List.iter
+        (fun n ->
+          if not (List.mem n json_benchmarks) then
+            Printf.eprintf "unknown benchmark %S for --json-bench\n" n)
+        names;
+      List.filter (fun n -> List.mem n names) json_benchmarks
+  in
+  let entries =
+    List.concat_map
+      (fun name ->
+        let dfg = List.assoc name Hlts_dfg.Benchmarks.all in
+        List.map
+          (fun bits ->
+            Printf.printf "json: %s @ %d bit...%!" name bits;
+            let e = json_entry name dfg bits in
+            Printf.printf " done\n%!";
+            e)
+          json_widths)
+      selected
+  in
+  let doc =
+    Hlts_obs.Json.(
+      Obj [ ("schema", Str "hlts-bench-synth/1"); ("benchmarks", List entries) ])
+  in
+  let oc = open_out file in
+  output_string oc (Hlts_obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d entries)\n%!" file (List.length entries)
+
 (* --- Bechamel timing: one Test.make per table ----------------------- *)
 
 let bechamel_tests =
@@ -189,6 +280,7 @@ let run_bechamel () =
 
 let () =
   let seed = ref 1 in
+  let json_only = ref [] in
   let trace = ref None in
   let actions : (unit -> unit) list ref = ref [] in
   let add f = actions := f :: !actions in
@@ -219,6 +311,13 @@ let () =
         Arg.Unit (fun () -> add run_bechamel),
         "       time the synthesis pipelines with Bechamel" );
       ("--seed", Arg.Set_int seed, "N      ATPG random seed (default 1)");
+      ( "--json",
+        Arg.String (fun f -> add (fun () -> run_json ~only:!json_only f)),
+        "FILE   write the synthesis perf trajectory (BENCH_synth.json)" );
+      ( "--json-bench",
+        Arg.String
+          (fun s -> json_only := String.split_on_char ',' s),
+        "NAMES  restrict --json to a comma-separated benchmark subset" );
       ( "--trace",
         Arg.String (fun f -> trace := Some f),
         "FILE   write a Chrome trace_event file of the run" );

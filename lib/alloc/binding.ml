@@ -146,12 +146,27 @@ let fu_of_op t id = List.find (fun fu -> List.mem id fu.fu_ops) t.fus
 let validate dfg sched t =
   let err fmt = Format.kasprintf (fun m -> Error m) fmt in
   let values = Dfg.values dfg in
-  let reg_count v =
-    List.length (List.filter (fun r -> List.mem v r.reg_values) t.registers)
+  (* Validation runs on every merge attempt, so membership counts and
+     lifetime intervals are tabulated in one pass each instead of
+     scanning the partition (resp. the op list) per value. *)
+  let tally count keys =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun holder ->
+        List.iter
+          (fun k ->
+            Hashtbl.replace tbl k
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+          (List.sort_uniq compare (keys holder)))
+      count;
+    fun k -> Option.value ~default:0 (Hashtbl.find_opt tbl k)
   in
-  let fu_count id =
-    List.length (List.filter (fun fu -> List.mem id fu.fu_ops) t.fus)
-  in
+  let reg_count = tally t.registers (fun r -> r.reg_values) in
+  let fu_count = tally t.fus (fun fu -> fu.fu_ops) in
+  let interval_tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (v, iv) -> Hashtbl.replace interval_tbl v iv)
+    (Lifetime.of_schedule dfg sched);
   let check_value v =
     match reg_count v with
     | 1 -> Ok ()
@@ -164,7 +179,12 @@ let validate dfg sched t =
   in
   let check_register reg =
     let intervals =
-      List.map (Lifetime.interval_of dfg sched) reg.reg_values
+      List.map
+        (fun v ->
+          match Hashtbl.find_opt interval_tbl v with
+          | Some iv -> iv
+          | None -> Lifetime.interval_of dfg sched v)
+        reg.reg_values
     in
     if Lifetime.disjoint_set intervals then Ok ()
     else err "register %d holds overlapping lifetimes" reg.reg_id

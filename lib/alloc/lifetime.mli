@@ -22,6 +22,11 @@ val of_schedule :
 val interval_of :
   Hlts_dfg.Dfg.t -> Hlts_sched.Schedule.t -> Hlts_dfg.Dfg.value -> interval
 
+val occupancy : Hlts_dfg.Dfg.t -> Hlts_sched.Schedule.t -> int
+(** Total register occupancy: the sum of all interval lengths. Equal to
+    summing [death - birth] over {!of_schedule}, in one pass (the SR2
+    trial metric of the merge engine). *)
+
 val overlap : interval -> interval -> bool
 
 val disjoint_set : interval list -> bool

@@ -12,47 +12,61 @@ type strategy =
   | Balance
   | Connectivity
 
+module IntSet = Set.Make (Int)
+
+(* Per-node neighbourhoods of the data path, computed once per scoring
+   pass: [sources] = distinct arc sources feeding the node, [sinks] =
+   distinct arc destinations it feeds. The pool scoring below probes
+   these for every candidate pair (O(pairs) set intersections) — the
+   former per-pair list rebuilds and [List.mem] probes made the pool
+   scan cubic in the node count. *)
+type neighbourhoods = {
+  sources : int -> IntSet.t;
+  sinks : int -> IntSet.t;
+}
+
+let neighbourhoods etpn =
+  let add tbl key v =
+    Hashtbl.replace tbl key
+      (IntSet.add v
+         (Option.value ~default:IntSet.empty (Hashtbl.find_opt tbl key)))
+  in
+  let srcs = Hashtbl.create 64 and dsts = Hashtbl.create 64 in
+  List.iter
+    (fun arc ->
+      add srcs arc.Etpn.a_dst arc.Etpn.a_src;
+      add dsts arc.Etpn.a_src arc.Etpn.a_dst)
+    etpn.Etpn.arcs;
+  let get tbl id = Option.value ~default:IntSet.empty (Hashtbl.find_opt tbl id) in
+  { sources = get srcs; sinks = get dsts }
+
 (* Self-loops a merger would create: a register feeding one partner and
    fed by the other becomes a register-unit-register loop (for unit
    pairs), and symmetrically for register pairs through a shared unit.
    §3 of the paper asks for "as few loops as possible". *)
-let new_self_loops etpn a b =
-  let sources id =
-    List.sort_uniq compare
-      (List.map (fun arc -> arc.Etpn.a_src) (Etpn.in_arcs etpn id))
-  in
-  let sinks id =
-    List.sort_uniq compare
-      (List.map (fun arc -> arc.Etpn.a_dst) (Etpn.out_arcs etpn id))
-  in
-  let count l1 l2 = List.length (List.filter (fun n -> List.mem n l2) l1) in
-  count (sources a) (sinks b) + count (sources b) (sinks a)
+let new_self_loops nb a b =
+  let inter x y = IntSet.cardinal (IntSet.inter x y) in
+  inter (nb.sources a) (nb.sinks b) + inter (nb.sources b) (nb.sinks a)
 
-let closeness etpn a b =
-  let sources id =
-    List.sort_uniq compare
-      (List.map (fun arc -> arc.Etpn.a_src) (Etpn.in_arcs etpn id))
-  in
-  let sinks id =
-    List.sort_uniq compare
-      (List.map (fun arc -> arc.Etpn.a_dst) (Etpn.out_arcs etpn id))
-  in
-  let common l1 l2 = List.length (List.filter (fun x -> List.mem x l2) l1) in
+let closeness nb a b =
+  let inter x y = IntSet.cardinal (IntSet.inter x y) in
   let direct =
-    if List.mem b (sinks a) || List.mem a (sinks b) then 1 else 0
+    if IntSet.mem b (nb.sinks a) || IntSet.mem a (nb.sinks b) then 1 else 0
   in
-  float_of_int (common (sources a) (sources b) + common (sinks a) (sinks b) + direct)
+  float_of_int
+    (inter (nb.sources a) (nb.sources b) + inter (nb.sinks a) (nb.sinks b) + direct)
 
 let all_scored state t strategy =
   let etpn = Testability.etpn t in
+  let nb = neighbourhoods etpn in
   let binding = state.State.binding in
   let score a b =
     match strategy with
     | Balance ->
       (* balance principle, discounted by the loops the merger creates *)
       Testability.balance_score t a b
-      -. (0.5 *. float_of_int (new_self_loops etpn a b))
-    | Connectivity -> closeness etpn a b
+      -. (0.5 *. float_of_int (new_self_loops nb a b))
+    | Connectivity -> closeness nb a b
   in
   let unit_pairs =
     let mergeable f g =

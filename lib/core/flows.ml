@@ -45,7 +45,7 @@ let separate_step approach scheduler dfg =
     invalid_arg (Printf.sprintf "Flows.%s: %s" (approach_name approach) msg)
   | Ok schedule ->
     let binding = Binding.allocate ~prefer_io:true dfg schedule in
-    let state = { State.dfg; cons; schedule; binding } in
+    let state = State.make ~dfg ~cons ~schedule ~binding in
     { approach; state; etpn = State.etpn state; records = [] }
 
 let synthesize ?(params = Synth.default_params) approach dfg =

@@ -15,23 +15,22 @@ type outcome = {
 
 (* SR2 trial metric: total register occupancy (sum of lifetime lengths)
    first — compact lifetimes enable the register mergers SR1 wants — then
-   the critical-path length as the paper's fallback. *)
+   the critical-path length as the paper's fallback. The trial reschedule
+   reuses the constraint set's shared adjacency/reachability index, and
+   occupancy is a single pass ({!Lifetime.occupancy}); the schedule is
+   returned alongside so [decide] can defer the critical-path fallback
+   until occupancy alone fails to decide the comparison. *)
 let order_metric dfg cons =
   Hlts_obs.count "sched.reschedule_attempts";
   match Basic.asap cons with
   | Error _ -> None
-  | Ok sched ->
-    let occupancy =
-      List.fold_left
-        (fun acc (_, iv) -> acc + (iv.Lifetime.death - iv.Lifetime.birth))
-        0
-        (Lifetime.of_schedule dfg sched)
-    in
-    Some (occupancy, Schedule.length sched)
+  | Ok sched -> Some (Lifetime.occupancy dfg sched, sched)
 
 (* Chooses between first-[a] and first-[b] for two unordered items, given
    a function producing the trial constraint set for each order. Returns
-   [`A], [`B], or [`Stuck] when neither order is feasible. *)
+   [`A], [`B], or [`Stuck] when neither order is feasible. Equivalent to
+   comparing [(occupancy, length)] lexicographically with [<=], but the
+   lengths are only computed on an occupancy tie. *)
 let decide dfg trial_a trial_b =
   let ma = Option.bind trial_a (order_metric dfg) in
   let mb = Option.bind trial_b (order_metric dfg) in
@@ -39,7 +38,11 @@ let decide dfg trial_a trial_b =
   | None, None -> `Stuck
   | Some _, None -> `A
   | None, Some _ -> `B
-  | Some a, Some b -> if a <= b then `A else `B
+  | Some (oa, sa), Some (ob, sb) ->
+    if oa < ob then `A
+    else if ob < oa then `B
+    else if Schedule.length sa <= Schedule.length sb then `A
+    else `B
 
 (* --- module merger ----------------------------------------------------- *)
 

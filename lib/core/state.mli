@@ -5,26 +5,50 @@
     constraints — rescheduling with dummy control steps falls out of the
     recomputation), and the current register/module partition. *)
 
+type caches
+(** Memoized derived views (ETPN, E, H) — pure functions of the state,
+    forced at most once per state. Opaque: states are created through
+    {!init}, {!make}, {!with_constraints} and {!with_binding}, which
+    install fresh caches. *)
+
 type t = {
   dfg : Hlts_dfg.Dfg.t;
   cons : Hlts_sched.Constraints.t;
   schedule : Hlts_sched.Schedule.t;
   binding : Hlts_alloc.Binding.t;
+  caches : caches;
 }
+
+val make :
+  dfg:Hlts_dfg.Dfg.t ->
+  cons:Hlts_sched.Constraints.t ->
+  schedule:Hlts_sched.Schedule.t ->
+  binding:Hlts_alloc.Binding.t ->
+  t
+(** A state from explicit parts (the schedule is trusted to match the
+    constraints). *)
 
 val init : Hlts_dfg.Dfg.t -> t
 (** Algorithm 1 line 1: simple default scheduling (ASAP) and default
     allocation (one data-path node per operation and value). *)
 
 val etpn : t -> Hlts_etpn.Etpn.t
-(** The ETPN of the current state. @raise Invalid_argument if the state
-    is inconsistent (internal error). *)
+(** The ETPN of the current state, built on first use and memoized.
+    @raise Invalid_argument if the state is inconsistent (internal
+    error). *)
 
 val execution_time : t -> int
-(** E: critical path of the control Petri net. *)
+(** E: critical path of the control Petri net. Memoized. *)
+
+val analysis : t -> Hlts_testability.Testability.t
+(** Controllability/observability analysis of {!etpn}, computed on
+    first use and memoized — one Algorithm-1 iteration reads the same
+    state's analysis for both candidate scoring and the committed
+    record's sequential depth. *)
 
 val area : t -> bits:int -> float
-(** H: floorplanned hardware cost at the given bit width. *)
+(** H: floorplanned hardware cost at the given bit width. Memoized for
+    the last width queried (constant within a synthesis run). *)
 
 val with_constraints : t -> Hlts_sched.Constraints.t -> t option
 (** Recomputes the ASAP schedule under new constraints; [None] if they

@@ -57,7 +57,7 @@ let attempt state ~bits pair =
    [sp] is the enclosing iteration span; candidate-pool behaviour is
    reported on it. *)
 let step params ~budget ~sp state =
-  let analysis = Testability.analyze (State.etpn state) in
+  let analysis = State.analysis state in
   let scored =
     Obs.span ~cat:"candidates" "candidates.score" (fun csp ->
         let scored = Candidates.all_scored state analysis params.strategy in
@@ -81,13 +81,7 @@ let step params ~budget ~sp state =
     | Exhaustive -> true
     | Cost_improving -> cost o < 0.0
   in
-  let top, rest =
-    let pairs = List.map fst scored in
-    (Hlts_util.Listx.take params.k pairs,
-     if List.length pairs > params.k then
-       List.filteri (fun i _ -> i >= params.k) pairs
-     else [])
-  in
+  let top, rest = Hlts_util.Listx.split_at params.k (List.map fst scored) in
   let best_of_top =
     let outcomes =
       List.filter acceptable
@@ -146,10 +140,7 @@ let run ?(params = default_params) dfg =
       | None -> (state, records, iteration)
       | Some (outcome, cost) ->
         let state' = outcome.Merge.state in
-        let seq_depth =
-          Testability.seq_depth_total
-            (Testability.analyze (State.etpn state'))
-        in
+        let seq_depth = Testability.seq_depth_total (State.analysis state') in
         let record =
           {
             iteration;

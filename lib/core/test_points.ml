@@ -8,7 +8,7 @@ let benefit m =
   (1.0 -. m.Testability.co) *. (0.3 +. m.Testability.cc)
 
 let recommend state ~k =
-  let t = Testability.analyze (State.etpn state) in
+  let t = State.analysis state in
   let ranked =
     List.sort
       (fun (_, m1) (_, m2) -> compare (benefit m2) (benefit m1))

@@ -21,7 +21,24 @@ type value =
   | V_input of string
   | V_op of int
 
-let op_by_id t id = List.find (fun o -> o.id = id) t.ops
+(* [op_by_id] is on the hot path of every merger and scheduler query.
+   DFG values are immutable, so a hashtbl index keyed on the *physical*
+   record (a DFG is built once and threaded through a whole synthesis
+   run) replaces the O(ops) list scan. A short MRU list rather than a
+   single entry: evaluation pipelines interleave a handful of designs. *)
+let op_index =
+  let cache : (t * (int, operation) Hashtbl.t) list ref = ref [] in
+  fun t ->
+    match List.find_opt (fun (key, _) -> key == t) !cache with
+    | Some (_, index) -> index
+    | None ->
+      let index = Hashtbl.create (2 * List.length t.ops) in
+      List.iter (fun o -> Hashtbl.replace index o.id o) t.ops;
+      let keep = function a :: b :: c :: _ -> [ a; b; c ] | l -> l in
+      cache := (t, index) :: keep !cache;
+      index
+
+let op_by_id t id = Hashtbl.find (op_index t) id
 
 let op_by_result t name = List.find_opt (fun o -> o.result = name) t.ops
 

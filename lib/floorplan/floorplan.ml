@@ -8,9 +8,9 @@ type result = {
   placement : (int * (float * float)) list;
 }
 
-(* Area of one data-path block, multiplexers folded into the destination
-   node that owns them. *)
-let block_area etpn ~bits id =
+(* Area of one data-path block given its incoming arcs, multiplexers
+   folded into the destination node that owns them. *)
+let block_area etpn ~bits id in_arcs =
   let own =
     match Etpn.node etpn id with
     | Etpn.Reg _ -> Module_library.reg_area ~bits
@@ -19,9 +19,7 @@ let block_area etpn ~bits id =
       Module_library.port_area
   in
   let mux =
-    let by_port =
-      Hlts_util.Listx.group_by (fun a -> a.Etpn.a_port) (Etpn.in_arcs etpn id)
-    in
+    let by_port = Hlts_util.Listx.group_by (fun a -> a.Etpn.a_port) in_arcs in
     List.fold_left
       (fun acc (_, arcs) ->
         acc
@@ -34,15 +32,39 @@ let block_area etpn ~bits id =
 let plan etpn ~bits =
   let ids = List.map fst etpn.Etpn.nodes in
   let connections = Etpn.interconnect etpn in
-  let degree id =
-    List.length (List.filter (fun (a, b) -> a = id || b = id) connections)
+  (* The planner is called once per merge attempt, so the per-node views
+     (degree, neighbour list, incoming arcs) are each built in one pass
+     instead of rescanning the arc/connection lists per query. *)
+  let degree_tbl = Hashtbl.create 64 in
+  let adj = Hashtbl.create 64 in
+  let note id n =
+    Hashtbl.replace degree_tbl id
+      (1 + Option.value ~default:0 (Hashtbl.find_opt degree_tbl id));
+    Hashtbl.replace adj id (n :: Option.value ~default:[] (Hashtbl.find_opt adj id))
+  in
+  List.iter
+    (fun (a, b) -> if a = b then note a b else (note a b; note b a))
+    connections;
+  let degree id = Option.value ~default:0 (Hashtbl.find_opt degree_tbl id) in
+  let neighbours id = Option.value ~default:[] (Hashtbl.find_opt adj id) in
+  let in_arcs_tbl = Hashtbl.create 64 in
+  List.iter
+    (fun a ->
+      Hashtbl.replace in_arcs_tbl a.Etpn.a_dst
+        (a :: Option.value ~default:[] (Hashtbl.find_opt in_arcs_tbl a.Etpn.a_dst)))
+    etpn.Etpn.arcs;
+  let in_arcs id =
+    (* reversed at read time so the per-node list keeps the arc-list
+       order, making the float summation in [block_area] bit-identical
+       to the former per-node [Etpn.in_arcs] filter *)
+    List.rev (Option.value ~default:[] (Hashtbl.find_opt in_arcs_tbl id))
   in
   let order =
     List.sort (fun a b -> compare (degree b, a) (degree a, b)) ids
   in
   (* Slot grid: pitch derived from the average block size so distances are
      in mm. *)
-  let areas = List.map (fun id -> (id, block_area etpn ~bits id)) ids in
+  let areas = List.map (fun id -> (id, block_area etpn ~bits id (in_arcs id))) ids in
   let cell_area = Hlts_util.Listx.sum_by snd areas in
   let pitch = sqrt (cell_area /. float_of_int (max 1 (List.length ids))) in
   let occupied = Hashtbl.create 64 in
@@ -50,12 +72,6 @@ let plan etpn ~bits =
   let place id (i, j) =
     Hashtbl.replace occupied (i, j) id;
     Hashtbl.replace slot_of id (i, j)
-  in
-  let neighbours id =
-    List.filter_map
-      (fun (a, b) ->
-        if a = id then Some b else if b = id then Some a else None)
-      connections
   in
   let frontier () =
     let cells = Hashtbl.fold (fun cell _ acc -> cell :: acc) occupied [] in

@@ -5,6 +5,14 @@ let take n l =
   in
   loop n [] l
 
+let split_at n l =
+  let rec loop n acc = function
+    | rest when n <= 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> loop (n - 1) (x :: acc) rest
+  in
+  loop n [] l
+
 let group_by key l =
   let tbl = Hashtbl.create 16 in
   let order = ref [] in

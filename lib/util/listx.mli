@@ -3,6 +3,10 @@
 val take : int -> 'a list -> 'a list
 (** First [n] elements (all of them if the list is shorter). *)
 
+val split_at : int -> 'a list -> 'a list * 'a list
+(** [split_at n l] is [(take n l, rest)] in a single pass;
+    [n <= 0] yields [([], l)]. *)
+
 val group_by : ('a -> 'b) -> 'a list -> ('b * 'a list) list
 (** Stable grouping by key; keys appear in order of first occurrence. *)
 

@@ -54,6 +54,86 @@ let test_constraints () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "unknown op accepted"
 
+let test_extra_arcs_ordering () =
+  (* extra_arcs is sorted lexicographically regardless of insertion
+     order, and re-adding an arc is a no-op. *)
+  let cons = Constraints.of_dfg B.toy in
+  let cons = Constraints.add_arc cons 2 3 in
+  let cons = Constraints.add_arc cons 1 2 in
+  let cons = Constraints.add_arc cons 1 3 in
+  let cons = Constraints.add_arc cons 1 2 in
+  Alcotest.(check (list (pair int int)))
+    "sorted, deduplicated"
+    [ (1, 2); (1, 3); (2, 3) ]
+    (Constraints.extra_arcs cons)
+
+(* Property: the incremental reachability index agrees with the
+   reference DFS oracle on random DAGs under random [add_arc]
+   sequences, including arcs that close cycles. Ids are spaced by 3 so
+   the dense id->index map is exercised on non-contiguous ids. *)
+let random_dag rng =
+  let n = 2 + Hlts_util.Rng.int rng 11 in
+  let id i = 1 + (3 * i) in
+  let ops =
+    List.init n (fun i ->
+        let operand () =
+          if i = 0 || Hlts_util.Rng.int rng 4 = 0 then Dfg.Input "a"
+          else Dfg.Op (id (Hlts_util.Rng.int rng i))
+        in
+        {
+          Dfg.id = id i;
+          kind = Op.Add;
+          args = (operand (), operand ());
+          result = Printf.sprintf "t%d" i;
+        })
+  in
+  {
+    Dfg.name = "rand";
+    inputs = [ "a" ];
+    ops;
+    outputs = [ Printf.sprintf "t%d" (n - 1) ];
+  }
+
+let test_reachability_matches_oracle () =
+  let rng = Hlts_util.Rng.create 20260806 in
+  for case = 1 to 1000 do
+    let d = random_dag rng in
+    let ids = Array.of_list (List.map (fun o -> o.Dfg.id) d.Dfg.ops) in
+    let n = Array.length ids in
+    let cons = ref (Constraints.of_dfg d) in
+    let check_all () =
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let fast = Constraints.reachable !cons ids.(i) ids.(j) in
+          let slow = Constraints.reachable_dfs !cons ids.(i) ids.(j) in
+          if fast <> slow then
+            Alcotest.failf "case %d: reachable N%d N%d: index %b, oracle %b"
+              case ids.(i) ids.(j) fast slow
+        done
+      done
+    in
+    check_all ();
+    let cyclic = ref false in
+    for _ = 1 to 1 + Hlts_util.Rng.int rng 7 do
+      let a = ids.(Hlts_util.Rng.int rng n) in
+      let b = ids.(Hlts_util.Rng.int rng n) in
+      let closes_cycle = Constraints.would_cycle !cons a b in
+      let oracle = a = b || Constraints.reachable_dfs !cons b a in
+      if closes_cycle <> oracle then
+        Alcotest.failf "case %d: would_cycle N%d N%d: index %b, oracle %b" case
+          a b closes_cycle oracle;
+      (* mostly grow a DAG; occasionally close a cycle to exercise the
+         full-rebuild path and the cyclic flag. *)
+      if (not closes_cycle) || (a <> b && Hlts_util.Rng.int rng 4 = 0) then begin
+        cons := Constraints.add_arc !cons a b;
+        if closes_cycle then cyclic := true;
+        if Constraints.is_acyclic !cons <> not !cyclic then
+          Alcotest.failf "case %d: is_acyclic wrong after N%d -> N%d" case a b;
+        check_all ()
+      end
+    done
+  done
+
 (* --- ASAP / ALAP ------------------------------------------------------ *)
 
 let test_asap_length_is_chain () =
@@ -247,7 +327,13 @@ let () =
           Alcotest.test_case "respects" `Quick test_respects;
         ] );
       ( "constraints",
-        [ Alcotest.test_case "arcs and cycles" `Quick test_constraints ] );
+        [
+          Alcotest.test_case "arcs and cycles" `Quick test_constraints;
+          Alcotest.test_case "extra arcs ordering" `Quick
+            test_extra_arcs_ordering;
+          Alcotest.test_case "reachability vs DFS oracle" `Quick
+            test_reachability_matches_oracle;
+        ] );
       ( "asap_alap",
         [
           Alcotest.test_case "asap = chain" `Quick test_asap_length_is_chain;

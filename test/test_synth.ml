@@ -290,6 +290,37 @@ let test_deterministic () =
     (Schedule.bindings r1.Synth.final.State.schedule
     = Schedule.bindings r2.Synth.final.State.schedule)
 
+(* Golden merge trajectories at 8 bits, recorded with the pre-index,
+   pre-cache implementation (fresh-DFS reachability, no memoized
+   state views). The reachability index, the state caches and the
+   candidate/lifetime rewrites must preserve the committed merge
+   sequence bit for bit — %h prints exact float images, so any change
+   in summation order or tie-breaking shows up here. *)
+let records_digest records =
+  let line r =
+    Printf.sprintf "%d|%s|%d|%h|%h|%h" r.Synth.iteration r.Synth.description
+      r.Synth.delta_e r.Synth.delta_h r.Synth.cost r.Synth.seq_depth
+  in
+  Digest.to_hex (Digest.string (String.concat "\n" (List.map line records)))
+
+let test_golden_trajectories () =
+  List.iter
+    (fun (name, dfg, digest, iterations, e) ->
+      let r = Synth.run dfg in
+      Alcotest.(check int) (name ^ " iterations") iterations r.Synth.iterations;
+      Alcotest.(check int)
+        (name ^ " final E")
+        e
+        (State.execution_time r.Synth.final);
+      Alcotest.(check string)
+        (name ^ " records digest")
+        digest
+        (records_digest r.Synth.records))
+    [
+      ("tseng", B.tseng, "e7d29eb3d02b6a2b3332583109dbb378", 7, 4);
+      ("paulin", B.paulin, "686cc71cada1cdcf6920f32ea3f2bd46", 15, 7);
+    ]
+
 (* --- test points -------------------------------------------------------- *)
 
 let test_recommend_ranks_unobservable () =
@@ -431,6 +462,8 @@ let () =
           Alcotest.test_case "k variants" `Quick test_k_influences_path;
           Alcotest.test_case "iteration spans" `Quick test_iteration_spans;
           Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "golden trajectories" `Quick
+            test_golden_trajectories;
         ] );
       ( "test_points",
         [

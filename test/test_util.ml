@@ -93,6 +93,26 @@ let test_take () =
   Alcotest.(check (list int)) "take 0" [] (Listx.take 0 [ 1 ]);
   Alcotest.(check (list int)) "take empty" [] (Listx.take 3 [])
 
+let test_split_at () =
+  let check_split msg expected n l =
+    Alcotest.(check (pair (list int) (list int)))
+      msg expected (Listx.split_at n l)
+  in
+  check_split "middle" ([ 1; 2 ], [ 3; 4 ]) 2 [ 1; 2; 3; 4 ];
+  check_split "zero" ([], [ 1; 2 ]) 0 [ 1; 2 ];
+  check_split "negative" ([], [ 1; 2 ]) (-3) [ 1; 2 ];
+  check_split "past the end" ([ 1; 2 ], []) 5 [ 1; 2 ];
+  check_split "exact" ([ 1; 2 ], []) 2 [ 1; 2 ];
+  check_split "empty" ([], []) 3 []
+
+let prop_split_at_partitions =
+  QCheck.Test.make ~name:"split_at concatenates back; prefix = take"
+    ~count:100
+    QCheck.(pair small_nat (small_list int))
+    (fun (n, l) ->
+      let pre, post = Listx.split_at n l in
+      pre @ post = l && pre = Listx.take n l)
+
 let test_group_by () =
   let groups = Listx.group_by (fun x -> x mod 2) [ 1; 2; 3; 4; 5 ] in
   Alcotest.(check (list (pair int (list int))))
@@ -158,6 +178,7 @@ let () =
       ( "listx",
         [
           Alcotest.test_case "take" `Quick test_take;
+          Alcotest.test_case "split_at" `Quick test_split_at;
           Alcotest.test_case "group_by" `Quick test_group_by;
           Alcotest.test_case "min/max_by" `Quick test_min_max_by;
           Alcotest.test_case "sum_by" `Quick test_sum_by;
@@ -165,5 +186,6 @@ let () =
           Alcotest.test_case "index_of" `Quick test_index_of;
           QCheck_alcotest.to_alcotest prop_pairs_count;
           QCheck_alcotest.to_alcotest prop_take_prefix;
+          QCheck_alcotest.to_alcotest prop_split_at_partitions;
         ] );
     ]
