@@ -12,9 +12,10 @@ module Render = Hlts_eval.Render
 module Experiments = Hlts_eval.Experiments
 
 let usage =
-  "bench/main.exe [--table 1|2|3|extra] [--figure 1|2|3] \
+  "bench/main.exe [--table 1|2|3|extra] [-j N] [--figure 1|2|3] \
    [--ablation params|balance] [--bechamel] [--trace FILE] [--seed N] \
-   [--json FILE] [--json-bench NAMES] [--all]"
+   [--json FILE] [--json-bench NAMES] [--json-atpg FILE] \
+   [--json-atpg-oracle] [--all]"
 
 let atpg_config seed = { Hlts_atpg.Atpg.default_config with Hlts_atpg.Atpg.seed }
 
@@ -23,24 +24,24 @@ let elapsed label f =
   Hlts_obs.span ~cat:"bench" label (fun _ -> f ());
   Printf.printf "[%.1fs]\n%!" (Hlts_obs.Clock.seconds_since t0)
 
-let run_table seed which =
+let run_table ?jobs seed which =
   let atpg = atpg_config seed in
   match which with
   | "1" ->
     elapsed "table1" (fun () ->
         Render.table Format.std_formatter
           ~title:"Table 1: area-optimized Ex benchmark"
-          (Experiments.table1 ~atpg ()))
+          (Experiments.table1 ~atpg ?jobs ()))
   | "2" ->
     elapsed "table2" (fun () ->
         Render.table Format.std_formatter ~with_area:true
           ~title:"Table 2: area-optimized Dct benchmark"
-          (Experiments.table2 ~atpg ()))
+          (Experiments.table2 ~atpg ?jobs ()))
   | "3" ->
     elapsed "table3" (fun () ->
         Render.table Format.std_formatter ~with_area:true
           ~title:"Table 3: area-optimized Diffeq benchmark"
-          (Experiments.table3 ~atpg ()))
+          (Experiments.table3 ~atpg ?jobs ()))
   | "extra" ->
     elapsed "table-extra" (fun () ->
         List.iter
@@ -48,7 +49,7 @@ let run_table seed which =
             Render.table Format.std_formatter ~with_area:true
               ~title:(Printf.sprintf "Extra (X1): %s benchmark at 8 bit" name)
               rows)
-          (Experiments.extra_rows ~atpg ()))
+          (Experiments.extra_rows ~atpg ?jobs ()))
   | other -> Printf.eprintf "unknown table %S\n" other
 
 let run_figure which =
@@ -235,6 +236,116 @@ let run_json ~only file =
   close_out oc;
   Printf.printf "wrote %s (%d entries)\n%!" file (List.length entries)
 
+(* --- JSON ATPG perf trajectory (BENCH_atpg.json) -------------------- *)
+
+(* Machine-readable fault-simulation benchmark: for every paper
+   benchmark at 4/8/16 bits, synthesize with "Ours" (the canonical
+   8-bit structure, as in the tables), expand at [bits] and run the
+   full ATPG pipeline with the cone engine. Everything except [wall_s]
+   and [faults_per_s] is deterministic; [detect_digest] pins the exact
+   detection events, so a drift in the engine shows up even when the
+   coverage happens to stay the same. With [oracle], each cell is
+   re-run on the pre-optimization full-sweep engine, every
+   deterministic field is asserted identical, and the entry gains
+   [wall_full_s] / [speedup]. *)
+
+module Atpg = Hlts_atpg.Atpg
+
+let atpg_deterministic_fields (r : Atpg.result) =
+  [
+    ("total_faults", Hlts_obs.Json.Int r.Atpg.total_faults);
+    ("detected_random", Int r.Atpg.detected_random);
+    ("detected_det", Int r.Atpg.detected_det);
+    ("undetected", Int r.Atpg.undetected);
+    ("coverage", Float r.Atpg.coverage);
+    ("test_cycles", Int r.Atpg.test_cycles);
+    ("effort", Int r.Atpg.effort);
+    ("evals", Int r.Atpg.evals);
+    ("detect_digest", Str r.Atpg.detect_digest);
+  ]
+
+let atpg_json_entry ~oracle seed name dfg bits =
+  let params = { Synth.default_params with Synth.bits = 8 } in
+  let o = Eval.outcome ~params Flows.Ours dfg ~bits:8 in
+  let circuit = Hlts_netlist.Expand.circuit o.Flows.etpn ~bits in
+  let config = atpg_config seed in
+  let summary = Hlts_obs.Summary.create () in
+  let t0 = Hlts_obs.Clock.now_ns () in
+  let r =
+    Hlts_obs.with_sink (Hlts_obs.Summary.sink summary) (fun () ->
+        Atpg.run ~config ~engine:`Cone circuit)
+  in
+  let wall_s = Hlts_obs.Clock.seconds_since t0 in
+  let mean_cone_gates =
+    match
+      List.assoc_opt "sim.cone_gates" (Hlts_obs.Summary.samples summary)
+    with
+    | Some s when s.Hlts_obs.Summary.n > 0 ->
+      s.Hlts_obs.Summary.sum /. float_of_int s.Hlts_obs.Summary.n
+    | Some _ | None -> 0.0
+  in
+  let oracle_fields =
+    if not oracle then []
+    else begin
+      let t1 = Hlts_obs.Clock.now_ns () in
+      let rf = Atpg.run ~config ~engine:`Full circuit in
+      let wall_full_s = Hlts_obs.Clock.seconds_since t1 in
+      if atpg_deterministic_fields r <> atpg_deterministic_fields rf then
+        failwith
+          (Printf.sprintf
+             "engine mismatch on %s @ %d bit: cone and full disagree" name
+             bits);
+      [
+        ("wall_full_s", Hlts_obs.Json.Float wall_full_s);
+        ("speedup", Hlts_obs.Json.Float (wall_full_s /. wall_s));
+      ]
+    end
+  in
+  let open Hlts_obs.Json in
+  Obj
+    ([
+       ("name", Str name);
+       ("bits", Int bits);
+       ("wall_s", Float wall_s);
+       ("gates", Int r.Atpg.gate_count);
+       ("dffs", Int r.Atpg.dff_count);
+     ]
+     @ atpg_deterministic_fields r
+     @ [
+         ("faults_per_s", Float (float_of_int r.Atpg.total_faults /. wall_s));
+         ("mean_cone_gates", Float mean_cone_gates);
+       ]
+     @ oracle_fields)
+
+let run_json_atpg ~only ~oracle seed file =
+  let selected =
+    match only with
+    | [] -> json_benchmarks
+    | names -> List.filter (fun n -> List.mem n names) json_benchmarks
+  in
+  let entries =
+    List.concat_map
+      (fun name ->
+        let dfg = List.assoc name Hlts_dfg.Benchmarks.all in
+        List.map
+          (fun bits ->
+            Printf.printf "json-atpg: %s @ %d bit...%!" name bits;
+            let e = atpg_json_entry ~oracle seed name dfg bits in
+            Printf.printf " done\n%!";
+            e)
+          json_widths)
+      selected
+  in
+  let doc =
+    Hlts_obs.Json.(
+      Obj [ ("schema", Str "hlts-bench-atpg/1"); ("benchmarks", List entries) ])
+  in
+  let oc = open_out file in
+  output_string oc (Hlts_obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d entries)\n%!" file (List.length entries)
+
 (* --- Bechamel timing: one Test.make per table ----------------------- *)
 
 let bechamel_tests =
@@ -280,15 +391,17 @@ let run_bechamel () =
 
 let () =
   let seed = ref 1 in
+  let jobs = ref None in
   let json_only = ref [] in
+  let atpg_oracle = ref false in
   let trace = ref None in
   let actions : (unit -> unit) list ref = ref [] in
   let add f = actions := f :: !actions in
   let all seed =
     run_figure "1";
-    List.iter (run_table seed) [ "1"; "2"; "3" ];
+    List.iter (run_table ?jobs:!jobs seed) [ "1"; "2"; "3" ];
     List.iter run_figure [ "2"; "3" ];
-    run_table seed "extra";
+    run_table ?jobs:!jobs seed "extra";
     run_ablation seed "params";
     run_ablation seed "balance";
     run_ablation seed "latency";
@@ -299,8 +412,11 @@ let () =
   let spec =
     [
       ( "--table",
-        Arg.String (fun s -> add (fun () -> run_table !seed s)),
+        Arg.String (fun s -> add (fun () -> run_table ?jobs:!jobs !seed s)),
         "TABLE  regenerate one table (1|2|3|extra)" );
+      ( "-j",
+        Arg.Int (fun n -> jobs := Some n),
+        "N      fork N workers for the table ATPG cells (also: HLTS_JOBS)" );
       ( "--figure",
         Arg.String (fun s -> add (fun () -> run_figure s)),
         "FIG    regenerate one figure (1|2|3)" );
@@ -318,6 +434,16 @@ let () =
         Arg.String
           (fun s -> json_only := String.split_on_char ',' s),
         "NAMES  restrict --json to a comma-separated benchmark subset" );
+      ( "--json-atpg",
+        Arg.String
+          (fun f ->
+            add (fun () ->
+                run_json_atpg ~only:!json_only ~oracle:!atpg_oracle !seed f)),
+        "FILE   write the fault-simulation perf trajectory (BENCH_atpg.json)" );
+      ( "--json-atpg-oracle",
+        Arg.Set atpg_oracle,
+        "       re-run each --json-atpg cell on the full-sweep oracle engine, \
+         assert bit-identical results, and report the speedup" );
       ( "--trace",
         Arg.String (fun f -> trace := Some f),
         "FILE   write a Chrome trace_event file of the run" );

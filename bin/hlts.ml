@@ -168,12 +168,24 @@ let testability_cmd =
     Term.(const run $ bench_arg $ approach_arg $ bits_arg)
 
 let atpg_cmd =
-  let run bench approach bits seed stats trace jsonl =
+  let collapse_gates_arg =
+    let doc =
+      "Also collapse controlling-value gate-input faults (s-a-0 on an \
+       AND input onto its output, etc.); off by default so the paper's \
+       table numbers are unchanged."
+    in
+    Arg.(value & flag & info [ "collapse-gates" ] ~doc)
+  in
+  let run bench approach bits seed collapse_gates stats trace jsonl =
     with_errors (fun () ->
         let* d = find_bench bench in
         let* a = find_approach approach in
         with_obs ~stats ~trace ~jsonl (fun () ->
-            let row = Eval.evaluate ~atpg:(atpg_config seed) a d ~bits in
+            let atpg =
+              { (atpg_config seed) with
+                Hlts_atpg.Atpg.collapse_gate_inputs = collapse_gates }
+            in
+            let row = Eval.evaluate ~atpg a d ~bits in
             Printf.printf
               "%s / %s / %d bit:\n\
               \  gates: %d   fault coverage: %.2f%%   tg effort: %d (%.2fs)\n\
@@ -188,47 +200,63 @@ let atpg_cmd =
   Cmd.v
     (Cmd.info "atpg" ~doc:"Run the full synthesis + test-generation pipeline.")
     Term.(const run $ bench_arg $ approach_arg $ bits_arg $ seed_arg
-          $ stats_arg $ trace_arg $ jsonl_arg)
+          $ collapse_gates_arg $ stats_arg $ trace_arg $ jsonl_arg)
 
 let table_cmd =
   let which =
     let doc = "Table to regenerate: 1 (Ex), 2 (Dct), 3 (Diffeq) or extra." in
     Arg.(value & pos 0 string "1" & info [] ~docv:"TABLE" ~doc)
   in
-  let run which seed =
+  let jobs_arg =
+    let doc =
+      "Fan the table's ATPG cells out over $(docv) forked workers \
+       (default: the HLTS_JOBS environment variable, else 1). The \
+       output is byte-identical for every job count."
+    in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let no_time_arg =
+    let doc =
+      "Drop the wall-clock column (the only non-deterministic one), so \
+       two runs of the same table can be byte-compared."
+    in
+    Arg.(value & flag & info [ "no-time" ] ~doc)
+  in
+  let run which seed jobs no_time =
     with_errors (fun () ->
         let atpg = atpg_config seed in
+        let with_time = not no_time in
         match which with
         | "1" ->
-          Render.table Format.std_formatter
+          Render.table Format.std_formatter ~with_time
             ~title:"Table 1: area-optimized Ex benchmark"
-            (Experiments.table1 ~atpg ());
+            (Experiments.table1 ~atpg ?jobs ());
           Ok ()
         | "2" ->
-          Render.table Format.std_formatter ~with_area:true
+          Render.table Format.std_formatter ~with_area:true ~with_time
             ~title:"Table 2: area-optimized Dct benchmark"
-            (Experiments.table2 ~atpg ());
+            (Experiments.table2 ~atpg ?jobs ());
           Ok ()
         | "3" ->
-          Render.table Format.std_formatter ~with_area:true
+          Render.table Format.std_formatter ~with_area:true ~with_time
             ~title:"Table 3: area-optimized Diffeq benchmark"
-            (Experiments.table3 ~atpg ());
+            (Experiments.table3 ~atpg ?jobs ());
           Ok ()
         | "extra" ->
           List.iter
             (fun (name, rows) ->
-              Render.table Format.std_formatter ~with_area:true
+              Render.table Format.std_formatter ~with_area:true ~with_time
                 ~title:
                   (Printf.sprintf "Extra: %s benchmark at 8 bit (paper §5)"
                      name)
                 rows)
-            (Experiments.extra_rows ~atpg ());
+            (Experiments.extra_rows ~atpg ?jobs ());
           Ok ()
         | other -> Error (Printf.sprintf "unknown table %S" other))
   in
   Cmd.v
     (Cmd.info "table" ~doc:"Regenerate a table of the paper's evaluation.")
-    Term.(const run $ which $ seed_arg)
+    Term.(const run $ which $ seed_arg $ jobs_arg $ no_time_arg)
 
 let figure_cmd =
   let which =

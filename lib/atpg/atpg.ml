@@ -4,6 +4,8 @@ module Sim = Hlts_sim.Sim
 module Rng = Hlts_util.Rng
 module Obs = Hlts_obs
 
+type engine = Podem.engine
+
 type config = {
   seed : int;
   random_lanes : int;
@@ -11,11 +13,12 @@ type config = {
   random_batches : int;
   max_frames : int;
   max_backtracks : int;
+  collapse_gate_inputs : bool;
 }
 
 let default_config =
   { seed = 1; random_lanes = 2; random_cycles = 12; random_batches = 1;
-    max_frames = 5; max_backtracks = 20 }
+    max_frames = 5; max_backtracks = 20; collapse_gate_inputs = false }
 
 type result = {
   total_faults : int;
@@ -25,26 +28,41 @@ type result = {
   coverage : float;
   test_cycles : int;
   effort : int;
+  evals : int;
   seconds : float;
   gate_count : int;
   dff_count : int;
+  detect_digest : string;
 }
 
-let pi_nets c = List.concat_map (fun (_, bus) -> bus) c.Netlist.pis
-let po_nets c = List.concat_map (fun (_, bus) -> bus) c.Netlist.pos
+(* Reusable fault-replay buffers, allocated once per run: the cone
+   engine replays into a {!Sim.scratch}, the full oracle into one
+   machine that {!Sim.replay_full} re-zeroes per fault. *)
+type replayer = {
+  rp_sim : Sim.t;
+  rp_engine : engine;
+  rp_scratch : Sim.scratch;
+  rp_machine : Sim.machine;
+}
 
-(* Applies [words] (net -> word) for one cycle and evaluates. *)
-let eval_cycle ?fault sim m assignments =
-  List.iter (fun (net, w) -> m.Sim.values.(net) <- w) assignments;
-  Sim.eval ?fault sim m
+let make_replayer sim engine =
+  { rp_sim = sim; rp_engine = engine;
+    rp_scratch = Sim.scratch sim; rp_machine = Sim.machine sim }
 
-(* One batch of [lanes] parallel random sequences: returns (per-cycle PI
-   assignments, per-cycle good PO values), advancing [rng]. Lanes beyond
-   [lanes] carry constant zeroes in both machines, so they can never
-   produce a spurious difference. *)
+(* First (cycle, lane-diff word) of [fault] against the recorded good
+   trajectory, or None; only lanes in [mask] count. Both engines are
+   bit-identical (property-tested), so the choice never changes the
+   result — only the time it takes. *)
+let replay_fault ?mask rp fault trajectory ~evals =
+  match rp.rp_engine with
+  | `Cone -> Sim.replay ?mask rp.rp_sim rp.rp_scratch fault trajectory ~evals
+  | `Full -> Sim.replay_full ?mask rp.rp_sim rp.rp_machine fault trajectory ~evals
+
+(* One batch of [lanes] parallel random sequences, recorded as a good
+   trajectory. Lanes beyond [lanes] carry constant zeroes, so they can
+   never produce a spurious difference. *)
 let random_batch sim rng ~lanes cycles =
-  let c = Sim.circuit sim in
-  let pis = pi_nets c and pos = po_nets c in
+  let pis = Array.to_list (Sim.pi_nets sim) in
   let mask =
     if lanes >= 64 then -1L
     else Int64.sub (Int64.shift_left 1L lanes) 1L
@@ -53,46 +71,7 @@ let random_batch sim rng ~lanes cycles =
     Array.init cycles (fun _ ->
         List.map (fun net -> (net, Int64.logand mask (Rng.word rng))) pis)
   in
-  let good = Sim.machine sim in
-  let responses =
-    Array.map
-      (fun assignments ->
-        eval_cycle sim good assignments;
-        let out = List.map (fun net -> good.Sim.values.(net)) pos in
-        Sim.step sim good;
-        out)
-      stimuli
-  in
-  (stimuli, responses)
-
-(* Simulates [fault] against a recorded batch; returns the first
-   (cycle, lane-diff word) or None, considering only lanes in [mask].
-   Counts evaluations into [evals]. *)
-let replay_fault ?(mask = -1L) sim fault stimuli responses evals =
-  let c = Sim.circuit sim in
-  let pos = po_nets c in
-  let m = Sim.machine sim in
-  let cycles = Array.length stimuli in
-  let rec cycle i =
-    if i >= cycles then None
-    else begin
-      eval_cycle ~fault sim m stimuli.(i);
-      incr evals;
-      let diff =
-        Int64.logand mask
-          (List.fold_left2
-             (fun acc net good ->
-               Int64.logor acc (Int64.logxor m.Sim.values.(net) good))
-             0L pos responses.(i))
-      in
-      if diff <> 0L then Some (i, diff)
-      else begin
-        Sim.step sim m;
-        cycle (i + 1)
-      end
-    end
-  in
-  cycle 0
+  Sim.record sim stimuli
 
 let first_lane word =
   let rec find i =
@@ -102,11 +81,10 @@ let first_lane word =
   in
   find 0
 
-(* Packs up to 64 deterministic tests into lanes and returns per-cycle PI
-   assignments (missing assignments are 0) plus good responses. *)
+(* Packs up to 64 deterministic tests into lanes and records the good
+   trajectory (missing PI assignments are 0). *)
 let pack_tests sim tests =
-  let c = Sim.circuit sim in
-  let pis = pi_nets c and pos = po_nets c in
+  let pis = Array.to_list (Sim.pi_nets sim) in
   let depth =
     List.fold_left (fun acc t -> max acc (Array.length t.Podem.t_frames)) 0 tests
   in
@@ -127,35 +105,34 @@ let pack_tests sim tests =
             (net, !word))
           pis)
   in
-  let good = Sim.machine sim in
-  let responses =
-    Array.map
-      (fun assignments ->
-        eval_cycle sim good assignments;
-        let out = List.map (fun net -> good.Sim.values.(net)) pos in
-        Sim.step sim good;
-        out)
-      stimuli
-  in
-  (stimuli, responses)
+  Sim.record sim stimuli
 
-let run ?(config = default_config) circuit =
+let stuck_code f =
+  match f.Fault.f_stuck with Fault.Stuck_at_0 -> 0 | Fault.Stuck_at_1 -> 1
+
+let run ?(config = default_config) ?(engine = `Cone) circuit =
   Obs.span ~cat:"atpg" "atpg.run" @@ fun run_sp ->
   let t0 = Obs.Clock.now_ns () in
   let sim = Obs.span ~cat:"atpg" "atpg.compile" (fun _ -> Sim.compile circuit) in
-  let faults = Fault.collapsed_universe circuit in
+  let faults =
+    Fault.collapsed_universe ~gate_inputs:config.collapse_gate_inputs circuit
+  in
   let total_faults = List.length faults in
   Obs.set run_sp "faults" (Obs.Int total_faults);
   let rng = Rng.create config.seed in
+  let rp = make_replayer sim engine in
   let evals = ref 0 in
   let detected_random = ref 0 in
   let test_cycles = ref 0 in
+  (* Ordered log of every detection / give-up event; its MD5 is the
+     [detect_digest] the bench drift job and the engine oracle compare. *)
+  let events = Buffer.create 1024 in
   (* ---- random phase ---- *)
   let remaining = ref faults in
   Obs.span ~cat:"atpg" "atpg.random_phase" (fun rsp ->
       for _batch = 1 to config.random_batches do
         if !remaining <> [] then begin
-          let stimuli, responses =
+          let trajectory =
             random_batch sim rng ~lanes:config.random_lanes config.random_cycles
           in
           let lane_mask =
@@ -167,11 +144,13 @@ let run ?(config = default_config) circuit =
             List.filter
               (fun fault ->
                 match
-                  replay_fault ~mask:lane_mask sim fault stimuli responses evals
+                  replay_fault ~mask:lane_mask rp fault trajectory ~evals
                 with
                 | None -> true
                 | Some (cycle, diff) ->
                   incr detected_random;
+                  Printf.bprintf events "r %d %d %d %Lx\n"
+                    fault.Fault.f_net (stuck_code fault) cycle diff;
                   let lane = first_lane diff in
                   prefix.(lane) <- max prefix.(lane) (cycle + 1);
                   false)
@@ -192,14 +171,17 @@ let run ?(config = default_config) circuit =
     match !pending_tests with
     | [] -> targets
     | tests ->
-      let stimuli, responses = pack_tests sim tests in
+      Obs.span ~cat:"atpg" "atpg.drop_batch" @@ fun _ ->
+      let trajectory = pack_tests sim tests in
       pending_tests := [];
       List.filter
         (fun fault ->
-          match replay_fault sim fault stimuli responses evals with
+          match replay_fault rp fault trajectory ~evals with
           | None -> true
-          | Some (_, _) ->
+          | Some (cycle, diff) ->
             incr detected_det;
+            Printf.bprintf events "d %d %d %d %Lx\n"
+              fault.Fault.f_net (stuck_code fault) cycle diff;
             false)
         targets
   in
@@ -212,8 +194,9 @@ let run ?(config = default_config) circuit =
       queue := rest;
       Obs.count "atpg.faults_tried";
       let verdict, stats =
-        Podem.generate sim ~max_frames:config.max_frames
-          ~max_backtracks:config.max_backtracks fault
+        Obs.span ~cat:"atpg" "atpg.podem" (fun _ ->
+        Podem.generate ~engine sim ~max_frames:config.max_frames
+          ~max_backtracks:config.max_backtracks fault)
       in
       implications := !implications + stats.Podem.implications;
       backtracks := !backtracks + stats.Podem.backtracks;
@@ -223,6 +206,9 @@ let run ?(config = default_config) circuit =
       | Podem.Detected test ->
         incr detected_det;
         Obs.count "atpg.detected_det";
+        Printf.bprintf events "p %d %d %d\n"
+          fault.Fault.f_net (stuck_code fault)
+          (Array.length test.Podem.t_frames);
         test_cycles := !test_cycles + Array.length test.Podem.t_frames;
         pending_tests := test :: !pending_tests;
         all_tests := test :: !all_tests;
@@ -252,14 +238,22 @@ let run ?(config = default_config) circuit =
       chunks !all_tests;
       Obs.set dsp "detected" (Obs.Int !detected_det);
       Obs.set dsp "backtracks" (Obs.Int !backtracks));
+  List.iter
+    (fun fault ->
+      Printf.bprintf events "u %d %d\n" fault.Fault.f_net (stuck_code fault))
+    (List.rev !aborted);
   let undetected = List.length !aborted in
   let detected = total_faults - undetected in
   let coverage =
     if total_faults = 0 then 1.0
     else float_of_int detected /. float_of_int total_faults
   in
+  let seconds = Obs.Clock.seconds_since t0 in
   Obs.set run_sp "coverage" (Obs.Float coverage);
   Obs.set run_sp "effort" (Obs.Int (!implications + !backtracks + !evals));
+  if !evals > 0 then Obs.count ~by:!evals "atpg.evals";
+  if seconds > 0.0 then
+    Obs.gauge "atpg.faults_per_s" (float_of_int total_faults /. seconds);
   {
     total_faults;
     detected_random = !detected_random;
@@ -268,9 +262,11 @@ let run ?(config = default_config) circuit =
     coverage;
     test_cycles = !test_cycles;
     effort = !implications + !backtracks + !evals;
-    seconds = Obs.Clock.seconds_since t0;
+    evals = !evals;
+    seconds;
     gate_count = Sim.gate_count sim;
     dff_count = Array.length circuit.Netlist.dffs;
+    detect_digest = Digest.to_hex (Digest.string (Buffer.contents events));
   }
 
 let coverage_pct r = 100.0 *. r.coverage

@@ -2,9 +2,10 @@
     by deterministic PODEM, reporting the paper's three test metrics.
 
     Random phase: 64 independent random input sequences advance in
-    parallel (one per bit lane) for [random_cycles] clocks; every
-    collapsed fault is simulated against the good machine with early exit
-    on first detection, for [random_batches] rounds.
+    parallel (one per bit lane) for [random_cycles] clocks; the batch is
+    recorded once as a good {!Hlts_sim.Sim.trajectory} and every
+    collapsed fault is replayed against it with early exit on first
+    detection, for [random_batches] rounds.
 
     Deterministic phase: each remaining fault goes to
     {!Podem.generate}. Generated tests accumulate into 64-lane batches
@@ -16,9 +17,16 @@
     - test length ("test generated cycle"): detecting prefix cycles of
       the kept random sequences plus the frames of every deterministic
       test;
-    - effort: PODEM implications + backtracks + random-phase evaluations,
-      a deterministic machine-independent cost; [seconds] is the measured
-      CPU time. *)
+    - effort: PODEM implications + backtracks + replay evaluations,
+      a deterministic machine-independent cost; [seconds] is the
+      measured CPU time. *)
+
+type engine = Podem.engine
+(** Selects the fault-simulation/PODEM engine for the whole run:
+    [`Cone] (default) replays faults cone-limited and incremental,
+    [`Full] full-sweeps from a zeroed machine — the pre-optimization
+    oracle. Every result field except [seconds] is bit-identical
+    between the two. *)
 
 type config = {
   seed : int;
@@ -27,6 +35,10 @@ type config = {
   random_batches : int;
   max_frames : int;
   max_backtracks : int;
+  collapse_gate_inputs : bool;
+      (** also collapse controlling-value gate-input faults
+          ({!Hlts_fault.Fault.collapse}); default [false] so published
+          table numbers are unchanged *)
 }
 
 val default_config : config
@@ -42,12 +54,19 @@ type result = {
   coverage : float;       (** in [0, 1] *)
   test_cycles : int;
   effort : int;
+  evals : int;            (** fault-replay cycle evaluations (effort term) *)
   seconds : float;
   gate_count : int;
   dff_count : int;
+  detect_digest : string;
+      (** MD5 hex over the ordered detection/abort event log (fault,
+          phase, detecting cycle and lane word) — equal digests mean the
+          runs detected the same faults the same way, the invariant the
+          engine oracle and the bench drift job check *)
 }
 
-val run : ?config:config -> Hlts_netlist.Netlist.t -> result
+val run :
+  ?config:config -> ?engine:engine -> Hlts_netlist.Netlist.t -> result
 
 val coverage_pct : result -> float
 (** [100 * coverage]. *)

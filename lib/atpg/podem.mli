@@ -33,8 +33,17 @@ type stats = {
   backtracks : int;
 }
 
+type engine = [ `Cone | `Full ]
+(** [`Cone] (the default) restricts the faulty plane, the D-frontier
+    scan and the detection scan to the fault site's sequential output
+    cone ({!Hlts_sim.Sim.cone}); everything outside the cone provably
+    carries the good value, so verdicts, tests and stats are
+    bit-identical to [`Full] — the pre-cone full-sweep code, kept as
+    the oracle the property tests compare against. *)
+
 val generate :
   ?max_implications:int ->
+  ?engine:engine ->
   Hlts_sim.Sim.t ->
   max_frames:int ->
   max_backtracks:int ->

@@ -9,28 +9,47 @@ let widths = [ 4; 8; 16 ]
 (* One synthesis per approach with the baseline parameters (the paper's
    per-width triples were chosen to reach the same allocation at every
    width, so one canonical structure per approach is the faithful
-   reading); the structure is then measured at 4, 8 and 16 bits. *)
-let table_rows ?atpg dfg =
-  let params = { Synth.default_params with Synth.bits = 8 } in
-  List.concat_map
-    (fun approach ->
-      let o = Eval.outcome ~params approach dfg ~bits:8 in
-      List.map (fun bits -> Eval.evaluate_outcome ?atpg o ~bits) widths)
-    approaches
+   reading); the structure is then measured at 4, 8 and 16 bits.
 
-let table1 ?atpg () = table_rows ?atpg B.ex
-let table2 ?atpg () = table_rows ?atpg B.dct
-let table3 ?atpg () = table_rows ?atpg B.diffeq
-
-let extra_rows ?atpg () =
+   Synthesis runs in-process (it is cheap and its outcome is shared by
+   the three widths); the (approach, width) ATPG cells then fan out
+   over [Par.map], which with [jobs <= 1] is exactly [List.map] — the
+   serial path — and otherwise forks workers and merges in the same
+   cell order, so the rows are identical for every job count. *)
+let table_rows ?atpg ?jobs dfg =
   let params = { Synth.default_params with Synth.bits = 8 } in
-  List.map
-    (fun (name, dfg) ->
-      ( name,
-        List.map
-          (fun a -> Eval.evaluate ~params ?atpg a dfg ~bits:8)
-          approaches ))
-    [ ("ewf", B.ewf); ("paulin", B.paulin); ("tseng", B.tseng) ]
+  let cells =
+    List.concat_map
+      (fun approach ->
+        let o = Eval.outcome ~params approach dfg ~bits:8 in
+        List.map (fun bits -> (o, bits)) widths)
+      approaches
+  in
+  Par.map ?jobs (fun (o, bits) -> Eval.evaluate_outcome ?atpg o ~bits) cells
+
+let table1 ?atpg ?jobs () = table_rows ?atpg ?jobs B.ex
+let table2 ?atpg ?jobs () = table_rows ?atpg ?jobs B.dct
+let table3 ?atpg ?jobs () = table_rows ?atpg ?jobs B.diffeq
+
+let extra_benches = [ ("ewf", B.ewf); ("paulin", B.paulin); ("tseng", B.tseng) ]
+
+let extra_rows ?atpg ?jobs () =
+  let params = { Synth.default_params with Synth.bits = 8 } in
+  let cells =
+    List.concat_map
+      (fun (_, dfg) -> List.map (fun a -> (dfg, a)) approaches)
+      extra_benches
+  in
+  let rows =
+    Par.map ?jobs (fun (dfg, a) -> Eval.evaluate ~params ?atpg a dfg ~bits:8)
+      cells
+  in
+  (* regroup the flat cell list: one row per approach, benchmark-major *)
+  let per = List.length approaches in
+  List.mapi
+    (fun b (name, _) ->
+      (name, List.filteri (fun i _ -> i / per = b) rows))
+    extra_benches
 
 let ablation_params ?atpg () =
   let triples = [ (1, 2.0, 1.0); (3, 2.0, 1.0); (5, 2.0, 1.0);

@@ -1,0 +1,26 @@
+(** Fork-based parallel map for experiment cells.
+
+    Works on every OCaml the repo targets (4.14 and 5.x) without
+    Domains: workers are [Unix.fork] children that stream marshalled
+    [(index, result)] pairs back over a pipe, and the parent merges
+    them in input order — so the output is deterministic and
+    byte-identical to the serial path regardless of worker scheduling.
+
+    With [jobs <= 1] (the default unless [HLTS_JOBS] says otherwise)
+    no process is ever forked: {!map} is exactly [List.map], the
+    in-process serial path. Children clear the observability sinks
+    before computing, so spans and counters are only ever emitted by
+    the parent process. *)
+
+val available : bool
+(** [true] on Unix-like systems where {!Unix.fork} works. *)
+
+val default_jobs : unit -> int
+(** The [HLTS_JOBS] environment variable as an int, else 1. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs], computed by up to [jobs]
+    forked workers (item [i] goes to worker [i mod jobs]); results are
+    returned in input order. A worker exception or death fails the
+    whole map with [Failure]. [f]'s results must be marshallable
+    (no closures). *)

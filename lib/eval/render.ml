@@ -10,7 +10,7 @@ module Lifetime = Hlts_alloc.Lifetime
 
 let hr ppf = Format.fprintf ppf "%s@," (String.make 78 '-')
 
-let table ppf ~title ?(with_area = false) rows =
+let table ppf ~title ?(with_area = false) ?(with_time = true) rows =
   Format.fprintf ppf "@[<v>";
   hr ppf;
   Format.fprintf ppf "%s@," title;
@@ -31,13 +31,17 @@ let table ppf ~title ?(with_area = false) rows =
         Format.fprintf ppf
           "  steps: %d   #regs: %d   #units: %d   #mux slices: %d@,"
           r.Eval.schedule_length r.Eval.n_registers r.Eval.n_fus r.Eval.n_mux);
-      Format.fprintf ppf "  %4s  %10s  %9s  %7s  %6s%s@," "#bit"
-        "fault cov" "tg effort" "tg sec" "cycles"
+      Format.fprintf ppf "  %4s  %10s  %9s%s  %6s%s@," "#bit"
+        "fault cov" "tg effort"
+        (if with_time then Printf.sprintf "  %7s" "tg sec" else "")
+        "cycles"
         (if with_area then "     area" else "");
       List.iter
         (fun r ->
-          Format.fprintf ppf "  %4d  %9.2f%%  %9d  %7.2f  %6d%s@," r.Eval.bits
-            r.Eval.fault_coverage_pct r.Eval.tg_effort r.Eval.tg_seconds
+          Format.fprintf ppf "  %4d  %9.2f%%  %9d%s  %6d%s@," r.Eval.bits
+            r.Eval.fault_coverage_pct r.Eval.tg_effort
+            (if with_time then Printf.sprintf "  %7.2f" r.Eval.tg_seconds
+             else "")
             r.Eval.test_cycles
             (if with_area then Printf.sprintf "  %5.3fmm2" r.Eval.area_mm2
              else ""))

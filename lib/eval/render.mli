@@ -5,12 +5,15 @@ val table :
   Format.formatter ->
   title:string ->
   ?with_area:bool ->
+  ?with_time:bool ->
   Eval.row list ->
   unit
 (** One block per approach (rows grouped in input order): module and
     register allocation, #Mux, and per-bit-width fault coverage / test
     generation cost / test cycles (and area when [with_area], as in
-    Tables 2 and 3). *)
+    Tables 2 and 3). [~with_time:false] drops the wall-clock column —
+    the only non-deterministic one — so the output can be byte-compared
+    across runs and job counts. *)
 
 val schedule_figure :
   Format.formatter -> Hlts_dfg.Dfg.t -> Hlts_synth.Flows.outcome -> unit

@@ -35,7 +35,7 @@ let universe (c : Netlist.t) =
                   { f_net = net; f_stuck = Stuck_at_1 } ])
     logic_nets
 
-let collapse (c : Netlist.t) faults =
+let collapse_map ?(gate_inputs = false) (c : Netlist.t) =
   (* fanout count per net *)
   let fanout = Hashtbl.create 256 in
   let read net =
@@ -44,30 +44,50 @@ let collapse (c : Netlist.t) faults =
   Array.iter (fun g -> List.iter read g.Netlist.inputs) c.Netlist.gates;
   Array.iter (fun f -> read f.Netlist.d_input) c.Netlist.dffs;
   List.iter (fun (_, bus) -> List.iter read bus) c.Netlist.pos;
-  (* map: input net of a single-fanout BUF/NOT -> (output net, inverted) *)
+  (* map: (single-fanout input net, stuck value) -> equivalent fault one
+     gate downstream. BUF/NOT inputs collapse for both polarities; with
+     [gate_inputs], a controlling stuck value on an AND/NAND/OR/NOR input
+     additionally collapses onto the output (the two faulty circuits
+     compute the same function, so their test sets coincide). *)
   let forward = Hashtbl.create 256 in
+  let fwd i s out s' =
+    if Hashtbl.find_opt fanout i = Some 1 then
+      Hashtbl.replace forward (i, s) { f_net = out; f_stuck = s' }
+  in
   Array.iter
     (fun g ->
+      let out = g.Netlist.output in
       match g.Netlist.kind, g.Netlist.inputs with
-      | Netlist.G_buf, [ i ] when Hashtbl.find_opt fanout i = Some 1 ->
-        Hashtbl.replace forward i (g.Netlist.output, false)
-      | Netlist.G_not, [ i ] when Hashtbl.find_opt fanout i = Some 1 ->
-        Hashtbl.replace forward i (g.Netlist.output, true)
+      | Netlist.G_buf, [ i ] ->
+        fwd i Stuck_at_0 out Stuck_at_0;
+        fwd i Stuck_at_1 out Stuck_at_1
+      | Netlist.G_not, [ i ] ->
+        fwd i Stuck_at_0 out Stuck_at_1;
+        fwd i Stuck_at_1 out Stuck_at_0
+      | Netlist.G_and, ins when gate_inputs ->
+        List.iter (fun i -> fwd i Stuck_at_0 out Stuck_at_0) ins
+      | Netlist.G_nand, ins when gate_inputs ->
+        List.iter (fun i -> fwd i Stuck_at_0 out Stuck_at_1) ins
+      | Netlist.G_or, ins when gate_inputs ->
+        List.iter (fun i -> fwd i Stuck_at_1 out Stuck_at_1) ins
+      | Netlist.G_nor, ins when gate_inputs ->
+        List.iter (fun i -> fwd i Stuck_at_1 out Stuck_at_0) ins
       | (Netlist.G_buf | Netlist.G_not | Netlist.G_and | Netlist.G_or
         | Netlist.G_nand | Netlist.G_nor | Netlist.G_xor | Netlist.G_xnor
         | Netlist.G_mux2), _ -> ())
     c.Netlist.gates;
-  let flip = function Stuck_at_0 -> Stuck_at_1 | Stuck_at_1 -> Stuck_at_0 in
   let rec representative f =
-    match Hashtbl.find_opt forward f.f_net with
+    match Hashtbl.find_opt forward (f.f_net, f.f_stuck) with
     | None -> f
-    | Some (out, inverted) ->
-      representative
-        { f_net = out; f_stuck = (if inverted then flip f.f_stuck else f.f_stuck) }
+    | Some f' -> representative f'
   in
+  representative
+
+let collapse ?gate_inputs (c : Netlist.t) faults =
+  let representative = collapse_map ?gate_inputs c in
   List.sort_uniq compare (List.map representative faults)
 
-let collapsed_universe c = collapse c (universe c)
+let collapsed_universe ?gate_inputs c = collapse ?gate_inputs c (universe c)
 
 let to_string f =
   Printf.sprintf "n%d/%d" f.f_net

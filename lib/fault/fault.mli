@@ -20,11 +20,23 @@ type t = {
 val universe : Hlts_netlist.Netlist.t -> t list
 (** All uncollapsed faults, deterministic order. *)
 
-val collapse : Hlts_netlist.Netlist.t -> t list -> t list
+val collapse : ?gate_inputs:bool -> Hlts_netlist.Netlist.t -> t list -> t list
 (** Equivalence collapsing through BUF/NOT chains. The representative of
-    a class is the fault at the chain's end (output side). *)
+    a class is the fault at the chain's end (output side).
 
-val collapsed_universe : Hlts_netlist.Netlist.t -> t list
+    With [~gate_inputs:true] (default false, so published table numbers
+    are unchanged) the classic controlling-value equivalences also
+    apply to single-fanout gate inputs: s-a-0 on an AND input is
+    equivalent to s-a-0 on its output (the faulty circuits compute the
+    same function), s-a-0 on a NAND input to s-a-1 on its output, and
+    dually s-a-1 on OR/NOR inputs. *)
+
+val collapse_map : ?gate_inputs:bool -> Hlts_netlist.Netlist.t -> t -> t
+(** The representative function used by {!collapse}: maps any fault to
+    its equivalence-class representative (identity for faults that do
+    not collapse). *)
+
+val collapsed_universe : ?gate_inputs:bool -> Hlts_netlist.Netlist.t -> t list
 (** [collapse c (universe c)]. *)
 
 val to_string : t -> string

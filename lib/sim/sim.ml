@@ -1,11 +1,55 @@
 module Netlist = Hlts_netlist.Netlist
 module Fault = Hlts_fault.Fault
+module Obs = Hlts_obs
+
+(* Compact levelized gate encoding: struct-of-arrays over the topological
+   order, so the sweeps touch int arrays instead of gate records with
+   list-pattern dispatch. kind codes below; in1/in2 are -1 when unused. *)
+type ops = {
+  n_gates : int;
+  kind : int array;
+  in0 : int array;
+  in1 : int array;
+  in2 : int array;
+  out : int array;
+}
+
+let k_and = 0
+let k_or = 1
+let k_nand = 2
+let k_nor = 3
+let k_xor = 4
+let k_xnor = 5
+let k_not = 6
+let k_buf = 7
+let k_mux2 = 8
+
+(* Per-net output cone (sequential closure): the gates, flip-flops and
+   nets a faulty value originating at [cn_net] can ever reach, including
+   feedback through any number of clock cycles. *)
+type cone = {
+  cn_net : int;
+  cn_gates : int array;    (* indexes into the levelized order, ascending *)
+  cn_dffs : int array;     (* dff ids whose D input is in the cone, ascending *)
+  cn_pos : int array;      (* the PO nets of the cone, in po_nets order *)
+  cn_support : int array;  (* nets read by cone gates that can never be faulty *)
+  cn_bits : Bytes.t;       (* bitset over nets: can this net carry a fault effect? *)
+}
 
 type t = {
   c : Netlist.t;
   order : Netlist.gate array;  (* levelized *)
   po_nets : int array;
+  pi_nets : int array;
   gate_driven : bool array;    (* net -> driven by a gate (vs PI/Q/const) *)
+  ops : ops;
+  driver_ix : int array;       (* net -> levelized gate index, or -1 *)
+  dff_of_q : int array;        (* net -> dff id whose Q it is, or -1 *)
+  fan_idx : int array;         (* CSR: net -> slice of fan_gates *)
+  fan_gates : int array;       (* reader gate indexes (levelized) *)
+  dfan_idx : int array;        (* CSR: net -> slice of dfan_dffs *)
+  dfan_dffs : int array;       (* dff ids reading the net as D *)
+  cones : (int, cone) Hashtbl.t;  (* lazily built, memoized per net *)
 }
 
 let levelize (c : Netlist.t) =
@@ -44,15 +88,199 @@ let levelize (c : Netlist.t) =
     invalid_arg "Sim.compile: combinational cycle";
   Array.of_list (List.rev !order)
 
+let kind_code = function
+  | Netlist.G_and -> k_and
+  | Netlist.G_or -> k_or
+  | Netlist.G_nand -> k_nand
+  | Netlist.G_nor -> k_nor
+  | Netlist.G_xor -> k_xor
+  | Netlist.G_xnor -> k_xnor
+  | Netlist.G_not -> k_not
+  | Netlist.G_buf -> k_buf
+  | Netlist.G_mux2 -> k_mux2
+
+let make_ops order =
+  let n = Array.length order in
+  let kind = Array.make n 0
+  and in0 = Array.make n (-1)
+  and in1 = Array.make n (-1)
+  and in2 = Array.make n (-1)
+  and out = Array.make n (-1) in
+  Array.iteri
+    (fun gi g ->
+      kind.(gi) <- kind_code g.Netlist.kind;
+      out.(gi) <- g.Netlist.output;
+      (match g.Netlist.inputs with
+      | [ a ] -> in0.(gi) <- a
+      | [ a; b ] ->
+        in0.(gi) <- a;
+        in1.(gi) <- b
+      | [ a; b; c ] ->
+        in0.(gi) <- a;
+        in1.(gi) <- b;
+        in2.(gi) <- c
+      | _ -> invalid_arg "Sim.compile: corrupt gate arity"))
+    order;
+  { n_gates = n; kind; in0; in1; in2; out }
+
+(* CSR adjacency from nets to their readers, in ascending reader order. *)
+let make_csr n_nets count fill =
+  let deg = Array.make n_nets 0 in
+  count (fun net -> deg.(net) <- deg.(net) + 1);
+  let idx = Array.make (n_nets + 1) 0 in
+  for i = 0 to n_nets - 1 do
+    idx.(i + 1) <- idx.(i) + deg.(i)
+  done;
+  let cursor = Array.copy idx in
+  let cells = Array.make idx.(n_nets) 0 in
+  fill (fun net reader ->
+      cells.(cursor.(net)) <- reader;
+      cursor.(net) <- cursor.(net) + 1);
+  (idx, cells)
+
 let compile c =
+  let order = levelize c in
+  let ops = make_ops order in
   let po_nets =
     Array.of_list (List.concat_map (fun (_, bus) -> bus) c.Netlist.pos)
   in
+  let pi_nets =
+    Array.of_list (List.concat_map (fun (_, bus) -> bus) c.Netlist.pis)
+  in
   let gate_driven = Array.make c.Netlist.n_nets false in
   Array.iter (fun g -> gate_driven.(g.Netlist.output) <- true) c.Netlist.gates;
-  { c; order = levelize c; po_nets; gate_driven }
+  let driver_ix = Array.make c.Netlist.n_nets (-1) in
+  Array.iteri (fun gi g -> driver_ix.(g.Netlist.output) <- gi) order;
+  let dff_of_q = Array.make c.Netlist.n_nets (-1) in
+  Array.iter (fun (f : Netlist.dff) -> dff_of_q.(f.Netlist.q_output) <- f.Netlist.d_id)
+    c.Netlist.dffs;
+  let fan_idx, fan_gates =
+    make_csr c.Netlist.n_nets
+      (fun bump ->
+        Array.iter (fun g -> List.iter bump g.Netlist.inputs) order)
+      (fun put ->
+        Array.iteri (fun gi g -> List.iter (fun net -> put net gi) g.Netlist.inputs)
+          order)
+  in
+  let dfan_idx, dfan_dffs =
+    make_csr c.Netlist.n_nets
+      (fun bump ->
+        Array.iter (fun (f : Netlist.dff) -> bump f.Netlist.d_input) c.Netlist.dffs)
+      (fun put ->
+        Array.iter (fun (f : Netlist.dff) -> put f.Netlist.d_input f.Netlist.d_id)
+          c.Netlist.dffs)
+  in
+  {
+    c; order; po_nets; pi_nets; gate_driven; ops; driver_ix; dff_of_q;
+    fan_idx; fan_gates; dfan_idx; dfan_dffs;
+    cones = Hashtbl.create 64;
+  }
 
 let circuit t = t.c
+let po_nets t = t.po_nets
+let pi_nets t = t.pi_nets
+let ops t = t.ops
+let driver_index t = t.driver_ix
+let dff_of_q t = t.dff_of_q
+let fanout_gates t = (t.fan_idx, t.fan_gates)
+let fanout_dffs t = (t.dfan_idx, t.dfan_dffs)
+
+(* --- cone index -------------------------------------------------------- *)
+
+let bit_mem bits net = Char.code (Bytes.get bits (net lsr 3)) land (1 lsl (net land 7)) <> 0
+
+let bit_set bits net =
+  let i = net lsr 3 in
+  Bytes.set bits i (Char.chr (Char.code (Bytes.get bits i) lor (1 lsl (net land 7))))
+
+let build_cone t net =
+  let n = t.c.Netlist.n_nets in
+  let bits = Bytes.make ((n + 7) / 8) '\000' in
+  let gate_mark = Array.make t.ops.n_gates false in
+  let dff_mark = Array.make (Array.length t.c.Netlist.dffs) false in
+  let stack = ref [ net ] in
+  bit_set bits net;
+  while !stack <> [] do
+    let x = List.hd !stack in
+    stack := List.tl !stack;
+    for i = t.fan_idx.(x) to t.fan_idx.(x + 1) - 1 do
+      let gi = t.fan_gates.(i) in
+      if not gate_mark.(gi) then begin
+        gate_mark.(gi) <- true;
+        let out = t.ops.out.(gi) in
+        if not (bit_mem bits out) then begin
+          bit_set bits out;
+          stack := out :: !stack
+        end
+      end
+    done;
+    for i = t.dfan_idx.(x) to t.dfan_idx.(x + 1) - 1 do
+      let d = t.dfan_dffs.(i) in
+      if not dff_mark.(d) then begin
+        dff_mark.(d) <- true;
+        let q = t.c.Netlist.dffs.(d).Netlist.q_output in
+        if not (bit_mem bits q) then begin
+          bit_set bits q;
+          stack := q :: !stack
+        end
+      end
+    done
+  done;
+  let gates = ref [] in
+  for gi = t.ops.n_gates - 1 downto 0 do
+    if gate_mark.(gi) then gates := gi :: !gates
+  done;
+  let dffs = ref [] in
+  for d = Array.length dff_mark - 1 downto 0 do
+    if dff_mark.(d) then dffs := d :: !dffs
+  done;
+  let pos = Array.of_list (List.filter (bit_mem bits) (Array.to_list t.po_nets)) in
+  (* support: nets read inside the cone that can never carry the fault
+     effect — their good value stands in for the faulty one each cycle *)
+  let seen = Bytes.make ((n + 7) / 8) '\000' in
+  let support = ref [] in
+  let consider inp =
+    if inp >= 0 && (not (bit_mem bits inp)) && not (bit_mem seen inp) then begin
+      bit_set seen inp;
+      support := inp :: !support
+    end
+  in
+  List.iter
+    (fun gi ->
+      consider t.ops.in0.(gi);
+      consider t.ops.in1.(gi);
+      consider t.ops.in2.(gi))
+    !gates;
+  let cone =
+    {
+      cn_net = net;
+      cn_gates = Array.of_list !gates;
+      cn_dffs = Array.of_list !dffs;
+      cn_pos = pos;
+      cn_support = Array.of_list (List.rev !support);
+      cn_bits = bits;
+    }
+  in
+  Obs.sample "sim.cone_gates" (float_of_int (Array.length cone.cn_gates));
+  cone
+
+let cone t net =
+  match Hashtbl.find_opt t.cones net with
+  | Some c -> c
+  | None ->
+    let c = build_cone t net in
+    Hashtbl.replace t.cones net c;
+    c
+
+let cone_gate_count c = Array.length c.cn_gates
+let cone_dff_count c = Array.length c.cn_dffs
+let cone_dffs c = c.cn_dffs
+let cone_bits c = c.cn_bits
+let cone_gates c = c.cn_gates
+let cone_pos c = c.cn_pos
+let cone_member c net = bit_mem c.cn_bits net
+
+(* --- machines ---------------------------------------------------------- *)
 
 type machine = {
   values : int64 array;
@@ -91,30 +319,25 @@ let eval ?fault t m =
      are forced as they are produced below *)
   if fault_net >= 0 && not t.gate_driven.(fault_net) then
     v.(fault_net) <- fault_word;
-  let n = Array.length t.order in
-  for i = 0 to n - 1 do
-    let g = t.order.(i) in
+  let { n_gates; kind; in0; in1; in2; out } = t.ops in
+  for gi = 0 to n_gates - 1 do
     let value =
-      match g.Netlist.kind, g.Netlist.inputs with
-      | Netlist.G_and, [ a; b ] -> Int64.logand v.(a) v.(b)
-      | Netlist.G_or, [ a; b ] -> Int64.logor v.(a) v.(b)
-      | Netlist.G_nand, [ a; b ] -> Int64.lognot (Int64.logand v.(a) v.(b))
-      | Netlist.G_nor, [ a; b ] -> Int64.lognot (Int64.logor v.(a) v.(b))
-      | Netlist.G_xor, [ a; b ] -> Int64.logxor v.(a) v.(b)
-      | Netlist.G_xnor, [ a; b ] -> Int64.lognot (Int64.logxor v.(a) v.(b))
-      | Netlist.G_not, [ a ] -> Int64.lognot v.(a)
-      | Netlist.G_buf, [ a ] -> v.(a)
-      | Netlist.G_mux2, [ s; a; b ] ->
+      match kind.(gi) with
+      | 0 (* and *) -> Int64.logand v.(in0.(gi)) v.(in1.(gi))
+      | 1 (* or *) -> Int64.logor v.(in0.(gi)) v.(in1.(gi))
+      | 2 (* nand *) -> Int64.lognot (Int64.logand v.(in0.(gi)) v.(in1.(gi)))
+      | 3 (* nor *) -> Int64.lognot (Int64.logor v.(in0.(gi)) v.(in1.(gi)))
+      | 4 (* xor *) -> Int64.logxor v.(in0.(gi)) v.(in1.(gi))
+      | 5 (* xnor *) -> Int64.lognot (Int64.logxor v.(in0.(gi)) v.(in1.(gi)))
+      | 6 (* not *) -> Int64.lognot v.(in0.(gi))
+      | 7 (* buf *) -> v.(in0.(gi))
+      | _ (* mux2 *) ->
+        let s = v.(in0.(gi)) in
         Int64.logor
-          (Int64.logand (Int64.lognot v.(s)) v.(a))
-          (Int64.logand v.(s) v.(b))
-      | ( Netlist.G_and | Netlist.G_or | Netlist.G_nand | Netlist.G_nor
-        | Netlist.G_xor | Netlist.G_xnor | Netlist.G_not | Netlist.G_buf
-        | Netlist.G_mux2 ), _ ->
-        invalid_arg "Sim.eval: corrupt gate"
+          (Int64.logand (Int64.lognot s) v.(in1.(gi)))
+          (Int64.logand s v.(in2.(gi)))
     in
-    v.(g.Netlist.output) <-
-      (if g.Netlist.output = fault_net then fault_word else value)
+    v.(out.(gi)) <- (if out.(gi) = fault_net then fault_word else value)
   done
 
 let step t m =
@@ -137,3 +360,159 @@ let po_diff t m1 m2 =
 let gate_count t = Array.length t.order
 
 let levelized t = t.order
+
+(* --- recorded good trajectory and fault replay ------------------------- *)
+
+type trajectory = {
+  tr_stimuli : (int * int64) list array;
+  tr_values : int64 array array;  (* post-eval snapshot per cycle *)
+  tr_state : int64 array array;   (* post-latch snapshot per cycle *)
+}
+
+let record t stimuli =
+  let m = machine t in
+  let cycles = Array.length stimuli in
+  let values = Array.make cycles [||] and state = Array.make cycles [||] in
+  for i = 0 to cycles - 1 do
+    List.iter (fun (net, w) -> m.values.(net) <- w) stimuli.(i);
+    eval t m;
+    values.(i) <- Array.copy m.values;
+    step t m;
+    state.(i) <- Array.copy m.state
+  done;
+  { tr_stimuli = stimuli; tr_values = values; tr_state = state }
+
+let trajectory_cycles tr = Array.length tr.tr_values
+let trajectory_stimuli tr = tr.tr_stimuli
+let trajectory_values tr i = tr.tr_values.(i)
+
+type scratch = {
+  sc_values : int64 array;
+  sc_state : int64 array;
+}
+
+let scratch t =
+  {
+    sc_values = Array.make t.c.Netlist.n_nets 0L;
+    sc_state = Array.make (Array.length t.c.Netlist.dffs) 0L;
+  }
+
+(* Cone-limited incremental replay. Invariants making this bit-identical
+   to the full sweep:
+   - a net can differ from the good machine only if it is the fault site,
+     the Q of a cone flip-flop, or the output of a cone gate (cn_bits);
+   - hence every other net the cone reads (cn_support) holds its recorded
+     good value, loaded per cycle from the trajectory;
+   - a cycle is *quiet* when the faulty state equals the good state and
+     the site's good word already equals the stuck word on all 64 lanes:
+     forcing the site is then a no-op, the whole faulty evaluation equals
+     the good one, no PO can differ and the state stays equal — the
+     cycle's sweep is skipped entirely (it still counts one eval, so the
+     effort accounting matches the full sweep). *)
+let replay ?(mask = -1L) t sc (fault : Fault.t) tr ~evals =
+  let site = fault.Fault.f_net in
+  let fw =
+    match fault.Fault.f_stuck with
+    | Fault.Stuck_at_0 -> 0L
+    | Fault.Stuck_at_1 -> -1L
+  in
+  let cn = cone t site in
+  let fv = sc.sc_values and fstate = sc.sc_state in
+  let dffs = t.c.Netlist.dffs in
+  let { kind; in0; in1; in2; out; _ } = t.ops in
+  let cycles = Array.length tr.tr_values in
+  let state_equal = ref true in
+  let detection = ref None in
+  let i = ref 0 in
+  while !detection = None && !i < cycles do
+    incr evals;
+    let gv = tr.tr_values.(!i) in
+    if not (!state_equal && gv.(site) = fw) then begin
+      let support = cn.cn_support in
+      for s = 0 to Array.length support - 1 do
+        let net = support.(s) in
+        fv.(net) <- gv.(net)
+      done;
+      (if !state_equal then
+         if !i = 0 then
+           Array.iter (fun d -> fv.(dffs.(d).Netlist.q_output) <- 0L) cn.cn_dffs
+         else begin
+           let gs = tr.tr_state.(!i - 1) in
+           Array.iter (fun d -> fv.(dffs.(d).Netlist.q_output) <- gs.(d)) cn.cn_dffs
+         end
+       else
+         Array.iter (fun d -> fv.(dffs.(d).Netlist.q_output) <- fstate.(d))
+           cn.cn_dffs);
+      fv.(site) <- fw;
+      let cg = cn.cn_gates in
+      for k = 0 to Array.length cg - 1 do
+        let gi = cg.(k) in
+        let value =
+          match kind.(gi) with
+          | 0 -> Int64.logand fv.(in0.(gi)) fv.(in1.(gi))
+          | 1 -> Int64.logor fv.(in0.(gi)) fv.(in1.(gi))
+          | 2 -> Int64.lognot (Int64.logand fv.(in0.(gi)) fv.(in1.(gi)))
+          | 3 -> Int64.lognot (Int64.logor fv.(in0.(gi)) fv.(in1.(gi)))
+          | 4 -> Int64.logxor fv.(in0.(gi)) fv.(in1.(gi))
+          | 5 -> Int64.lognot (Int64.logxor fv.(in0.(gi)) fv.(in1.(gi)))
+          | 6 -> Int64.lognot fv.(in0.(gi))
+          | 7 -> fv.(in0.(gi))
+          | _ ->
+            let s = fv.(in0.(gi)) in
+            Int64.logor
+              (Int64.logand (Int64.lognot s) fv.(in1.(gi)))
+              (Int64.logand s fv.(in2.(gi)))
+        in
+        fv.(out.(gi)) <- (if out.(gi) = site then fw else value)
+      done;
+      let diff = ref 0L in
+      Array.iter
+        (fun po -> diff := Int64.logor !diff (Int64.logxor fv.(po) gv.(po)))
+        cn.cn_pos;
+      let d = Int64.logand mask !diff in
+      if d <> 0L then detection := Some (!i, d)
+      else begin
+        let gs = tr.tr_state.(!i) in
+        let eq = ref true in
+        Array.iter
+          (fun di ->
+            let nv = fv.(dffs.(di).Netlist.d_input) in
+            fstate.(di) <- nv;
+            if nv <> gs.(di) then eq := false)
+          cn.cn_dffs;
+        state_equal := !eq
+      end
+    end;
+    incr i
+  done;
+  !detection
+
+(* The pre-cone path, kept verbatim in structure: a fresh-state machine is
+   swept over the whole gate array every cycle and all POs are compared.
+   This is the oracle the property tests hold [replay] against. *)
+let replay_full ?(mask = -1L) t m (fault : Fault.t) tr ~evals =
+  Array.fill m.values 0 (Array.length m.values) 0L;
+  Array.fill m.state 0 (Array.length m.state) 0L;
+  let cycles = Array.length tr.tr_values in
+  let pos = t.po_nets in
+  let rec cycle i =
+    if i >= cycles then None
+    else begin
+      List.iter (fun (net, w) -> m.values.(net) <- w) tr.tr_stimuli.(i);
+      eval ~fault t m;
+      incr evals;
+      let gv = tr.tr_values.(i) in
+      let diff = ref 0L in
+      for p = 0 to Array.length pos - 1 do
+        let po = pos.(p) in
+        diff := Int64.logor !diff (Int64.logxor m.values.(po) gv.(po))
+      done;
+      let d = Int64.logand mask !diff in
+      if d <> 0L then Some (i, d)
+      else begin
+        step t m;
+        cycle (i + 1)
+      end
+    end
+  in
+  cycle 0

@@ -6,15 +6,106 @@
     bit lane [i] of every word belongs to pattern/sequence [i], so 64
     independent test sequences advance together through sequential
     {!step}s. Faults are injected by forcing a net's word after its
-    driver writes it (or before evaluation for PI/Q/constant nets). *)
+    driver writes it (or before evaluation for PI/Q/constant nets).
+
+    Fault replay is *cone-limited* and *incremental*: {!compile} builds
+    the indexes from which each net's output cone — the levelized gate
+    sub-array, flip-flops and primary outputs a fault effect can reach,
+    closed under sequential feedback — is derived (lazily, memoized) by
+    {!cone}. {!replay} then re-evaluates only the faulty cone on top of a
+    recorded good {!trajectory}, skipping every quiet cycle outright; the
+    pre-cone full-sweep path survives as {!replay_full}, the oracle the
+    property tests hold {!replay} against. *)
 
 type t
 
 val compile : Hlts_netlist.Netlist.t -> t
-(** Levelizes. @raise Invalid_argument on a combinational cycle (cannot
-    happen for netlists from {!Hlts_netlist.Expand}). *)
+(** Levelizes and builds the compact gate encoding, fanout and
+    driver/DFF indexes. @raise Invalid_argument on a combinational cycle
+    (cannot happen for netlists from {!Hlts_netlist.Expand}). *)
 
 val circuit : t -> Hlts_netlist.Netlist.t
+
+(** {2 Compact compiled form}
+
+    Struct-of-arrays view of the levelized gate order, shared by every
+    sweeping engine (good simulation, cone replay, PODEM) so they all
+    evaluate gates identically. [kind] holds the codes below; [in1] and
+    [in2] are [-1] where the arity does not use them ([in0] = select for
+    mux2). *)
+
+type ops = {
+  n_gates : int;
+  kind : int array;
+  in0 : int array;
+  in1 : int array;
+  in2 : int array;
+  out : int array;
+}
+
+val k_and : int
+val k_or : int
+val k_nand : int
+val k_nor : int
+val k_xor : int
+val k_xnor : int
+val k_not : int
+val k_buf : int
+val k_mux2 : int
+
+val ops : t -> ops
+
+val po_nets : t -> int array
+(** All primary-output nets, bus order. *)
+
+val pi_nets : t -> int array
+(** All primary-input nets, bus order. *)
+
+val driver_index : t -> int array
+(** net -> levelized gate index of its driver, or -1 (PI/Q/const). *)
+
+val dff_of_q : t -> int array
+(** net -> dff id whose Q output it is, or -1. *)
+
+val fanout_gates : t -> int array * int array
+(** CSR [(idx, gates)]: the levelized gate indexes reading net [n] are
+    [gates.(idx.(n)) .. gates.(idx.(n+1) - 1)]. *)
+
+val fanout_dffs : t -> int array * int array
+(** CSR [(idx, dffs)]: the dff ids reading net [n] as their D input. *)
+
+(** {2 Output cones} *)
+
+type cone
+(** The sequential output cone of one net: every gate, flip-flop and
+    primary output a stuck-at fault on that net can ever influence,
+    closed under DFF feedback across clock cycles. Built on first use
+    and memoized inside {!t}; each construction records its gate count
+    on the ["sim.cone_gates"] observability histogram. *)
+
+val cone : t -> int -> cone
+
+val cone_gate_count : cone -> int
+val cone_dff_count : cone -> int
+
+val cone_gates : cone -> int array
+(** Cone gates as indexes into the levelized order, ascending — a
+    subsequence of the full sweep. *)
+
+val cone_dffs : cone -> int array
+(** Flip-flop ids whose D input lies in the cone, ascending. *)
+
+val cone_member : cone -> int -> bool
+(** Can this net carry the fault effect? (the site itself, a cone DFF's
+    Q, or a cone gate's output) *)
+
+val cone_pos : cone -> int array
+(** The primary-output nets inside the cone — the only POs a fault on
+    this net can ever flip. *)
+
+val cone_bits : cone -> Bytes.t
+(** The {!cone_member} bitset (bit [net land 7] of byte [net lsr 3]) for
+    callers that need the test inlined in a hot loop. Do not mutate. *)
 
 type machine = {
   values : int64 array;       (** current net words, indexed by net id *)
@@ -54,3 +145,53 @@ val gate_count : t -> int
 val levelized : t -> Hlts_netlist.Netlist.gate array
 (** The gates in evaluation (topological) order — shared by the PODEM
     engine so both simulators sweep identically. *)
+
+(** {2 Recorded good trajectory and fault replay} *)
+
+type trajectory
+(** One good-machine run over a stimuli batch, with the full net-value
+    word array snapshotted after every evaluation and the DFF state
+    after every clock edge — the baseline {!replay} diffs against. *)
+
+val record : t -> (int * int64) list array -> trajectory
+(** [record t stimuli] runs a fresh good machine over the per-cycle
+    (net, word) assignments and snapshots values and state each cycle.
+    Every primary input should be assigned each cycle (unassigned nets
+    read as the previous cycle's word, 0 initially). *)
+
+val trajectory_cycles : trajectory -> int
+val trajectory_stimuli : trajectory -> (int * int64) list array
+val trajectory_values : trajectory -> int -> int64 array
+(** Post-evaluation net words of one cycle. Do not mutate. *)
+
+type scratch
+(** Reusable per-simulator replay buffers (faulty values and state), so
+    replaying a fault allocates nothing. *)
+
+val scratch : t -> scratch
+
+val replay :
+  ?mask:int64 ->
+  t -> scratch -> Hlts_fault.Fault.t -> trajectory ->
+  evals:int ref ->
+  (int * int64) option
+(** Cone-limited incremental replay of one fault against a recorded
+    trajectory: only the fault's cone is re-evaluated each cycle,
+    starting from the good machine's words, and a cycle is skipped
+    outright when the faulty state equals the good state and the site's
+    good word already equals the stuck word (the injection would be a
+    no-op, so the whole cycle is provably identical to the good run).
+    Returns the first (cycle, lane-diff word) with the diff restricted
+    to [mask], or [None]; increments [evals] once per examined cycle —
+    including skipped quiet cycles — exactly like {!replay_full}, so
+    effort accounting is engine-independent. Detection, cycle, diff
+    word and [evals] are bit-identical to {!replay_full} (property-
+    tested). *)
+
+val replay_full :
+  ?mask:int64 ->
+  t -> machine -> Hlts_fault.Fault.t -> trajectory ->
+  evals:int ref ->
+  (int * int64) option
+(** The pre-cone oracle: zeroes [machine] and sweeps the whole gate
+    array every cycle, comparing every PO against the trajectory. *)

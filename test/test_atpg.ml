@@ -50,6 +50,50 @@ let test_collapse_keeps_fanout_stems () =
   Alcotest.(check bool) "a faults kept" true
     (List.exists (fun f -> f.F.f_net = List.hd a) collapsed)
 
+let test_collapse_gate_inputs () =
+  (* single-fanout AND inputs: s-a-0 collapses onto the output s-a-0 *)
+  let c = and_dff () in
+  let base = F.collapsed_universe c in
+  let gi = F.collapsed_universe ~gate_inputs:true c in
+  Alcotest.(check bool) "strictly smaller" true
+    (List.length gi < List.length base);
+  (* default is unchanged *)
+  Alcotest.(check int) "default untouched" (List.length base)
+    (List.length (F.collapsed_universe ~gate_inputs:false c))
+
+let test_collapse_gate_inputs_equivalence () =
+  (* every collapsed-away fault must behave exactly like its
+     representative: same detection cycle and lane word against the
+     same recorded stimuli (the faulty circuits compute the same
+     function, so anything else is a collapsing bug) *)
+  let d = Hlts_dfg.Benchmarks.toy in
+  let s = Hlts_sched.Basic.asap_exn (Hlts_sched.Constraints.of_dfg d) in
+  let binding = Hlts_alloc.Binding.allocate d s in
+  let etpn = Hlts_etpn.Etpn.build_exn d s binding in
+  let c = Hlts_netlist.Expand.circuit etpn ~bits:4 in
+  let sim = Sim.compile c in
+  let representative = F.collapse_map ~gate_inputs:true c in
+  let rng = Hlts_util.Rng.create 7 in
+  let pis = List.concat_map (fun (_, bus) -> bus) c.N.pis in
+  let stimuli =
+    Array.init 20 (fun _ ->
+        List.map (fun net -> (net, Hlts_util.Rng.word rng)) pis)
+  in
+  let trajectory = Sim.record sim stimuli in
+  let scratch = Sim.scratch sim in
+  List.iter
+    (fun fault ->
+      let rep = representative fault in
+      if rep <> fault then begin
+        let e = ref 0 in
+        let r1 = Sim.replay sim scratch fault trajectory ~evals:e in
+        let r2 = Sim.replay sim scratch rep trajectory ~evals:e in
+        if r1 <> r2 then
+          Alcotest.failf "%s and its representative %s disagree"
+            (F.to_string fault) (F.to_string rep)
+      end)
+    (F.universe c)
+
 (* --- simulator ---------------------------------------------------------- *)
 
 let test_sim_combinational () =
@@ -258,6 +302,10 @@ let () =
           Alcotest.test_case "collapse chains" `Quick test_collapse_buffers;
           Alcotest.test_case "fanout stems kept" `Quick
             test_collapse_keeps_fanout_stems;
+          Alcotest.test_case "gate-input collapsing" `Quick
+            test_collapse_gate_inputs;
+          Alcotest.test_case "gate-input equivalence" `Quick
+            test_collapse_gate_inputs_equivalence;
         ] );
       ( "sim",
         [

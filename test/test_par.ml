@@ -1,0 +1,82 @@
+(* Tests for the fork-based parallel experiment runner: deterministic
+   input-order merging, exact serial fallback, error propagation, and
+   an ATPG workload pushed through forked workers. *)
+
+module Par = Hlts_eval.Par
+module Atpg = Hlts_atpg.Atpg
+
+let items = List.init 23 (fun i -> i)
+
+let test_map_is_list_map () =
+  let f x = (x * x) + 1 in
+  Alcotest.(check (list int)) "jobs=1" (List.map f items)
+    (Par.map ~jobs:1 f items);
+  Alcotest.(check (list int)) "jobs=4" (List.map f items)
+    (Par.map ~jobs:4 f items);
+  Alcotest.(check (list int)) "more jobs than items" (List.map f items)
+    (Par.map ~jobs:64 f items)
+
+let test_map_empty_and_single () =
+  Alcotest.(check (list int)) "empty" [] (Par.map ~jobs:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "single" [ 7 ]
+    (Par.map ~jobs:4 (fun x -> x) [ 7 ])
+
+let test_map_order_under_skew () =
+  (* make early items slow so workers finish out of order *)
+  let f x =
+    if x < 4 then Unix.sleepf 0.05;
+    x * 10
+  in
+  Alcotest.(check (list int)) "order kept" (List.map (fun x -> x * 10) items)
+    (Par.map ~jobs:8 f items)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_map_propagates_errors () =
+  let f x = if x = 11 then failwith "boom" else x in
+  match Par.map ~jobs:4 f items with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Failure msg ->
+    Alcotest.(check bool) "mentions the worker error" true
+      (contains ~sub:"boom" msg)
+
+let test_default_jobs_env () =
+  (* default_jobs reads HLTS_JOBS; unset/garbage means serial *)
+  Alcotest.(check bool) "positive" true (Par.default_jobs () >= 1)
+
+let datapath bits =
+  let d = Hlts_dfg.Benchmarks.toy in
+  let s = Hlts_sched.Basic.asap_exn (Hlts_sched.Constraints.of_dfg d) in
+  let binding = Hlts_alloc.Binding.allocate d s in
+  let etpn = Hlts_etpn.Etpn.build_exn d s binding in
+  Hlts_netlist.Expand.circuit etpn ~bits
+
+let test_atpg_through_fork () =
+  let run seed =
+    let config = { Atpg.default_config with Atpg.seed } in
+    let r = Atpg.run ~config (datapath 4) in
+    (r.Atpg.coverage, r.Atpg.effort, r.Atpg.detect_digest)
+  in
+  let seeds = [ 1; 2; 3 ] in
+  let serial = List.map run seeds in
+  let forked = Par.map ~jobs:3 run seeds in
+  Alcotest.(check bool) "forked = serial" true (serial = forked)
+
+let () =
+  Alcotest.run "hlts_par"
+    [
+      ( "par",
+        [
+          Alcotest.test_case "map = List.map" `Quick test_map_is_list_map;
+          Alcotest.test_case "empty/single" `Quick test_map_empty_and_single;
+          Alcotest.test_case "order under skew" `Quick
+            test_map_order_under_skew;
+          Alcotest.test_case "errors propagate" `Quick
+            test_map_propagates_errors;
+          Alcotest.test_case "default jobs" `Quick test_default_jobs_env;
+          Alcotest.test_case "atpg through fork" `Quick test_atpg_through_fork;
+        ] );
+    ]
