@@ -165,6 +165,23 @@ let json_benchmarks = [ "ex"; "dct"; "diffeq"; "ewf"; "paulin"; "tseng" ]
 
 let json_widths = [ 4; 8; 16 ]
 
+(* Synthetic workloads (seeded, ~3x and ~5x EWF) for measuring the
+   parallel candidate evaluation: the paper benchmarks top out around
+   half a second, too short for wall-clock speedup to mean much. Run at
+   one width, once per jobs setting; the digests must agree across
+   jobs. Wall times and the speedup are machine facts, not asserted —
+   on a single-core host the pooled run is strictly slower (DESIGN.md
+   §6.3); everything else in the entry is deterministic. *)
+let json_synthetics =
+  [
+    ("rnd-a", Hlts_dfg.Benchmarks.random ~seed:11 ~ops:100);
+    ("rnd-b", Hlts_dfg.Benchmarks.random ~seed:23 ~ops:170);
+  ]
+
+let synthetic_bits = 8
+
+let synthetic_jobs = [ 1; 4 ]
+
 let records_digest records =
   let line r =
     Printf.sprintf "%d|%s|%d|%h|%h|%h" r.Synth.iteration r.Synth.description
@@ -172,63 +189,107 @@ let records_digest records =
   in
   Digest.to_hex (Digest.string (String.concat "\n" (List.map line records)))
 
-let json_entry name dfg bits =
+let json_entry ?(jobs = 1) name dfg bits =
   let summary = Hlts_obs.Summary.create () in
   let params = { Synth.default_params with Synth.bits } in
   let t0 = Hlts_obs.Clock.now_ns () in
   let r =
     Hlts_obs.with_sink (Hlts_obs.Summary.sink summary) (fun () ->
-        Synth.run ~params dfg)
+        Synth.run ~params ~jobs dfg)
   in
   let wall_s = Hlts_obs.Clock.seconds_since t0 in
   let counter = Hlts_obs.Summary.counter summary in
+  let digest = records_digest r.Synth.records in
   let open Hlts_obs.Json in
-  Obj
-    [
-      ("name", Str name);
-      ("bits", Int bits);
-      ("wall_s", Float wall_s);
-      ("iterations", Int r.Synth.iterations);
-      ("merge_attempts", Int (counter "synth.merge_attempts"));
-      ("reschedule_attempts", Int (counter "sched.reschedule_attempts"));
-      ("testability_analyses", Int (counter "testability.analyses"));
-      ("scans_widened", Int (counter "synth.scans_widened"));
-      ("commits", Int (counter "synth.commits"));
-      ("final_e", Int (State.execution_time r.Synth.final));
-      ("final_h", Float (State.area r.Synth.final ~bits));
-      ( "schedule_length",
-        Int (Hlts_sched.Schedule.length r.Synth.final.State.schedule) );
-      ("records_digest", Str (records_digest r.Synth.records));
-    ]
+  ( Obj
+      [
+        ("name", Str name);
+        ("bits", Int bits);
+        ("jobs", Int jobs);
+        ("wall_s", Float wall_s);
+        ("iterations", Int r.Synth.iterations);
+        ("merge_attempts", Int (counter "synth.merge_attempts"));
+        ("reschedule_attempts", Int (counter "sched.reschedule_attempts"));
+        ("testability_analyses", Int (counter "testability.analyses"));
+        ("scans_widened", Int (counter "synth.scans_widened"));
+        ("commits", Int (counter "synth.commits"));
+        ("final_e", Int (State.execution_time r.Synth.final));
+        ("final_h", Float (State.area r.Synth.final ~bits));
+        ( "schedule_length",
+          Int (Hlts_sched.Schedule.length r.Synth.final.State.schedule) );
+        ("records_digest", Str digest);
+      ],
+    digest,
+    wall_s )
 
 let run_json ~only file =
+  let known = json_benchmarks @ List.map fst json_synthetics in
   let selected =
     match only with
     | [] -> json_benchmarks
     | names ->
       List.iter
         (fun n ->
-          if not (List.mem n json_benchmarks) then
+          if not (List.mem n known) then
             Printf.eprintf "unknown benchmark %S for --json-bench\n" n)
         names;
       List.filter (fun n -> List.mem n names) json_benchmarks
   in
-  let entries =
+  let selected_syn =
+    match only with
+    | [] -> json_synthetics
+    | names -> List.filter (fun (n, _) -> List.mem n names) json_synthetics
+  in
+  let paper_entries =
     List.concat_map
       (fun name ->
         let dfg = List.assoc name Hlts_dfg.Benchmarks.all in
         List.map
           (fun bits ->
             Printf.printf "json: %s @ %d bit...%!" name bits;
-            let e = json_entry name dfg bits in
+            let e, _, _ = json_entry name dfg bits in
             Printf.printf " done\n%!";
             e)
           json_widths)
       selected
   in
+  (* One entry per (synthetic, jobs); the merge trajectory must not
+     depend on the worker count, so a digest disagreement aborts the
+     benchmark rather than committing an invalid file. *)
+  let synthetic_entries =
+    List.concat_map
+      (fun (name, dfg) ->
+        let runs =
+          List.map
+            (fun jobs ->
+              Printf.printf "json: %s @ %d bit -j %d...%!" name synthetic_bits
+                jobs;
+              let e, digest, wall = json_entry ~jobs name dfg synthetic_bits in
+              Printf.printf " done [%.1fs]\n%!" wall;
+              (jobs, e, digest, wall))
+            synthetic_jobs
+        in
+        (match runs with
+        | (_, _, d0, w0) :: rest ->
+          List.iter
+            (fun (jobs, _, d, w) ->
+              if d <> d0 then
+                failwith
+                  (Printf.sprintf
+                     "%s: -j %d digest %s differs from -j 1 digest %s" name
+                     jobs d d0);
+              if jobs > 1 then
+                Printf.printf "json: %s speedup at -j %d: %.2fx\n%!" name jobs
+                  (w0 /. w))
+            rest
+        | [] -> ());
+        List.map (fun (_, e, _, _) -> e) runs)
+      selected_syn
+  in
+  let entries = paper_entries @ synthetic_entries in
   let doc =
     Hlts_obs.Json.(
-      Obj [ ("schema", Str "hlts-bench-synth/1"); ("benchmarks", List entries) ])
+      Obj [ ("schema", Str "hlts-bench-synth/2"); ("benchmarks", List entries) ])
   in
   let oc = open_out file in
   output_string oc (Hlts_obs.Json.to_string doc);

@@ -118,12 +118,21 @@ let list_cmd =
     Term.(const run $ const ())
 
 let synth_cmd =
-  let run bench approach bits stats trace jsonl =
+  let jobs_arg =
+    let doc =
+      "Evaluate merge candidates on $(docv) pooled workers (default: \
+       the HLTS_JOBS environment variable, else 1). The synthesized \
+       design and every printed number are bit-identical for every job \
+       count; only wall-clock time changes."
+    in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let run bench approach bits jobs stats trace jsonl =
     with_errors (fun () ->
         let* d = find_bench bench in
         let* a = find_approach approach in
         with_obs ~stats ~trace ~jsonl (fun () ->
-            let o = Eval.outcome a d ~bits in
+            let o = Eval.outcome ?jobs a d ~bits in
             Render.schedule_figure Format.std_formatter d o;
             let stats = Hlts_etpn.Etpn.stats o.Flows.etpn in
             Printf.printf
@@ -136,8 +145,8 @@ let synth_cmd =
   Cmd.v
     (Cmd.info "synth"
        ~doc:"Synthesize a benchmark and print its schedule and allocation.")
-    Term.(const run $ bench_arg $ approach_arg $ bits_arg $ stats_arg
-          $ trace_arg $ jsonl_arg)
+    Term.(const run $ bench_arg $ approach_arg $ bits_arg $ jobs_arg
+          $ stats_arg $ trace_arg $ jsonl_arg)
 
 let testability_cmd =
   let run bench approach bits =

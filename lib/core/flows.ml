@@ -45,10 +45,10 @@ let separate_step approach scheduler dfg =
     invalid_arg (Printf.sprintf "Flows.%s: %s" (approach_name approach) msg)
   | Ok schedule ->
     let binding = Binding.allocate ~prefer_io:true dfg schedule in
-    let state = State.make ~dfg ~cons ~schedule ~binding in
+    let state = State.make ~dfg ~cons ~schedule ~binding () in
     { approach; state; etpn = State.etpn state; records = [] }
 
-let synthesize ?(params = Synth.default_params) approach dfg =
+let synthesize ?(params = Synth.default_params) ?jobs approach dfg =
   match approach with
   | Approach1 ->
     let latency = budget params dfg in
@@ -62,7 +62,7 @@ let synthesize ?(params = Synth.default_params) approach dfg =
       dfg
   | Camad ->
     let params = { params with Synth.strategy = Candidates.Connectivity } in
-    let r = Synth.run ~params dfg in
+    let r = Synth.run ~params ?jobs dfg in
     {
       approach = Camad;
       state = r.Synth.final;
@@ -71,7 +71,7 @@ let synthesize ?(params = Synth.default_params) approach dfg =
     }
   | Ours ->
     let params = { params with Synth.strategy = Candidates.Balance } in
-    let r = Synth.run ~params dfg in
+    let r = Synth.run ~params ?jobs dfg in
     {
       approach = Ours;
       state = r.Synth.final;

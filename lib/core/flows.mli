@@ -27,8 +27,12 @@ type outcome = {
   records : Synth.record list;  (** empty for the separate-step flows *)
 }
 
-val synthesize : ?params:Synth.params -> approach -> Hlts_dfg.Dfg.t -> outcome
+val synthesize :
+  ?params:Synth.params -> ?jobs:int -> approach -> Hlts_dfg.Dfg.t -> outcome
 (** [params] applies to the iterative flows ([Ours], [Camad]); the
-    separate-step flows schedule at the critical-path latency.
+    separate-step flows schedule at the critical-path latency. [jobs]
+    (also only meaningful for the iterative flows) evaluates merge
+    candidates on that many pooled workers — see {!Synth.run}; the
+    outcome is bit-identical to the serial run.
     @raise Invalid_argument if a separate-step flow fails to schedule
     (cannot happen on an acyclic DFG). *)

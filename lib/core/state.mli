@@ -20,13 +20,20 @@ type t = {
 }
 
 val make :
+  ?etime:int ->
+  ?area:(int * float) list ->
   dfg:Hlts_dfg.Dfg.t ->
   cons:Hlts_sched.Constraints.t ->
   schedule:Hlts_sched.Schedule.t ->
   binding:Hlts_alloc.Binding.t ->
+  unit ->
   t
 (** A state from explicit parts (the schedule is trusted to match the
-    constraints). *)
+    constraints). [etime] and [area] (a [bits -> mm2] listing) seed the
+    derived-view memos for callers that already know them — the pool
+    workers receive both over the wire with each rebase, which saves
+    every worker one full ETPN rebuild per iteration. Trusted, like the
+    schedule: a wrong seed silently skews every later delta. *)
 
 val init : Hlts_dfg.Dfg.t -> t
 (** Algorithm 1 line 1: simple default scheduling (ASAP) and default
@@ -47,8 +54,9 @@ val analysis : t -> Hlts_testability.Testability.t
     record's sequential depth. *)
 
 val area : t -> bits:int -> float
-(** H: floorplanned hardware cost at the given bit width. Memoized for
-    the last width queried (constant within a synthesis run). *)
+(** H: floorplanned hardware cost at the given bit width. Memoized per
+    width, so interleaving queries at different widths (e.g. evaluating
+    one state for several library points) never recomputes. *)
 
 val with_constraints : t -> Hlts_sched.Constraints.t -> t option
 (** Recomputes the ASAP schedule under new constraints; [None] if they

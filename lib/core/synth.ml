@@ -1,5 +1,6 @@
 module Testability = Hlts_testability.Testability
 module Obs = Hlts_obs
+module Pool = Hlts_pool.Pool
 
 type stop =
   | Cost_improving
@@ -49,14 +50,9 @@ let attempt state ~bits pair =
   | Candidates.Units (a, b) -> Merge.modules state ~bits a b
   | Candidates.Registers (a, b) -> Merge.registers state ~bits a b
 
-(* One iteration: select the k best-balanced candidate pairs, estimate
-   dE/dH for each feasible merger, commit the cheapest acceptable one.
-   If none of the top-k qualifies, the scan widens down the score-ordered
-   list (keeping the testability priority) until an acceptable merger is
-   found; [None] when none exists anywhere, which terminates the loop.
-   [sp] is the enclosing iteration span; candidate-pool behaviour is
-   reported on it. *)
-let step params ~budget ~sp state =
+(* Score-ordered candidate pairs for one iteration, reported on the
+   iteration span. *)
+let score_candidates params ~sp state =
   let analysis = State.analysis state in
   let scored =
     Obs.span ~cat:"candidates" "candidates.score" (fun csp ->
@@ -65,10 +61,15 @@ let step params ~budget ~sp state =
         scored)
   in
   Obs.set sp "pool" (Obs.Int (List.length scored));
-  (* dE is in control steps; dH in mm2. To make alpha/beta trade them
-     off the way the paper's parameter triples do, dH is expressed in
-     register-equivalents at the target bit width (one register of the
-     module library = 1 hardware unit). *)
+  List.map fst scored
+
+(* dE is in control steps; dH in mm2. To make alpha/beta trade them
+   off the way the paper's parameter triples do, dH is expressed in
+   register-equivalents at the target bit width (one register of the
+   module library = 1 hardware unit). Both the sequential and the
+   pooled step use these exact closures, so the commit rule — and with
+   it the trajectory — cannot drift between the two paths. *)
+let metrics params ~budget =
   let reg_unit = Hlts_floorplan.Module_library.reg_area ~bits:params.bits in
   let cost o =
     (params.alpha *. float_of_int o.Merge.delta_e)
@@ -81,7 +82,19 @@ let step params ~budget ~sp state =
     | Exhaustive -> true
     | Cost_improving -> cost o < 0.0
   in
-  let top, rest = Hlts_util.Listx.split_at params.k (List.map fst scored) in
+  (cost, acceptable)
+
+(* One iteration: select the k best-balanced candidate pairs, estimate
+   dE/dH for each feasible merger, commit the cheapest acceptable one.
+   If none of the top-k qualifies, the scan widens down the score-ordered
+   list (keeping the testability priority) until an acceptable merger is
+   found; [None] when none exists anywhere, which terminates the loop.
+   [sp] is the enclosing iteration span; candidate-pool behaviour is
+   reported on it. *)
+let step params ~budget ~sp state =
+  let candidates = score_candidates params ~sp state in
+  let cost, acceptable = metrics params ~budget in
+  let top, rest = Hlts_util.Listx.split_at params.k candidates in
   let best_of_top =
     let outcomes =
       List.filter acceptable
@@ -107,7 +120,152 @@ let step params ~budget ~sp state =
     if !widened > 0 then Obs.count ~by:!widened "synth.scans_widened";
     found
 
-let run ?(params = default_params) dfg =
+(* --- pooled candidate evaluation ---------------------------------------- *)
+
+(* Worker protocol: [W_state] (a broadcast) re-bases the worker on the
+   committed design after each iteration; [W_try] attempts a slice of
+   candidate mergers, in order, against that base. Everything on the
+   wire is closure-free plain data. Replies are deliberately slim —
+   only the deltas and schedule length the commit rule reads — because
+   shipping the full post-merge constraint set back for every
+   speculative attempt costs more in (de)marshalling than the attempt
+   itself; the parent re-executes just the one winning attempt locally
+   to obtain the committed state. Slicing several candidates into one
+   task amortizes the per-message framing and syscalls (the dominant
+   coordinator cost once replies are slim); each attempt still ships
+   its own counter tally so the parent can replay exactly the attempts
+   a sequential scan would have made. *)
+type wtask =
+  | W_state of
+      Hlts_sched.Constraints.t
+      * Hlts_sched.Schedule.t
+      * Hlts_alloc.Binding.t
+      * int (* execution time of the committed state *)
+      * float (* its floorplanned area at [params.bits] *)
+  | W_try of Candidates.pair list
+
+(* Per attempt: (delta_e, delta_h, post-merge schedule length) — [None]
+   = infeasible — plus the counters the attempt emitted in the worker. *)
+type wreply = ((int * float * int) option * Pool.tally) list
+
+(* The pooled mirror of [step]. The top-k attempts run concurrently;
+   the widening scan evaluates [jobs * k] candidates speculatively per
+   chunk and commits the first acceptable one in score order. Cost and
+   acceptability are computed from the shipped deltas with the same
+   float expressions as [metrics], so the winner is the one the
+   sequential scan would pick; the parent then re-executes exactly that
+   attempt to materialize the outcome (deterministic, so bit-identical
+   to the worker's evaluation). Worker tallies are replayed into the
+   parent's sinks only for the attempts the sequential scan would have
+   made (the whole top-k, and the widened prefix up to the winner); the
+   winner's own counters come from the parent's local re-execution, at
+   the same position in the stream, and later speculation is discarded
+   and accounted as [synth.pool.speculative_waste]. *)
+let pool_step params ~budget ~sp ~pool state =
+  let candidates = score_candidates params ~sp state in
+  let cost, _acceptable = metrics params ~budget in
+  let reg_unit = Hlts_floorplan.Module_library.reg_area ~bits:params.bits in
+  let cost_d (delta_e, delta_h, _) =
+    (params.alpha *. float_of_int delta_e)
+    +. (params.beta *. delta_h /. reg_unit)
+  in
+  let acceptable_d ((_, _, sched_len) as d) =
+    sched_len <= budget
+    &&
+    match params.stop with
+    | Exhaustive -> true
+    | Cost_improving -> cost_d d < 0.0
+  in
+  (* Re-execute the winning attempt in the parent: same state, same
+     pair, same code path — the outcome (and its counter emissions)
+     are exactly what the sequential scan would have produced. *)
+  let materialize pair =
+    match attempt state ~bits:params.bits pair with
+    | Some o -> o
+    | None ->
+      invalid_arg "Synth.pool_step: worker and parent disagree on feasibility"
+  in
+  (* Evaluate [pairs] as contiguous slices of at most [slice] candidates
+     per task, all in flight at once; flattening the slice replies in
+     submission order restores the original score order. *)
+  let eval_batch ~slice pairs =
+    let rec slices = function
+      | [] -> []
+      | ps ->
+        let s, rest = Hlts_util.Listx.split_at slice ps in
+        s :: slices rest
+    in
+    let tickets =
+      List.map (fun s -> (s, Pool.submit pool (W_try s))) (slices pairs)
+    in
+    List.concat_map
+      (fun (s, t) ->
+        let (replies : wreply), _task_tally = Pool.await pool t in
+        List.map2 (fun pair (reply, tally) -> (pair, reply, tally)) s replies)
+      tickets
+  in
+  let top, rest = Hlts_util.Listx.split_at params.k candidates in
+  let best_of_top =
+    (* one candidate per task: the top-k are few and spread widest *)
+    let replies = eval_batch ~slice:1 top in
+    let acceptable_replies =
+      List.mapi (fun i (_, reply, _) -> (i, reply)) replies
+      |> List.filter_map (fun (i, reply) ->
+             match reply with
+             | Some d when acceptable_d d -> Some (i, d)
+             | Some _ | None -> None)
+    in
+    let winner =
+      Hlts_util.Listx.min_by (fun (_, d) -> cost_d d) acceptable_replies
+    in
+    let outcome = ref None in
+    List.iteri
+      (fun i (pair, _, tally) ->
+        match winner with
+        | Some (wi, _) when wi = i -> outcome := Some (materialize pair)
+        | Some _ | None -> Pool.replay tally)
+      replies;
+    Option.map (fun o -> (o, cost o)) !outcome
+  in
+  match best_of_top with
+  | Some found -> Some found
+  | None ->
+    let chunk_size = max 1 (Pool.jobs pool * params.k) in
+    let widened = ref 0 in
+    let rec widen_chunks rest =
+      match rest with
+      | [] -> None
+      | _ -> begin
+        let chunk, rest' = Hlts_util.Listx.split_at chunk_size rest in
+        let replies = eval_batch ~slice:params.k chunk in
+        let rec scan = function
+          | [] -> None
+          | (pair, reply, tally) :: tl -> begin
+            incr widened;
+            match reply with
+            | Some d when acceptable_d d ->
+              let o = materialize pair in
+              let waste = List.length tl in
+              if waste > 0 then
+                Obs.count ~by:waste "synth.pool.speculative_waste";
+              Some (o, cost o)
+            | Some _ | None ->
+              Pool.replay tally;
+              scan tl
+          end
+        in
+        match scan replies with
+        | Some found -> Some found
+        | None -> widen_chunks rest'
+      end
+    in
+    let found = widen_chunks rest in
+    Obs.set sp "widened" (Obs.Int !widened);
+    if !widened > 0 then Obs.count ~by:!widened "synth.scans_widened";
+    found
+
+let run ?(params = default_params) ?jobs dfg =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   Obs.span ~cat:"synth" "synth.run" @@ fun run_sp ->
   let critical_path = Hlts_dfg.Dfg.longest_chain dfg in
   let budget =
@@ -116,44 +274,117 @@ let run ?(params = default_params) dfg =
       int_of_float (ceil (params.latency_factor *. float_of_int critical_path))
   in
   let reg_unit = Hlts_floorplan.Module_library.reg_area ~bits:params.bits in
-  let rec loop state records iteration =
-    if iteration >= params.max_iterations then (state, records, iteration)
-    else
-      let stepped =
-        (* One span per Algorithm-1 iteration. A committed merge carries
-           accepted/dE/dH/cost args; the terminating scan (no acceptable
-           merger anywhere) carries only pool/widened. *)
-        Obs.span ~cat:"merge" "synth.iteration" (fun sp ->
-            Obs.set sp "iteration" (Obs.Int iteration);
-            match step params ~budget ~sp state with
-            | None -> None
-            | Some (outcome, cost) ->
-              Obs.set sp "accepted" (Obs.Str outcome.Merge.description);
-              Obs.set sp "dE" (Obs.Int outcome.Merge.delta_e);
-              Obs.set sp "dH_mm2" (Obs.Float outcome.Merge.delta_h);
-              Obs.set sp "dH_units" (Obs.Float (outcome.Merge.delta_h /. reg_unit));
-              Obs.set sp "cost" (Obs.Float cost);
-              Obs.count "synth.commits";
-              Some (outcome, cost))
-      in
-      match stepped with
-      | None -> (state, records, iteration)
-      | Some (outcome, cost) ->
-        let state' = outcome.Merge.state in
-        let seq_depth = Testability.seq_depth_total (State.analysis state') in
-        let record =
+  let state0 = State.init dfg in
+  let loop ~step_fn ~on_commit =
+    let rec loop state records iteration =
+      if iteration >= params.max_iterations then (state, records, iteration)
+      else
+        let stepped =
+          (* One span per Algorithm-1 iteration. A committed merge carries
+             accepted/dE/dH/cost args; the terminating scan (no acceptable
+             merger anywhere) carries only pool/widened. *)
+          Obs.span ~cat:"merge" "synth.iteration" (fun sp ->
+              Obs.set sp "iteration" (Obs.Int iteration);
+              match step_fn ~sp state with
+              | None -> None
+              | Some (outcome, cost) ->
+                Obs.set sp "accepted" (Obs.Str outcome.Merge.description);
+                Obs.set sp "dE" (Obs.Int outcome.Merge.delta_e);
+                Obs.set sp "dH_mm2" (Obs.Float outcome.Merge.delta_h);
+                Obs.set sp "dH_units"
+                  (Obs.Float (outcome.Merge.delta_h /. reg_unit));
+                Obs.set sp "cost" (Obs.Float cost);
+                Obs.count "synth.commits";
+                Some (outcome, cost))
+        in
+        match stepped with
+        | None -> (state, records, iteration)
+        | Some (outcome, cost) ->
+          let state' = outcome.Merge.state in
+          let seq_depth = Testability.seq_depth_total (State.analysis state') in
+          let record =
+            {
+              iteration;
+              description = outcome.Merge.description;
+              delta_e = outcome.Merge.delta_e;
+              delta_h = outcome.Merge.delta_h;
+              cost;
+              seq_depth;
+            }
+          in
+          on_commit state';
+          loop state' (record :: records) (iteration + 1)
+    in
+    loop state0 [] 0
+  in
+  let final, records, iterations =
+    if jobs > 1 && Pool.available && not (Pool.in_worker ()) then begin
+      (* Force the initial state's derived views before forking so the
+         workers share them copy-on-write for iteration 0 (no counters
+         are emitted by the forcing, so observability is unchanged). *)
+      ignore (State.execution_time state0);
+      ignore (State.area state0 ~bits:params.bits);
+      let worker_state = ref state0 in
+      (* Each attempt is evaluated under its own capture sink so its
+         counters travel back individually: the parent replays only the
+         attempts the sequential scan would have made, at slice
+         granularity that split would otherwise be lost. *)
+      let try_one pair =
+        let counts = ref [] and samples = ref [] in
+        let capture =
           {
-            iteration;
-            description = outcome.Merge.description;
-            delta_e = outcome.Merge.delta_e;
-            delta_h = outcome.Merge.delta_h;
-            cost;
-            seq_depth;
+            Obs.emit =
+              (function
+                | Obs.Count { name; delta; _ } ->
+                  counts := (name, delta) :: !counts
+                | Obs.Sample { name; v; _ } ->
+                  samples := (name, v) :: !samples
+                | _ -> ());
+            flush = ignore;
           }
         in
-        loop state' (record :: records) (iteration + 1)
+        let slim =
+          Obs.with_sink capture (fun () ->
+              match attempt !worker_state ~bits:params.bits pair with
+              | None -> None
+              | Some o ->
+                Some
+                  ( o.Merge.delta_e,
+                    o.Merge.delta_h,
+                    Hlts_sched.Schedule.length o.Merge.state.State.schedule ))
+        in
+        ( slim,
+          { Pool.counts = List.rev !counts; samples = List.rev !samples } )
+      in
+      let wf : wtask -> wreply = function
+        | W_state (cons, schedule, binding, etime, area) ->
+          (* The scalar views every attempt reads off the base state
+             come seeded over the wire: without them each worker would
+             rebuild the committed design's ETPN once per iteration
+             just to recompute two numbers the parent already has. *)
+          worker_state :=
+            State.make ~etime
+              ~area:[ (params.bits, area) ]
+              ~dfg ~cons ~schedule ~binding ();
+          []
+        | W_try pairs -> List.map try_one pairs
+      in
+      Pool.with_pool ~name:"synth.pool" ~jobs wf @@ fun pool ->
+      loop
+        ~step_fn:(fun ~sp state -> pool_step params ~budget ~sp ~pool state)
+        ~on_commit:(fun s' ->
+          Pool.broadcast pool
+            (W_state
+               ( s'.State.cons,
+                 s'.State.schedule,
+                 s'.State.binding,
+                 State.execution_time s',
+                 State.area s' ~bits:params.bits )))
+    end
+    else
+      loop
+        ~step_fn:(fun ~sp state -> step params ~budget ~sp state)
+        ~on_commit:ignore
   in
-  let state0 = State.init dfg in
-  let final, records, iterations = loop state0 [] 0 in
   Obs.set run_sp "iterations" (Obs.Int iterations);
   { final; records = List.rev records; iterations }

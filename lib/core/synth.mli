@@ -56,6 +56,16 @@ type result = {
   iterations : int;
 }
 
-val run : ?params:params -> Hlts_dfg.Dfg.t -> result
+val run : ?params:params -> ?jobs:int -> Hlts_dfg.Dfg.t -> result
 (** Runs Algorithm 1 from the default allocation/schedule. The result
-    state is always consistent. *)
+    state is always consistent.
+
+    [jobs] (default: the [HLTS_JOBS] environment variable, else 1)
+    evaluates merge candidates on a persistent pool of that many forked
+    workers: the top-k attempts run concurrently, and the widening scan
+    speculatively evaluates [jobs * k] candidates per chunk, committing
+    the first acceptable one in score order. The committed trajectory —
+    records, digests, final state and observability counters — is
+    bit-identical to [jobs = 1]; only wall-clock time changes. Falls
+    back to the serial path when forking is unavailable or the caller
+    is itself a pool worker. *)

@@ -236,6 +236,57 @@ let toy =
       outputs = [ "q" ];
     }
 
+let random ~seed ~ops:n =
+  if n < 1 then invalid_arg "Benchmarks.random: ops must be >= 1";
+  let rng = Hlts_util.Rng.create seed in
+  let n_inputs = max 3 (min 16 (n / 8)) in
+  let inputs = List.init n_inputs (Printf.sprintf "i%d") in
+  let input_names = Array.of_list inputs in
+  let kinds = [| Op.Add; Op.Add; Op.Add; Op.Sub; Op.Sub; Op.Mul; Op.Mul |] in
+  (* Operand choice is biased toward recent results so the DFG grows
+     EWF-like chains (deep, with cross-links) rather than a shallow
+     fan-in tree; args always reference strictly earlier ops, so the
+     graph is acyclic by construction. *)
+  let operand rng j =
+    if j = 0 || Hlts_util.Rng.int rng 100 < 25 then
+      v (Hlts_util.Rng.pick rng input_names)
+    else if Hlts_util.Rng.int rng 100 < 70 then
+      r (1 + (j - 1) - Hlts_util.Rng.int rng (min j 5))
+    else r (1 + Hlts_util.Rng.int rng j)
+  in
+  let ops =
+    List.init n (fun j ->
+        let kind = Hlts_util.Rng.pick rng kinds in
+        let a = operand rng j in
+        let b =
+          if kind = Op.Mul && Hlts_util.Rng.int rng 100 < 30 then
+            c (3 + (2 * Hlts_util.Rng.int rng 30))
+          else operand rng j
+        in
+        op (j + 1) kind (Printf.sprintf "n%d" (j + 1)) a b)
+  in
+  let used =
+    List.concat_map
+      (fun (o : Dfg.operation) ->
+        let arg = function Dfg.Op id -> [ id ] | _ -> [] in
+        let a, b = o.Dfg.args in
+        arg a @ arg b)
+      ops
+  in
+  let outputs =
+    List.filter_map
+      (fun (o : Dfg.operation) ->
+        if List.mem o.Dfg.id used then None else Some o.Dfg.result)
+      ops
+  in
+  Dfg.validate_exn
+    {
+      Dfg.name = Printf.sprintf "rnd-s%d-n%d" seed n;
+      inputs;
+      ops;
+      outputs;
+    }
+
 let all =
   [
     ("ex", ex);
@@ -251,4 +302,12 @@ let all =
 
 let find name =
   let name = String.lowercase_ascii name in
-  List.assoc_opt name all
+  match List.assoc_opt name all with
+  | Some dfg -> Some dfg
+  | None -> (
+    (* The seeded synthetic family is addressable by its own name, so
+       CLIs and CI scripts can reference generated designs uniformly. *)
+    try
+      Scanf.sscanf name "rnd-s%d-n%d%!" (fun seed ops ->
+          if ops < 1 then None else Some (random ~seed ~ops))
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)

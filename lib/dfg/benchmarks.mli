@@ -38,6 +38,16 @@ val fir : Dfg.t
 val toy : Dfg.t
 (** Three-operation design used by the quickstart example and tests. *)
 
+val random : seed:int -> ops:int -> Dfg.t
+(** [random ~seed ~ops] generates a valid synthetic DFG with exactly
+    [ops] operations (add/sub/mul mix, operands biased toward recent
+    results so the graph grows EWF-like chains). Deterministic: equal
+    [(seed, ops)] yield structurally equal DFGs on every platform.
+    Unconsumed results become the outputs; the graph is acyclic by
+    construction and checked by [Dfg.validate_exn]. Used to benchmark
+    synthesis beyond the paper designs' size ceiling.
+    @raise Invalid_argument if [ops < 1]. *)
+
 val all : (string * Dfg.t) list
 (** All benchmarks keyed by lowercase name, paper benchmarks first. *)
 

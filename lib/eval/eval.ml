@@ -34,9 +34,9 @@ let params_for_bits bits =
   | 16 -> { base with Synth.alpha = 1.0; beta = 10.0; bits }
   | _ -> { base with Synth.bits }
 
-let outcome ?params approach dfg ~bits =
+let outcome ?params ?jobs approach dfg ~bits =
   let params = Option.value ~default:(params_for_bits bits) params in
-  Flows.synthesize ~params approach dfg
+  Flows.synthesize ~params ?jobs approach dfg
 
 let module_listing binding =
   List.map

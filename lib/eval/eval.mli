@@ -52,8 +52,11 @@ val evaluate_outcome :
 
 val outcome :
   ?params:Hlts_synth.Synth.params ->
+  ?jobs:int ->
   Hlts_synth.Flows.approach ->
   Hlts_dfg.Dfg.t ->
   bits:int ->
   Hlts_synth.Flows.outcome
-(** Synthesis only (no gate expansion/ATPG) — used by the figures. *)
+(** Synthesis only (no gate expansion/ATPG) — used by the figures.
+    [jobs] parallelizes candidate evaluation (see {!Hlts_synth.Synth.run});
+    the outcome is bit-identical regardless. *)

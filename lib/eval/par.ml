@@ -1,77 +1,18 @@
-module Obs = Hlts_obs
+module Pool = Hlts_pool.Pool
 
-let available = Sys.os_type = "Unix"
+let available = Pool.available
 
-let default_jobs () =
-  match Sys.getenv_opt "HLTS_JOBS" with
-  | None -> 1
-  | Some s -> (match int_of_string_opt (String.trim s) with
-               | Some n when n > 1 -> n
-               | Some _ | None -> 1)
-
-(* One worker's slice: indices congruent to [w] mod [workers]. *)
-let slice w workers items =
-  List.filteri (fun i _ -> i mod workers = w) items
-
-let run_serial f xs = List.map f xs
-
-let run_forked ~jobs f xs =
-  let n = List.length xs in
-  let indexed = List.mapi (fun i x -> (i, x)) xs in
-  let workers = min jobs n in
-  let children =
-    List.init workers (fun w ->
-        let rd, wr = Unix.pipe ~cloexec:false () in
-        match Unix.fork () with
-        | 0 ->
-          (* Child: no observability sinks (the parent keeps them), no
-             exit handlers (Unix._exit), one marshalled (index, result)
-             per item on the pipe. *)
-          Unix.close rd;
-          Obs.clear_sinks ();
-          let oc = Unix.out_channel_of_descr wr in
-          List.iter
-            (fun (i, x) ->
-              let r = try Ok (f x) with e -> Error (Printexc.to_string e) in
-              Marshal.to_channel oc (i, r) [])
-            (slice w workers indexed);
-          flush oc;
-          Unix._exit 0
-        | pid ->
-          Unix.close wr;
-          (pid, Unix.in_channel_of_descr rd, List.length (slice w workers indexed)))
-  in
-  let results = Array.make n None in
-  let failure = ref None in
-  List.iter
-    (fun (pid, ic, expected) ->
-      (try
-         for _ = 1 to expected do
-           let (i, r) : int * ('b, string) result = Marshal.from_channel ic in
-           match r with
-           | Ok v -> results.(i) <- Some v
-           | Error msg ->
-             if !failure = None then failure := Some (Printf.sprintf "cell %d: %s" i msg)
-         done
-       with End_of_file ->
-         if !failure = None then
-           failure := Some (Printf.sprintf "worker %d died before finishing" pid));
-      close_in ic;
-      match Unix.waitpid [] pid with
-      | _, Unix.WEXITED 0 -> ()
-      | _, _ ->
-        if !failure = None then
-          failure := Some (Printf.sprintf "worker %d exited abnormally" pid))
-    children;
-  (match !failure with
-   | Some msg -> failwith ("Par.map: " ^ msg)
-   | None -> ());
-  List.init n (fun i ->
-      match results.(i) with
-      | Some v -> v
-      | None -> failwith (Printf.sprintf "Par.map: missing result for cell %d" i))
+let default_jobs = Pool.default_jobs
 
 let map ?jobs f xs =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
-  if jobs <= 1 || not available || List.length xs <= 1 then run_serial f xs
-  else run_forked ~jobs f xs
+  if jobs <= 1 || not available || Pool.in_worker () || List.length xs <= 1
+  then List.map f xs
+  else
+    (* Ship indices, not items: the items are inherited copy-on-write by
+       the forked workers, so they may contain closures and unforced lazies
+       (e.g. [Eval.outcome]) that [Marshal] would reject. *)
+    let arr = Array.of_list xs in
+    Pool.with_pool ~name:"par.pool" ~jobs:(min jobs (Array.length arr))
+      (fun i -> f arr.(i))
+      (fun pool -> Pool.map pool (List.init (Array.length arr) Fun.id))

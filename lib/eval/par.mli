@@ -1,4 +1,5 @@
-(** Fork-based parallel map for experiment cells.
+(** Fork-based parallel map for experiment cells — a thin veneer over
+    the shared persistent worker pool ({!Pool}).
 
     Works on every OCaml the repo targets (4.14 and 5.x) without
     Domains: workers are [Unix.fork] children that stream marshalled
@@ -8,9 +9,10 @@
 
     With [jobs <= 1] (the default unless [HLTS_JOBS] says otherwise)
     no process is ever forked: {!map} is exactly [List.map], the
-    in-process serial path. Children clear the observability sinks
-    before computing, so spans and counters are only ever emitted by
-    the parent process. *)
+    in-process serial path. The same serial fallback applies when the
+    caller is itself a pool worker, so parallelism never nests. Worker
+    counters and samples are captured per task and replayed into the
+    parent's sinks, so observability totals match the serial run. *)
 
 val available : bool
 (** [true] on Unix-like systems where {!Unix.fork} works. *)
@@ -20,7 +22,7 @@ val default_jobs : unit -> int
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] is [List.map f xs], computed by up to [jobs]
-    forked workers (item [i] goes to worker [i mod jobs]); results are
+    pool workers (item [i] goes to worker [i mod jobs]); results are
     returned in input order. A worker exception or death fails the
     whole map with [Failure]. [f]'s results must be marshallable
     (no closures). *)

@@ -1,0 +1,352 @@
+module Obs = Hlts_obs
+
+let available = Sys.os_type = "Unix"
+
+let default_jobs () =
+  match Sys.getenv_opt "HLTS_JOBS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 1 -> n
+    | Some _ | None -> 1)
+
+let worker_flag = ref false
+
+let in_worker () = !worker_flag
+
+(* Parent-side pipe ends of every live pool in this process. A freshly
+   forked worker closes them all: a child holding another pool's write
+   end open would keep that pool's workers from ever seeing EOF. *)
+let live_fds : (Unix.file_descr, unit) Hashtbl.t = Hashtbl.create 16
+
+(* --- wire protocol ------------------------------------------------------ *)
+
+(* Parent -> worker, one marshalled message per task; worker -> parent,
+   one marshalled [(id, result, tally)] triple per [Job]. [Ctl] tasks
+   (broadcasts) produce no reply; [Quit] ends the worker loop. *)
+type 'task down =
+  | Job of int * 'task
+  | Ctl of 'task
+  | Quit
+
+type tally = {
+  counts : (string * int) list;
+  samples : (string * float) list;
+}
+
+type ticket = int
+
+(* --- worker side -------------------------------------------------------- *)
+
+(* Counter deltas summed by name, names in first-emission order. *)
+let aggregate_counts entries =
+  let tbl = Hashtbl.create 8 and order = ref [] in
+  List.iter
+    (fun (name, by) ->
+      match Hashtbl.find_opt tbl name with
+      | None ->
+        order := name :: !order;
+        Hashtbl.add tbl name by
+      | Some n -> Hashtbl.replace tbl name (n + by))
+    entries;
+  List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
+
+let child_loop f task_rd res_wr : unit =
+  worker_flag := true;
+  Hashtbl.iter
+    (fun fd () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    live_fds;
+  Hashtbl.reset live_fds;
+  (* The parent keeps the sinks; the worker only captures its own
+     counters and samples, shipping them back with each reply. *)
+  Obs.clear_sinks ();
+  let counts = ref [] and samples = ref [] in
+  let capture =
+    {
+      Obs.emit =
+        (function
+          | Obs.Count { name; delta; _ } -> counts := (name, delta) :: !counts
+          | Obs.Sample { name; v; _ } -> samples := (name, v) :: !samples
+          | _ -> ());
+      flush = ignore;
+    }
+  in
+  Obs.add_sink capture;
+  let ic = Unix.in_channel_of_descr task_rd in
+  let oc = Unix.out_channel_of_descr res_wr in
+  let poisoned = ref None in
+  let rec loop () =
+    match (Marshal.from_channel ic : _ down) with
+    | exception End_of_file -> ()
+    | Quit -> ()
+    | Ctl x ->
+      counts := [];
+      samples := [];
+      (match !poisoned with
+      | Some _ -> ()
+      | None -> (
+        try ignore (f x)
+        with e -> poisoned := Some (Printexc.to_string e)));
+      loop ()
+    | Job (id, x) ->
+      counts := [];
+      samples := [];
+      let r =
+        match !poisoned with
+        | Some msg -> Error ("control task failed: " ^ msg)
+        | None -> ( try Ok (f x) with e -> Error (Printexc.to_string e))
+      in
+      let tally =
+        { counts = aggregate_counts (List.rev !counts);
+          samples = List.rev !samples }
+      in
+      Marshal.to_channel oc (id, r, tally) [];
+      flush oc;
+      loop ()
+  in
+  (try loop () with _ -> ());
+  (try flush oc with _ -> ());
+  Unix._exit 0
+
+(* --- parent side -------------------------------------------------------- *)
+
+type worker = {
+  pid : int;
+  task_fd : Unix.file_descr;  (** write end, non-blocking *)
+  res_fd : Unix.file_descr;  (** read end, blocking (read only after select) *)
+  outq : Bytes.t Queue.t;
+  mutable out_off : int;  (** progress into the front of [outq] *)
+  mutable ibuf : Bytes.t;
+  mutable ilen : int;
+  mutable inflight : int;
+  mutable alive : bool;
+  mutable fail : string option;
+}
+
+type ('task, 'res) t = {
+  name : string;
+  workers : worker array;
+  mutable next : int;
+  results : (int, ('res, string) result * tally) Hashtbl.t;
+  mutable open_ : bool;
+}
+
+let jobs t = Array.length t.workers
+
+let mark_dead w reason =
+  if w.alive then begin
+    w.alive <- false;
+    w.fail <- Some reason
+  end
+
+(* One non-blocking write pass over a worker's outbound queue. *)
+let rec push_out w =
+  if w.alive && not (Queue.is_empty w.outq) then begin
+    let front = Queue.peek w.outq in
+    let len = Bytes.length front - w.out_off in
+    match Unix.write w.task_fd front w.out_off len with
+    | n ->
+      if n = len then begin
+        w.out_off <- 0;
+        ignore (Queue.pop w.outq);
+        push_out w
+      end
+      else w.out_off <- w.out_off + n
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error (EPIPE, _, _) ->
+      mark_dead w (Printf.sprintf "worker %d hung up" w.pid)
+  end
+
+let ensure_capacity w extra =
+  let need = w.ilen + extra in
+  if Bytes.length w.ibuf < need then begin
+    let cap = ref (max 1 (Bytes.length w.ibuf)) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let b = Bytes.create !cap in
+    Bytes.blit w.ibuf 0 b 0 w.ilen;
+    w.ibuf <- b
+  end
+
+(* Extract every complete marshalled reply from the worker's input
+   accumulator into the results table. *)
+let parse_replies t w =
+  let pos = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let avail = w.ilen - !pos in
+    if avail < Marshal.header_size then continue := false
+    else begin
+      let total = Marshal.total_size w.ibuf !pos in
+      if avail < total then continue := false
+      else begin
+        let id, r, tally = Marshal.from_bytes w.ibuf !pos in
+        pos := !pos + total;
+        w.inflight <- w.inflight - 1;
+        Hashtbl.replace t.results id (r, tally)
+      end
+    end
+  done;
+  if !pos > 0 then begin
+    Bytes.blit w.ibuf !pos w.ibuf 0 (w.ilen - !pos);
+    w.ilen <- w.ilen - !pos
+  end
+
+let pull_in t w =
+  ensure_capacity w 65536;
+  match Unix.read w.res_fd w.ibuf w.ilen (Bytes.length w.ibuf - w.ilen) with
+  | 0 -> mark_dead w (Printf.sprintf "worker %d died" w.pid)
+  | n ->
+    w.ilen <- w.ilen + n;
+    parse_replies t w
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+
+(* One IO round: flush what fits of every outbound queue, then select on
+   (readable replies, writable task pipes); [block] waits for the first
+   event, otherwise the round only picks up whatever is ready now. *)
+let pump t ~block =
+  Array.iter push_out t.workers;
+  let readers =
+    Array.to_list t.workers
+    |> List.filter_map (fun w -> if w.alive then Some (w.res_fd, w) else None)
+  in
+  let writers =
+    Array.to_list t.workers
+    |> List.filter_map (fun w ->
+           if w.alive && not (Queue.is_empty w.outq) then Some (w.task_fd, w)
+           else None)
+  in
+  if readers <> [] || writers <> [] then begin
+    let timeout = if block then -1.0 else 0.0 in
+    match Unix.select (List.map fst readers) (List.map fst writers) [] timeout with
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | rs, ws, _ ->
+      List.iter (fun fd -> pull_in t (List.assq fd readers)) rs;
+      List.iter (fun fd -> push_out (List.assq fd writers)) ws
+  end
+
+let check_open t =
+  if not t.open_ then invalid_arg (t.name ^ ": pool is shut down")
+
+let create ?(name = "pool") ~jobs f =
+  if not available then invalid_arg "Pool.create: fork unavailable";
+  if in_worker () then invalid_arg "Pool.create: nested pool in a worker";
+  let jobs = max 1 jobs in
+  (* A worker dying mid-write must surface as EPIPE on the pipe, not
+     kill the parent process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  Obs.span ~cat:"pool" (name ^ ".create") @@ fun sp ->
+  Obs.set sp "jobs" (Obs.Int jobs);
+  let workers =
+    Array.init jobs (fun _ ->
+        let task_rd, task_wr = Unix.pipe ~cloexec:false () in
+        let res_rd, res_wr = Unix.pipe ~cloexec:false () in
+        match Unix.fork () with
+        | 0 ->
+          Unix.close task_wr;
+          Unix.close res_rd;
+          child_loop f task_rd res_wr;
+          assert false
+        | pid ->
+          Unix.close task_rd;
+          Unix.close res_wr;
+          Unix.set_nonblock task_wr;
+          Hashtbl.replace live_fds task_wr ();
+          Hashtbl.replace live_fds res_rd ();
+          {
+            pid;
+            task_fd = task_wr;
+            res_fd = res_rd;
+            outq = Queue.create ();
+            out_off = 0;
+            ibuf = Bytes.create 65536;
+            ilen = 0;
+            inflight = 0;
+            alive = true;
+            fail = None;
+          })
+  in
+  { name; workers; next = 0; results = Hashtbl.create 64; open_ = true }
+
+let broadcast t task =
+  check_open t;
+  let msg = Marshal.to_bytes (Ctl task) [] in
+  Array.iter (fun w -> if w.alive then Queue.push msg w.outq) t.workers;
+  pump t ~block:false
+
+let submit t task =
+  check_open t;
+  let id = t.next in
+  t.next <- id + 1;
+  let w = t.workers.(id mod Array.length t.workers) in
+  w.inflight <- w.inflight + 1;
+  Queue.push (Marshal.to_bytes (Job (id, task)) []) w.outq;
+  Obs.count (t.name ^ ".tasks");
+  pump t ~block:false;
+  id
+
+let rec await t id =
+  check_open t;
+  if id < 0 || id >= t.next then
+    invalid_arg (Printf.sprintf "%s: unknown ticket %d" t.name id);
+  match Hashtbl.find_opt t.results id with
+  | Some (r, tally) ->
+    Hashtbl.remove t.results id;
+    (match r with
+    | Ok v -> (v, tally)
+    | Error msg ->
+      failwith (Printf.sprintf "%s: task %d failed: %s" t.name id msg))
+  | None ->
+    let w = t.workers.(id mod Array.length t.workers) in
+    if not w.alive then
+      failwith
+        (Printf.sprintf "%s: %s before replying to task %d" t.name
+           (Option.value ~default:"worker died" w.fail)
+           id)
+    else begin
+      pump t ~block:true;
+      await t id
+    end
+
+let replay { counts; samples } =
+  List.iter (fun (name, by) -> Obs.count ~by name) counts;
+  List.iter (fun (name, v) -> Obs.sample name v) samples
+
+let map t xs =
+  let ids = List.map (submit t) xs in
+  List.map
+    (fun id ->
+      let v, tally = await t id in
+      replay tally;
+      v)
+    ids
+
+let shutdown t =
+  if t.open_ then begin
+    t.open_ <- false;
+    Obs.span ~cat:"pool" (t.name ^ ".shutdown") @@ fun _ ->
+    let quit = Marshal.to_bytes Quit [] in
+    Array.iter (fun w -> if w.alive then Queue.push quit w.outq) t.workers;
+    (* Drain until every worker hangs up: replies still in the pipes
+       are parsed (and discarded with the pool), then EOF flips the
+       worker dead and the loop converges. *)
+    (try
+       while Array.exists (fun w -> w.alive) t.workers do
+         pump t ~block:true
+       done
+     with _ -> ());
+    Array.iter
+      (fun w ->
+        (try Unix.close w.task_fd with Unix.Unix_error _ -> ());
+        (try Unix.close w.res_fd with Unix.Unix_error _ -> ());
+        Hashtbl.remove live_fds w.task_fd;
+        Hashtbl.remove live_fds w.res_fd;
+        try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ())
+      t.workers
+  end
+
+let with_pool ?name ~jobs f k =
+  let t = create ?name ~jobs f in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> k t)

@@ -1,0 +1,96 @@
+(** Persistent fork-based worker pool.
+
+    A pool forks [jobs] workers once; each worker inherits the parent's
+    heap copy-on-write (the task closure and everything it captures are
+    shared for free) and then serves tasks streamed to it over a pipe:
+    one marshalled message per task, one marshalled reply per result.
+    The parent never blocks on a write — outbound messages are queued
+    and pumped through non-blocking descriptors while replies are
+    drained — so arbitrarily large task and result payloads cannot
+    deadlock the pipe pair.
+
+    Determinism: tasks are assigned round-robin by ticket
+    ([id mod jobs]), each worker processes its queue in FIFO order, and
+    {!await}/{!map} hand results back keyed by ticket, so the caller
+    observes results in a schedule-independent order. A worker is a
+    plain [Unix.fork] child — no Domains — which keeps the pool working
+    identically on OCaml 4.14 and 5.x.
+
+    Observability: workers clear the parent's sinks on startup and
+    instead capture their own counter increments and histogram samples
+    per task; the captured {!tally} travels back with each result so
+    the parent can {!replay} it into its own sinks — selectively, which
+    is what lets speculative callers account only the work a sequential
+    run would have performed. *)
+
+val available : bool
+(** [true] on Unix-like systems where [Unix.fork] works. *)
+
+val default_jobs : unit -> int
+(** The [HLTS_JOBS] environment variable as an int, else 1. *)
+
+val in_worker : unit -> bool
+(** [true] inside a pool worker process. Used to keep workers from
+    forking pools of their own (nested parallelism would oversubscribe
+    the machine; callers fall back to their serial path instead). *)
+
+type ('task, 'res) t
+(** A pool computing ['task -> 'res]. Both types must be marshallable
+    (no closures, no custom blocks). *)
+
+type ticket
+(** Handle for one submitted task. *)
+
+(** Counter increments and histogram samples captured in a worker while
+    it ran one task, in emission order (counters aggregated by name). *)
+type tally = {
+  counts : (string * int) list;
+  samples : (string * float) list;
+}
+
+val create : ?name:string -> jobs:int -> ('task -> 'res) -> ('task, 'res) t
+(** [create ~jobs f] forks [max jobs 1] workers evaluating [f].
+    [name] labels the pool's observability spans (default ["pool"]).
+    @raise Invalid_argument if forking is unavailable or the caller is
+    itself a pool worker. *)
+
+val jobs : _ t -> int
+(** Number of workers actually forked. *)
+
+val broadcast : ('task, _) t -> 'task -> unit
+(** [broadcast t x] queues [x] to every worker as a control task: each
+    worker evaluates [f x] for its side effect (no reply, result and
+    tally discarded). Workers process it before any task submitted
+    later — per-worker FIFO order is the only ordering guarantee. A
+    control task that raises poisons the worker: subsequent tasks on
+    that worker fail at {!await}. *)
+
+val submit : ('task, 'res) t -> 'task -> ticket
+(** Queue one task; returns immediately. *)
+
+val await : ('task, 'res) t -> ticket -> 'res * tally
+(** Block until the task's reply arrives (pumping the whole pool
+    meanwhile). Each ticket may be awaited once.
+    @raise Failure if the task raised in the worker or its worker died
+    before replying. *)
+
+val replay : tally -> unit
+(** Re-emit the captured counters and samples into the parent's sinks
+    ([Obs.count] / [Obs.sample] per entry, in captured order). *)
+
+val map : ('task, 'res) t -> 'task list -> 'res list
+(** [map t xs] submits every element, awaits them in order, replays
+    every tally, and returns the results in input order. Equivalent to
+    [List.map f xs] run serially, up to event timing.
+    @raise Failure as {!await}. *)
+
+val shutdown : _ t -> unit
+(** Ask every worker to exit, reap them, and close every descriptor.
+    Idempotent; safe after worker deaths. Outstanding tickets are
+    abandoned. *)
+
+val with_pool :
+  ?name:string -> jobs:int -> ('task -> 'res) ->
+  (('task, 'res) t -> 'a) -> 'a
+(** [with_pool ~jobs f k] runs [k pool] and guarantees {!shutdown} on
+    the way out, exception or not. *)

@@ -11,9 +11,17 @@ val group_by : ('a -> 'b) -> 'a list -> ('b * 'a list) list
 (** Stable grouping by key; keys appear in order of first occurrence. *)
 
 val max_by : ('a -> float) -> 'a list -> 'a option
-(** Element maximizing [f]; [None] on the empty list. *)
+(** Element maximizing [f]; [None] on the empty list. Ties break
+    first-wins: of several elements with the maximal value, the one
+    earliest in the list is returned (a later element replaces the
+    incumbent only when strictly better). *)
 
 val min_by : ('a -> float) -> 'a list -> 'a option
+(** Element minimizing [f]; [None] on the empty list. Ties break
+    first-wins, exactly as {!max_by}. Algorithm 1's commit rule depends
+    on this: candidates are passed in score order, so among equal-cost
+    acceptable mergers the best-scored one is committed — and the
+    parallel evaluation path inherits determinism from it. *)
 
 val sum_by : ('a -> float) -> 'a list -> float
 

@@ -213,6 +213,36 @@ let test_chrome_wellformed () =
         events
     | _ -> Alcotest.fail "no traceEvents array")
 
+(* --- worker counter aggregation ----------------------------------------- *)
+
+(* The parallel synthesis path captures counters inside pool workers
+   and replays them into the parent sink; a Summary must therefore see
+   the exact same totals at any job count (PR 4's accounting
+   invariant). Only the pool's own bookkeeping counters
+   ([synth.pool.*], [pool] spans) may differ. *)
+let test_parallel_counters_match () =
+  if not Hlts_pool.Pool.available then Alcotest.skip ();
+  let counters jobs =
+    let s = Obs.Summary.create () in
+    ignore
+      (Obs.with_sink (Obs.Summary.sink s) (fun () ->
+           Hlts_synth.Synth.run ~jobs Hlts_dfg.Benchmarks.tseng));
+    List.filter
+      (fun (name, _) ->
+        not (String.length name >= 11 && String.sub name 0 11 = "synth.pool."))
+      (Obs.Summary.counters s)
+  in
+  let c1 = counters 1 and c4 = counters 4 in
+  List.iter
+    (fun name ->
+      Alcotest.(check int)
+        (name ^ " exact under -j 4")
+        (try List.assoc name c1 with Not_found -> 0)
+        (try List.assoc name c4 with Not_found -> 0))
+    (List.sort_uniq compare (List.map fst (c1 @ c4)));
+  Alcotest.(check bool) "merge attempts counted" true
+    (List.mem_assoc "synth.merge_attempts" c1)
+
 let test_with_sink_removes () =
   let sink, _ = recording () in
   Obs.with_sink sink (fun () ->
@@ -239,6 +269,8 @@ let () =
             test_counter_aggregation;
           Alcotest.test_case "phases sum to total" `Quick
             test_summary_phases_sum;
+          Alcotest.test_case "parallel counters match serial" `Quick
+            test_parallel_counters_match;
         ] );
       ( "formats",
         [

@@ -1,0 +1,236 @@
+(* Tests for Hlts_pool.Pool (the persistent fork-based worker pool) and
+   the end-to-end determinism guarantee of parallel synthesis:
+   [Synth.run ~jobs:4] must reproduce the serial merge trajectory
+   record for record on arbitrary DFGs. *)
+
+module Pool = Hlts_pool.Pool
+module Synth = Hlts_synth.Synth
+module State = Hlts_synth.State
+module B = Hlts_dfg.Benchmarks
+
+let on_unix = Pool.available
+
+let skip_unless_unix () =
+  if not on_unix then Alcotest.skip ()
+
+(* --- basic round-trips -------------------------------------------------- *)
+
+let test_map_roundtrip () =
+  skip_unless_unix ();
+  Pool.with_pool ~name:"t.map" ~jobs:3 (fun n -> n * n) @@ fun pool ->
+  let xs = List.init 20 Fun.id in
+  Alcotest.(check (list int))
+    "squares in order"
+    (List.map (fun n -> n * n) xs)
+    (Pool.map pool xs);
+  (* the pool persists across batches *)
+  Alcotest.(check (list int)) "second batch" [ 100; 121 ] (Pool.map pool [ 10; 11 ])
+
+let test_out_of_order_await () =
+  skip_unless_unix ();
+  Pool.with_pool ~name:"t.ooo" ~jobs:2 (fun n -> n + 1) @@ fun pool ->
+  let a = Pool.submit pool 10 in
+  let b = Pool.submit pool 20 in
+  let c = Pool.submit pool 30 in
+  Alcotest.(check int) "last first" 31 (fst (Pool.await pool c));
+  Alcotest.(check int) "then first" 11 (fst (Pool.await pool a));
+  Alcotest.(check int) "then middle" 21 (fst (Pool.await pool b))
+
+(* --- oversized payloads ------------------------------------------------- *)
+
+(* Multi-megabyte tasks and replies overflow the pipe capacity many
+   times over in both directions; the non-blocking pump must interleave
+   partial writes with incremental reply parsing without deadlocking. *)
+let test_oversized_payloads () =
+  skip_unless_unix ();
+  Pool.with_pool ~name:"t.big" ~jobs:2 String.uppercase_ascii @@ fun pool ->
+  let sizes = [ 1 lsl 20; 3 lsl 20; 6 lsl 20 ] in
+  let tickets =
+    List.map (fun n -> (n, Pool.submit pool (String.make n 'x'))) sizes
+  in
+  List.iter
+    (fun (n, t) ->
+      let r, _ = Pool.await pool t in
+      Alcotest.(check int) "reply length" n (String.length r);
+      Alcotest.(check string)
+        "reply content"
+        (Digest.to_hex (Digest.string (String.make n 'X')))
+        (Digest.to_hex (Digest.string r)))
+    tickets
+
+(* --- failure handling --------------------------------------------------- *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  n = 0 || at 0
+
+let check_fails ~substring f =
+  match f () with
+  | _ -> Alcotest.failf "expected Failure mentioning %S" substring
+  | exception Failure msg ->
+    if not (contains ~sub:substring msg) then
+      Alcotest.failf "Failure %S does not mention %S" msg substring
+
+let test_task_exception () =
+  skip_unless_unix ();
+  Pool.with_pool ~name:"t.exn" ~jobs:2
+    (fun n -> if n < 0 then failwith "negative input" else n)
+  @@ fun pool ->
+  let bad = Pool.submit pool (-1) in
+  let good = Pool.submit pool 7 in
+  check_fails ~substring:"negative input" (fun () -> Pool.await pool bad);
+  (* an ordinary task exception does not kill the worker *)
+  Alcotest.(check int) "worker still serves" 7 (fst (Pool.await pool good));
+  Alcotest.(check (list int)) "both workers fine" [ 1; 2; 3; 4 ]
+    (Pool.map pool [ 1; 2; 3; 4 ])
+
+let test_worker_death_mid_task () =
+  skip_unless_unix ();
+  Pool.with_pool ~name:"t.death" ~jobs:2
+    (fun n -> if n = 0 then Unix._exit 3 else n * 2)
+  @@ fun pool ->
+  let dead = Pool.submit pool 0 in (* worker 0 exits without replying *)
+  let live = Pool.submit pool 5 in (* worker 1 *)
+  Alcotest.(check int) "other worker unaffected" 10 (fst (Pool.await pool live));
+  check_fails ~substring:"before replying" (fun () -> Pool.await pool dead);
+  (* tickets hashed to the dead worker keep failing fast; the live
+     worker keeps serving *)
+  let dead2 = Pool.submit pool 1 in (* round-robin: worker 0 again *)
+  let live2 = Pool.submit pool 6 in
+  Alcotest.(check int) "live worker again" 12 (fst (Pool.await pool live2));
+  check_fails ~substring:"before replying" (fun () -> Pool.await pool dead2)
+
+let test_broadcast_poisoning () =
+  skip_unless_unix ();
+  let f = function
+    | `Set n -> if n < 0 then failwith "bad control" else n
+    | `Get -> 0
+  in
+  Pool.with_pool ~name:"t.ctl" ~jobs:2 f @@ fun pool ->
+  Pool.broadcast pool (`Set 5);
+  Alcotest.(check int) "after good ctl" 0 (fst (Pool.await pool (Pool.submit pool `Get)));
+  Pool.broadcast pool (`Set (-1));
+  (* a failed broadcast poisons the worker: every later job on it
+     reports the control failure instead of silently diverging *)
+  check_fails ~substring:"control task failed" (fun () ->
+      Pool.await pool (Pool.submit pool `Get))
+
+let test_shutdown_rejects () =
+  skip_unless_unix ();
+  let pool = Pool.create ~name:"t.closed" ~jobs:2 Fun.id in
+  let t = Pool.submit pool 1 in
+  Alcotest.(check int) "works before" 1 (fst (Pool.await pool t));
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  (match Pool.submit pool 2 with
+  | _ -> Alcotest.fail "submit after shutdown accepted"
+  | exception Invalid_argument _ -> ());
+  match Pool.await pool t with
+  | _ -> Alcotest.fail "await after shutdown accepted"
+  | exception Invalid_argument _ -> ()
+
+(* --- resource hygiene --------------------------------------------------- *)
+
+let count_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let test_no_fd_leaks () =
+  skip_unless_unix ();
+  if not (Sys.file_exists "/proc/self/fd") then Alcotest.skip ();
+  let before = count_fds () in
+  for _ = 1 to 3 do
+    Pool.with_pool ~name:"t.fds" ~jobs:4 succ @@ fun pool ->
+    ignore (Pool.map pool [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+  done;
+  (* the exception path of with_pool must also tear down *)
+  (try
+     Pool.with_pool ~name:"t.fds.exn" ~jobs:2 succ @@ fun pool ->
+     ignore (Pool.map pool [ 1 ]);
+     raise Exit
+   with Exit -> ());
+  Alcotest.(check int) "fd count restored" before (count_fds ())
+
+(* --- parallel synthesis determinism ------------------------------------- *)
+
+(* Same digest as test_synth's golden-trajectory check: %h renders the
+   floats bit-exactly, so any divergence in merge order, cost arithmetic
+   or tie-breaking between the serial and pooled paths shows up. *)
+let records_digest records =
+  let line r =
+    Printf.sprintf "%d|%s|%d|%h|%h|%h" r.Synth.iteration r.Synth.description
+      r.Synth.delta_e r.Synth.delta_h r.Synth.cost r.Synth.seq_depth
+  in
+  Digest.to_hex (Digest.string (String.concat "\n" (List.map line records)))
+
+(* Property: on 200 seeded random DFGs, [~jobs:4] reproduces the serial
+   trajectory record for record. Sizes cycle through 4..20 operations —
+   small enough to keep the test quick, varied enough to hit empty
+   candidate lists, single-candidate iterations, widening scans and
+   multi-chunk speculation. *)
+let test_parallel_matches_serial_random () =
+  skip_unless_unix ();
+  for seed = 1 to 200 do
+    let ops = 4 + (seed mod 17) in
+    let dfg = B.random ~seed ~ops in
+    let ctx = Printf.sprintf "seed %d ops %d" seed ops in
+    let r1 = Synth.run ~jobs:1 dfg in
+    let r4 = Synth.run ~jobs:4 dfg in
+    Alcotest.(check string)
+      (ctx ^ ": records digest")
+      (records_digest r1.Synth.records)
+      (records_digest r4.Synth.records);
+    Alcotest.(check int) (ctx ^ ": iterations") r1.Synth.iterations r4.Synth.iterations;
+    Alcotest.(check int)
+      (ctx ^ ": final E")
+      (State.execution_time r1.Synth.final)
+      (State.execution_time r4.Synth.final)
+  done
+
+(* Par.map items must never be marshalled: [Eval.outcome]-style cells
+   carry closures and unforced lazies, which [Marshal] rejects. The
+   veneer ships indices and lets the fork inherit the items. *)
+let test_par_closure_items () =
+  skip_unless_unix ();
+  let items = List.init 8 (fun i -> (lazy (i * i), fun x -> x + i)) in
+  let eval (l, f) = Lazy.force l + f 1 in
+  Alcotest.(check (list int))
+    "closure-bearing items"
+    (List.map eval items)
+    (Hlts_eval.Par.map ~jobs:3 eval items)
+
+(* And on a paper benchmark with its committed golden digest: the
+   pooled path must land exactly on the serial golden. *)
+let test_parallel_matches_golden () =
+  skip_unless_unix ();
+  let r = Synth.run ~jobs:4 B.tseng in
+  Alcotest.(check string)
+    "tseng -j 4 hits the serial golden digest"
+    "e7d29eb3d02b6a2b3332583109dbb378"
+    (records_digest r.Synth.records)
+
+let () =
+  Alcotest.run "hlts_pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map round-trip" `Quick test_map_roundtrip;
+          Alcotest.test_case "out-of-order await" `Quick test_out_of_order_await;
+          Alcotest.test_case "oversized payloads" `Quick test_oversized_payloads;
+          Alcotest.test_case "task exception" `Quick test_task_exception;
+          Alcotest.test_case "worker death mid-task" `Quick
+            test_worker_death_mid_task;
+          Alcotest.test_case "broadcast poisoning" `Quick
+            test_broadcast_poisoning;
+          Alcotest.test_case "shutdown rejects" `Quick test_shutdown_rejects;
+          Alcotest.test_case "no fd leaks" `Quick test_no_fd_leaks;
+          Alcotest.test_case "closure items via Par" `Quick
+            test_par_closure_items;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "200 random DFGs, -j4 = -j1" `Slow
+            test_parallel_matches_serial_random;
+          Alcotest.test_case "tseng -j4 hits golden" `Quick
+            test_parallel_matches_golden;
+        ] );
+    ]

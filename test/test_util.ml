@@ -125,10 +125,16 @@ let test_min_max_by () =
   Alcotest.(check (option (float 0.0))) "max" (Some 3.0) (Listx.max_by Fun.id l);
   Alcotest.(check (option (float 0.0))) "min" (Some 1.0) (Listx.min_by Fun.id l);
   Alcotest.(check (option (float 0.0))) "empty" None (Listx.max_by Fun.id []);
-  (* first of equals wins: stability *)
+  (* first of equals wins: stability. Algorithm 1's commit rule (and
+     its parallel evaluation path) relies on min_by breaking cost ties
+     toward the earlier, better-scored candidate. *)
   let pairs = [ (1, 5.0); (2, 5.0) ] in
-  match Listx.max_by snd pairs with
-  | Some (i, _) -> Alcotest.(check int) "stable" 1 i
+  (match Listx.max_by snd pairs with
+  | Some (i, _) -> Alcotest.(check int) "max stable" 1 i
+  | None -> Alcotest.fail "expected Some");
+  let costs = [ (1, 7.0); (2, -3.0); (3, -3.0); (4, 0.0) ] in
+  match Listx.min_by snd costs with
+  | Some (i, _) -> Alcotest.(check int) "min stable" 2 i
   | None -> Alcotest.fail "expected Some"
 
 let test_sum_by () =
