@@ -182,6 +182,31 @@ let synthetic_bits = 8
 
 let synthetic_jobs = [ 1; 4 ]
 
+(* Host metadata stamped into both BENCH documents: the wall-clock
+   fields are only meaningful relative to the machine and toolchain
+   that produced them. Everything deterministic is elsewhere. *)
+let host_json ~jobs =
+  let nproc =
+    try
+      let ic = Unix.open_process_in "getconf _NPROCESSORS_ONLN 2>/dev/null" in
+      let n = try int_of_string (String.trim (input_line ic)) with _ -> 0 in
+      ignore (Unix.close_process_in ic);
+      max n 1
+    with _ -> 1
+  in
+  Hlts_obs.Json.(
+    Obj
+      ([
+         ("nproc", Int nproc);
+         ("ocaml", Str Sys.ocaml_version);
+         ("os_type", Str Sys.os_type);
+         ("word_size", Int Sys.word_size);
+       ]
+      @
+      match jobs with
+      | [] -> []
+      | js -> [ ("jobs", List (Stdlib.List.map (fun j -> Int j) js)) ]))
+
 let records_digest records =
   let line r =
     Printf.sprintf "%d|%s|%d|%h|%h|%h" r.Synth.iteration r.Synth.description
@@ -289,7 +314,12 @@ let run_json ~only file =
   let entries = paper_entries @ synthetic_entries in
   let doc =
     Hlts_obs.Json.(
-      Obj [ ("schema", Str "hlts-bench-synth/2"); ("benchmarks", List entries) ])
+      Obj
+        [
+          ("schema", Str "hlts-bench-synth/3");
+          ("host", host_json ~jobs:synthetic_jobs);
+          ("benchmarks", List entries);
+        ])
   in
   let oc = open_out file in
   output_string oc (Hlts_obs.Json.to_string doc);
@@ -399,7 +429,12 @@ let run_json_atpg ~only ~oracle seed file =
   in
   let doc =
     Hlts_obs.Json.(
-      Obj [ ("schema", Str "hlts-bench-atpg/1"); ("benchmarks", List entries) ])
+      Obj
+        [
+          ("schema", Str "hlts-bench-atpg/2");
+          ("host", host_json ~jobs:[]);
+          ("benchmarks", List entries);
+        ])
   in
   let oc = open_out file in
   output_string oc (Hlts_obs.Json.to_string doc);

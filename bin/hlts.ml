@@ -60,9 +60,19 @@ let stats_arg =
   let doc = "Print per-phase timing, counters and histograms after the run." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+let journal_arg =
+  let doc =
+    "Write the decision journal to $(docv): canonical decision lines \
+     (byte-identical for every --jobs count) plus timed events, one \
+     JSON object per line. Render it with $(b,hlts report)."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
 (* Installs the requested sinks around [f]; file sinks are flushed and
-   closed on the way out, the summary (if any) is printed last. *)
-let with_obs ~stats ~trace ~jsonl f =
+   closed on the way out — [Fun.protect] runs the closers even when [f]
+   raises mid-span, so trace/journal files are complete documents after
+   a crash — and the summary (if any) is printed last. *)
+let with_obs ~stats ~trace ~jsonl ?(journal = None) f =
   let installed = ref [] and closers = ref [] in
   let install sink =
     Obs.add_sink sink;
@@ -84,6 +94,7 @@ let with_obs ~stats ~trace ~jsonl f =
   in
   Option.iter (open_file Obs.chrome_sink) trace;
   Option.iter (open_file Obs.jsonl_sink) jsonl;
+  Option.iter (open_file Obs.journal_sink) journal;
   Fun.protect
     ~finally:(fun () ->
       List.iter (fun close -> close ()) !closers;
@@ -91,12 +102,33 @@ let with_obs ~stats ~trace ~jsonl f =
       Option.iter (fun s -> Format.printf "%a@." Obs.Summary.pp s) summary)
     f
 
+(* Stamps what was run into the event stream so traces and reports are
+   self-describing. An [Instant], not a journal decision: the jobs count
+   may differ between runs whose decisions must stay byte-identical. *)
+let run_meta ~bench ~approach ~bits ?jobs () =
+  if Obs.enabled () then
+    Obs.instant ~cat:"meta" "run.meta"
+      ~args:
+        ([
+           ("bench", Obs.Str bench);
+           ("approach", Obs.Str approach);
+           ("bits", Obs.Int bits);
+         ]
+        @ (match jobs with Some j -> [ ("jobs", Obs.Int j) ] | None -> [])
+        @ [ ("ocaml", Obs.Str Sys.ocaml_version) ])
+
 let with_errors f =
   match f () with
   | Ok () -> 0
   | Error msg ->
     Printf.eprintf "error: %s\n" msg;
     1
+  | exception e ->
+    (* [with_obs]'s [Fun.protect] has already flushed and closed any
+       file sinks by the time the exception reaches here, so partial
+       runs still leave well-formed trace/journal documents behind. *)
+    Printf.eprintf "error: %s\n" (Printexc.to_string e);
+    125
 
 let ( let* ) = Result.bind
 
@@ -127,11 +159,12 @@ let synth_cmd =
     in
     Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
-  let run bench approach bits jobs stats trace jsonl =
+  let run bench approach bits jobs stats trace jsonl journal =
     with_errors (fun () ->
         let* d = find_bench bench in
         let* a = find_approach approach in
-        with_obs ~stats ~trace ~jsonl (fun () ->
+        with_obs ~stats ~trace ~jsonl ~journal (fun () ->
+            run_meta ~bench ~approach ~bits ?jobs ();
             let o = Eval.outcome ?jobs a d ~bits in
             Render.schedule_figure Format.std_formatter d o;
             let stats = Hlts_etpn.Etpn.stats o.Flows.etpn in
@@ -146,7 +179,7 @@ let synth_cmd =
     (Cmd.info "synth"
        ~doc:"Synthesize a benchmark and print its schedule and allocation.")
     Term.(const run $ bench_arg $ approach_arg $ bits_arg $ jobs_arg
-          $ stats_arg $ trace_arg $ jsonl_arg)
+          $ stats_arg $ trace_arg $ jsonl_arg $ journal_arg)
 
 let testability_cmd =
   let run bench approach bits =
@@ -185,11 +218,12 @@ let atpg_cmd =
     in
     Arg.(value & flag & info [ "collapse-gates" ] ~doc)
   in
-  let run bench approach bits seed collapse_gates stats trace jsonl =
+  let run bench approach bits seed collapse_gates stats trace jsonl journal =
     with_errors (fun () ->
         let* d = find_bench bench in
         let* a = find_approach approach in
-        with_obs ~stats ~trace ~jsonl (fun () ->
+        with_obs ~stats ~trace ~jsonl ~journal (fun () ->
+            run_meta ~bench ~approach ~bits ();
             let atpg =
               { (atpg_config seed) with
                 Hlts_atpg.Atpg.collapse_gate_inputs = collapse_gates }
@@ -209,7 +243,8 @@ let atpg_cmd =
   Cmd.v
     (Cmd.info "atpg" ~doc:"Run the full synthesis + test-generation pipeline.")
     Term.(const run $ bench_arg $ approach_arg $ bits_arg $ seed_arg
-          $ collapse_gates_arg $ stats_arg $ trace_arg $ jsonl_arg)
+          $ collapse_gates_arg $ stats_arg $ trace_arg $ jsonl_arg
+          $ journal_arg)
 
 let table_cmd =
   let which =
@@ -400,13 +435,14 @@ let compile_cmd =
     Term.(const run $ file $ approach_arg $ bits_arg)
 
 let profile_cmd =
-  let run bench approach bits seed trace jsonl =
+  let run bench approach bits seed trace jsonl journal =
     with_errors (fun () ->
         let* d = find_bench bench in
         let* a = find_approach approach in
         let summary = Obs.Summary.create () in
-        with_obs ~stats:false ~trace ~jsonl (fun () ->
+        with_obs ~stats:false ~trace ~jsonl ~journal (fun () ->
             Obs.with_sink (Obs.Summary.sink summary) (fun () ->
+                run_meta ~bench ~approach ~bits ();
                 (* The enclosing span accounts any un-instrumented time
                    to "other", so the phase breakdown sums to the total. *)
                 let row =
@@ -431,7 +467,56 @@ let profile_cmd =
          "Run the full pipeline and print a per-phase time and counter \
           breakdown (testability, candidates, merge, reschedule, atpg, ...).")
     Term.(const run $ bench_arg $ approach_arg $ bits_arg $ seed_arg
-          $ trace_arg $ jsonl_arg)
+          $ trace_arg $ jsonl_arg $ journal_arg)
+
+let report_cmd =
+  let journal_file =
+    let doc = "Decision-journal file written by --journal." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"JOURNAL" ~doc)
+  in
+  let out_arg =
+    let doc = "Output HTML file." in
+    Arg.(value & opt string "report.html" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run journal out =
+    with_errors (fun () ->
+        let ic = open_in journal in
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> close_in ic);
+        let report = Hlts_eval.Report.parse (List.rev !lines) in
+        if Hlts_eval.Report.decisions report = 0 then
+          Error
+            (Printf.sprintf
+               "%s contains no journal decisions; was it written with \
+                --journal (not --jsonl)?"
+               journal)
+        else begin
+          let oc = open_out out in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc (Hlts_eval.Report.to_html report));
+          Printf.printf
+            "%s: %d decisions over %d iterations%s -> %s\n" journal
+            (Hlts_eval.Report.decisions report)
+            (Hlts_eval.Report.iterations report)
+            (match Hlts_eval.Report.skipped report with
+            | 0 -> ""
+            | n -> Printf.sprintf " (%d lines skipped)" n)
+            out;
+          Ok ()
+        end)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a decision-journal file as a self-contained HTML report: \
+          per-phase times, merge trajectory, testability-balance evolution \
+          and pool utilization.")
+    Term.(const run $ journal_file $ out_arg)
 
 let () =
   let info =
@@ -446,6 +531,6 @@ let () =
        (Cmd.group info ~default
           [
             list_cmd; synth_cmd; testability_cmd; atpg_cmd; profile_cmd;
-            table_cmd; figure_cmd; ablation_cmd; verify_cmd; dot_cmd;
-            compile_cmd;
+            report_cmd; table_cmd; figure_cmd; ablation_cmd; verify_cmd;
+            dot_cmd; compile_cmd;
           ]))

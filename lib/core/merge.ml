@@ -30,8 +30,11 @@ let order_metric dfg cons =
    a function producing the trial constraint set for each order. Returns
    [`A], [`B], or [`Stuck] when neither order is feasible. Equivalent to
    comparing [(occupancy, length)] lexicographically with [<=], but the
-   lengths are only computed on an occupancy tie. *)
-let decide dfg trial_a trial_b =
+   lengths are only computed on an occupancy tie. Sets [sr2] when the
+   occupancy metric — the SR2 enhancement strategy proper — decided a
+   head-to-head; forced orders and the critical-path fallback leave it,
+   so a merger whose every choice was forced reports as plain SR1. *)
+let decide ~sr2 dfg trial_a trial_b =
   let ma = Option.bind trial_a (order_metric dfg) in
   let mb = Option.bind trial_b (order_metric dfg) in
   match ma, mb with
@@ -39,8 +42,14 @@ let decide dfg trial_a trial_b =
   | Some _, None -> `A
   | None, Some _ -> `B
   | Some (oa, sa), Some (ob, sb) ->
-    if oa < ob then `A
-    else if ob < oa then `B
+    if oa < ob then begin
+      sr2 := true;
+      `A
+    end
+    else if ob < oa then begin
+      sr2 := true;
+      `B
+    end
     else if Schedule.length sa <= Schedule.length sb then `A
     else `B
 
@@ -63,7 +72,7 @@ let try_arc cons a b =
 
 (* Merge-sorts two operation chains into one total order, accumulating
    chain arcs; the head-to-head decision is SR2. *)
-let merge_op_chains dfg cons chain_a chain_b =
+let merge_op_chains ~sr2 dfg cons chain_a chain_b =
   let rec loop cons emitted prev xs ys =
     match xs, ys with
     | [], [] -> Some (cons, List.rev emitted)
@@ -97,7 +106,7 @@ let merge_op_chains dfg cons chain_a chain_b =
           | None -> None
           | Some (c, _) -> try_arc c first second
         in
-        match decide dfg (trial a b) (trial b a) with
+        match decide ~sr2 dfg (trial a b) (trial b a) with
         | `Stuck -> None
         | (`A | `B) as side -> take side
       end
@@ -109,7 +118,7 @@ let renumber_fus fus = List.mapi (fun i fu -> { fu with Binding.fu_id = i }) fus
 let renumber_regs regs =
   List.mapi (fun i r -> { r with Binding.reg_id = i }) regs
 
-let commit state ~bits cons binding description =
+let commit state ~bits ~sr2 cons binding description =
   match State.with_constraints state cons with
   | None -> None
   | Some state' ->
@@ -118,6 +127,13 @@ let commit state ~bits cons binding description =
     else begin
       let delta_e = State.execution_time state' - State.execution_time state in
       let delta_h = State.area state' ~bits -. State.area state ~bits in
+      if Hlts_obs.enabled () then
+        Hlts_obs.journal
+          (Hlts_obs.Journal.Reschedule
+             {
+               strategy = (if !sr2 then Hlts_obs.Journal.SR2 else Hlts_obs.Journal.SR1);
+               moved_ops = Schedule.diff state.State.schedule state'.State.schedule;
+             });
       Some { state = state'; delta_e; delta_h; description }
     end
 
@@ -142,7 +158,8 @@ let modules state ~bits fa fb =
       in
       let chain_a = by_step fu_a.Binding.fu_ops in
       let chain_b = by_step fu_b.Binding.fu_ops in
-      match merge_op_chains state.State.dfg state.State.cons chain_a chain_b with
+      let sr2 = ref false in
+      match merge_op_chains ~sr2 state.State.dfg state.State.cons chain_a chain_b with
       | None -> None
       | Some (cons, emitted) ->
         let merged = { Binding.fu_id = 0; fu_class = cls; fu_ops = emitted } in
@@ -161,7 +178,7 @@ let modules state ~bits fa fb =
             (Op.class_name fu_b.Binding.fu_class)
             (String.concat "," (List.map (Printf.sprintf "N%d") fu_b.Binding.fu_ops))
         in
-        commit state ~bits cons binding' description
+        commit state ~bits ~sr2 cons binding' description
   end
 
 (* --- register merger ---------------------------------------------------- *)
@@ -196,7 +213,7 @@ let expire_before dfg cons u w =
         (List.concat_map (fun s -> List.map (fun t -> (s, t)) targets) sources)
   end
 
-let merge_value_chains dfg cons chain_a chain_b =
+let merge_value_chains ~sr2 dfg cons chain_a chain_b =
   let rec loop cons emitted prev xs ys =
     let emit cons x =
       match prev with
@@ -226,7 +243,7 @@ let merge_value_chains dfg cons chain_a chain_b =
         | None -> None
         | Some c -> expire_before dfg c first second
       in
-      (match decide dfg (trial a b) (trial b a) with
+      (match decide ~sr2 dfg (trial a b) (trial b a) with
       | `Stuck -> None
       | (`A | `B) as side -> take side)
   in
@@ -249,7 +266,8 @@ let registers state ~bits ra rb =
     in
     let chain_a = by_birth reg_a.Binding.reg_values in
     let chain_b = by_birth reg_b.Binding.reg_values in
-    match merge_value_chains dfg state.State.cons chain_a chain_b with
+    let sr2 = ref false in
+    match merge_value_chains ~sr2 dfg state.State.cons chain_a chain_b with
     | None -> None
     | Some (cons, emitted) ->
       let merged = { Binding.reg_id = 0; reg_values = emitted } in
@@ -267,5 +285,5 @@ let registers state ~bits ra rb =
           (String.concat "," (List.map name reg_a.Binding.reg_values))
           (String.concat "," (List.map name reg_b.Binding.reg_values))
       in
-      commit state ~bits cons binding' description
+      commit state ~bits ~sr2 cons binding' description
   end

@@ -84,6 +84,89 @@ let metrics params ~budget =
   in
   (cost, acceptable)
 
+(* The same commit rule on slim [(dE, dH, sched_len)] triples. The
+   pooled step decides on these (the full outcome never crosses the
+   wire), and the journal verdicts below are derived from them in both
+   paths, so serial and pooled runs cannot disagree on a verdict. *)
+let metrics_d params ~budget =
+  let reg_unit = Hlts_floorplan.Module_library.reg_area ~bits:params.bits in
+  let cost_d (delta_e, delta_h, _) =
+    (params.alpha *. float_of_int delta_e)
+    +. (params.beta *. delta_h /. reg_unit)
+  in
+  let acceptable_d ((_, _, sched_len) as d) =
+    sched_len <= budget
+    &&
+    match params.stop with
+    | Exhaustive -> true
+    | Cost_improving -> cost_d d < 0.0
+  in
+  (cost_d, acceptable_d)
+
+(* --- decision journal ---------------------------------------------------- *)
+
+let journal_pair = function
+  | Candidates.Units (a, b) -> Obs.Journal.Units (a, b)
+  | Candidates.Registers (a, b) -> Obs.Journal.Registers (a, b)
+
+let slim_of_outcome o =
+  ( o.Merge.delta_e,
+    o.Merge.delta_h,
+    Hlts_sched.Schedule.length o.Merge.state.State.schedule )
+
+(* Per-candidate verdicts for one evaluated batch, in candidate order:
+   Candidate_scored for every feasible attempt, then a rejection reason
+   for every non-winner (the winner's Merge_committed follows
+   separately). Emitted *after* the batch's attempt/replay stream in
+   both the serial and the pooled step — attempts interleave their own
+   Reschedule events, and those streams only match across paths if the
+   verdicts come post-hoc in both. *)
+let journal_verdicts params ~budget slims ~winner =
+  if Obs.enabled () then begin
+    let _, acceptable_d = metrics_d params ~budget in
+    List.iteri
+      (fun i (pair, slim) ->
+        let pair = journal_pair pair in
+        match slim with
+        | None ->
+          Obs.journal
+            (Obs.Journal.Candidate_rejected
+               { pair; reason = Obs.Journal.Infeasible })
+        | Some ((delta_e, delta_h, sched_len) as d) ->
+          Obs.journal
+            (Obs.Journal.Candidate_scored { pair; delta_e; delta_h; sched_len });
+          if winner <> Some i then begin
+            let reason =
+              if sched_len > budget then Obs.Journal.Over_budget
+              else if not (acceptable_d d) then Obs.Journal.Not_improving
+              else Obs.Journal.Not_selected
+            in
+            Obs.journal (Obs.Journal.Candidate_rejected { pair; reason })
+          end)
+      slims
+  end
+
+let journal_committed outcome ~reason ~cost =
+  if Obs.enabled () then
+    Obs.journal
+      (Obs.Journal.Merge_committed
+         {
+           description = outcome.Merge.description;
+           reason;
+           delta_e = outcome.Merge.delta_e;
+           delta_h = outcome.Merge.delta_h;
+           cost;
+         })
+
+let journal_iter_begin ~iteration ~pool =
+  if Obs.enabled () then
+    Obs.journal (Obs.Journal.Iter_begin { iteration; pool })
+
+let top_reason params rank =
+  Printf.sprintf "cheapest acceptable of top-%d (rank %d)" params.k rank
+
+let widened_reason rank = Printf.sprintf "widened scan rank %d" rank
+
 (* One iteration: select the k best-balanced candidate pairs, estimate
    dE/dH for each feasible merger, commit the cheapest acceptable one.
    If none of the top-k qualifies, the scan widens down the score-ordered
@@ -91,26 +174,46 @@ let metrics params ~budget =
    found; [None] when none exists anywhere, which terminates the loop.
    [sp] is the enclosing iteration span; candidate-pool behaviour is
    reported on it. *)
-let step params ~budget ~sp state =
+let step params ~budget ~sp ~iteration state =
   let candidates = score_candidates params ~sp state in
+  journal_iter_begin ~iteration ~pool:(List.length candidates);
   let cost, acceptable = metrics params ~budget in
   let top, rest = Hlts_util.Listx.split_at params.k candidates in
+  (* Evaluate the top-k in score order, keeping each pair with its
+     outcome so the post-hoc verdicts know who was scored and why the
+     losers lost. [min_by] is first-wins, so the winner is the lowest
+     rank among equal costs — same rule as before the journal. *)
+  let outcomes =
+    List.map (fun pair -> (pair, attempt state ~bits:params.bits pair)) top
+  in
   let best_of_top =
-    let outcomes =
-      List.filter acceptable
-        (List.filter_map (attempt state ~bits:params.bits) top)
-    in
-    Hlts_util.Listx.min_by cost outcomes
+    List.mapi (fun i (_, o) -> (i, o)) outcomes
+    |> List.filter_map (fun (i, o) ->
+           match o with
+           | Some o when acceptable o -> Some (i, o)
+           | Some _ | None -> None)
+    |> Hlts_util.Listx.min_by (fun (_, o) -> cost o)
+  in
+  let slims =
+    List.map (fun (pair, o) -> (pair, Option.map slim_of_outcome o)) outcomes
   in
   match best_of_top with
-  | Some best -> Some (best, cost best)
+  | Some (wi, best) ->
+    journal_verdicts params ~budget slims ~winner:(Some wi);
+    let c = cost best in
+    journal_committed best ~reason:(top_reason params (wi + 1)) ~cost:c;
+    Some (best, c)
   | None ->
+    journal_verdicts params ~budget slims ~winner:None;
     let widened = ref 0 in
+    let scanned = ref [] in
     let rec widen = function
       | [] -> None
       | pair :: rest -> begin
         incr widened;
-        match attempt state ~bits:params.bits pair with
+        let o = attempt state ~bits:params.bits pair in
+        scanned := (pair, Option.map slim_of_outcome o) :: !scanned;
+        match o with
         | Some o when acceptable o -> Some (o, cost o)
         | Some _ | None -> widen rest
       end
@@ -118,7 +221,15 @@ let step params ~budget ~sp state =
     let found = widen rest in
     Obs.set sp "widened" (Obs.Int !widened);
     if !widened > 0 then Obs.count ~by:!widened "synth.scans_widened";
-    found
+    let slims_w = List.rev !scanned in
+    (match found with
+    | Some (o, c) ->
+      journal_verdicts params ~budget slims_w ~winner:(Some (!widened - 1));
+      journal_committed o ~reason:(widened_reason !widened) ~cost:c;
+      Some (o, c)
+    | None ->
+      journal_verdicts params ~budget slims_w ~winner:None;
+      None)
 
 (* --- pooled candidate evaluation ---------------------------------------- *)
 
@@ -161,21 +272,11 @@ type wreply = ((int * float * int) option * Pool.tally) list
    winner's own counters come from the parent's local re-execution, at
    the same position in the stream, and later speculation is discarded
    and accounted as [synth.pool.speculative_waste]. *)
-let pool_step params ~budget ~sp ~pool state =
+let pool_step params ~budget ~sp ~pool ~iteration state =
   let candidates = score_candidates params ~sp state in
+  journal_iter_begin ~iteration ~pool:(List.length candidates);
   let cost, _acceptable = metrics params ~budget in
-  let reg_unit = Hlts_floorplan.Module_library.reg_area ~bits:params.bits in
-  let cost_d (delta_e, delta_h, _) =
-    (params.alpha *. float_of_int delta_e)
-    +. (params.beta *. delta_h /. reg_unit)
-  in
-  let acceptable_d ((_, _, sched_len) as d) =
-    sched_len <= budget
-    &&
-    match params.stop with
-    | Exhaustive -> true
-    | Cost_improving -> cost_d d < 0.0
-  in
+  let cost_d, acceptable_d = metrics_d params ~budget in
   (* Re-execute the winning attempt in the parent: same state, same
      pair, same code path — the outcome (and its counter emissions)
      are exactly what the sequential scan would have produced. *)
@@ -205,7 +306,7 @@ let pool_step params ~budget ~sp ~pool state =
       tickets
   in
   let top, rest = Hlts_util.Listx.split_at params.k candidates in
-  let best_of_top =
+  let winner_of_top, top_slims, best_of_top =
     (* one candidate per task: the top-k are few and spread widest *)
     let replies = eval_batch ~slice:1 top in
     let acceptable_replies =
@@ -225,13 +326,22 @@ let pool_step params ~budget ~sp ~pool state =
         | Some (wi, _) when wi = i -> outcome := Some (materialize pair)
         | Some _ | None -> Pool.replay tally)
       replies;
-    Option.map (fun o -> (o, cost o)) !outcome
+    ( Option.map fst winner,
+      List.map (fun (pair, reply, _) -> (pair, reply)) replies,
+      !outcome )
   in
   match best_of_top with
-  | Some found -> Some found
+  | Some o ->
+    journal_verdicts params ~budget top_slims ~winner:winner_of_top;
+    let c = cost o in
+    let rank = 1 + Option.value ~default:0 winner_of_top in
+    journal_committed o ~reason:(top_reason params rank) ~cost:c;
+    Some (o, c)
   | None ->
+    journal_verdicts params ~budget top_slims ~winner:None;
     let chunk_size = max 1 (Pool.jobs pool * params.k) in
     let widened = ref 0 in
+    let scanned = ref [] in
     let rec widen_chunks rest =
       match rest with
       | [] -> None
@@ -242,6 +352,7 @@ let pool_step params ~budget ~sp ~pool state =
           | [] -> None
           | (pair, reply, tally) :: tl -> begin
             incr widened;
+            scanned := (pair, reply) :: !scanned;
             match reply with
             | Some d when acceptable_d d ->
               let o = materialize pair in
@@ -262,7 +373,15 @@ let pool_step params ~budget ~sp ~pool state =
     let found = widen_chunks rest in
     Obs.set sp "widened" (Obs.Int !widened);
     if !widened > 0 then Obs.count ~by:!widened "synth.scans_widened";
-    found
+    let slims_w = List.rev !scanned in
+    (match found with
+    | Some (o, c) ->
+      journal_verdicts params ~budget slims_w ~winner:(Some (!widened - 1));
+      journal_committed o ~reason:(widened_reason !widened) ~cost:c;
+      Some (o, c)
+    | None ->
+      journal_verdicts params ~budget slims_w ~winner:None;
+      None)
 
 let run ?(params = default_params) ?jobs dfg =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
@@ -285,7 +404,7 @@ let run ?(params = default_params) ?jobs dfg =
              merger anywhere) carries only pool/widened. *)
           Obs.span ~cat:"merge" "synth.iteration" (fun sp ->
               Obs.set sp "iteration" (Obs.Int iteration);
-              match step_fn ~sp state with
+              match step_fn ~sp ~iteration state with
               | None -> None
               | Some (outcome, cost) ->
                 Obs.set sp "accepted" (Obs.Str outcome.Merge.description);
@@ -312,6 +431,17 @@ let run ?(params = default_params) ?jobs dfg =
               seq_depth;
             }
           in
+          if Obs.enabled () then
+            Obs.journal
+              (Obs.Journal.Testability_snapshot
+                 {
+                   seq_depth;
+                   registers =
+                     List.length state'.State.binding.Hlts_alloc.Binding.registers;
+                   units = List.length state'.State.binding.Hlts_alloc.Binding.fus;
+                   sched_len = Hlts_sched.Schedule.length state'.State.schedule;
+                   area_mm2 = State.area state' ~bits:params.bits;
+                 });
           on_commit state';
           loop state' (record :: records) (iteration + 1)
     in
@@ -331,6 +461,7 @@ let run ?(params = default_params) ?jobs dfg =
          granularity that split would otherwise be lost. *)
       let try_one pair =
         let counts = ref [] and samples = ref [] in
+        let decisions = ref [] in
         let capture =
           {
             Obs.emit =
@@ -339,6 +470,7 @@ let run ?(params = default_params) ?jobs dfg =
                   counts := (name, delta) :: !counts
                 | Obs.Sample { name; v; _ } ->
                   samples := (name, v) :: !samples
+                | Obs.Decision { d; _ } -> decisions := d :: !decisions
                 | _ -> ());
             flush = ignore;
           }
@@ -347,14 +479,14 @@ let run ?(params = default_params) ?jobs dfg =
           Obs.with_sink capture (fun () ->
               match attempt !worker_state ~bits:params.bits pair with
               | None -> None
-              | Some o ->
-                Some
-                  ( o.Merge.delta_e,
-                    o.Merge.delta_h,
-                    Hlts_sched.Schedule.length o.Merge.state.State.schedule ))
+              | Some o -> Some (slim_of_outcome o))
         in
         ( slim,
-          { Pool.counts = List.rev !counts; samples = List.rev !samples } )
+          {
+            Pool.counts = List.rev !counts;
+            samples = List.rev !samples;
+            decisions = List.rev !decisions;
+          } )
       in
       let wf : wtask -> wreply = function
         | W_state (cons, schedule, binding, etime, area) ->
@@ -371,7 +503,8 @@ let run ?(params = default_params) ?jobs dfg =
       in
       Pool.with_pool ~name:"synth.pool" ~jobs wf @@ fun pool ->
       loop
-        ~step_fn:(fun ~sp state -> pool_step params ~budget ~sp ~pool state)
+        ~step_fn:(fun ~sp ~iteration state ->
+          pool_step params ~budget ~sp ~pool ~iteration state)
         ~on_commit:(fun s' ->
           Pool.broadcast pool
             (W_state
@@ -383,7 +516,8 @@ let run ?(params = default_params) ?jobs dfg =
     end
     else
       loop
-        ~step_fn:(fun ~sp state -> step params ~budget ~sp state)
+        ~step_fn:(fun ~sp ~iteration state ->
+          step params ~budget ~sp ~iteration state)
         ~on_commit:ignore
   in
   Obs.set run_sp "iterations" (Obs.Int iterations);

@@ -22,8 +22,9 @@ let live_fds : (Unix.file_descr, unit) Hashtbl.t = Hashtbl.create 16
 (* --- wire protocol ------------------------------------------------------ *)
 
 (* Parent -> worker, one marshalled message per task; worker -> parent,
-   one marshalled [(id, result, tally)] triple per [Job]. [Ctl] tasks
-   (broadcasts) produce no reply; [Quit] ends the worker loop. *)
+   one marshalled [(id, result, tally, spans)] quadruple per [Job].
+   [Ctl] tasks (broadcasts) produce no reply; [Quit] ends the worker
+   loop. *)
 type 'task down =
   | Job of int * 'task
   | Ctl of 'task
@@ -32,6 +33,7 @@ type 'task down =
 type tally = {
   counts : (string * int) list;
   samples : (string * float) list;
+  decisions : Obs.Journal.event list;
 }
 
 type ticket = int
@@ -58,15 +60,33 @@ let child_loop f task_rd res_wr : unit =
     live_fds;
   Hashtbl.reset live_fds;
   (* The parent keeps the sinks; the worker only captures its own
-     counters and samples, shipping them back with each reply. *)
+     counters, samples and journal decisions, shipping them back with
+     each reply. Full span records travel too, but only when the parent
+     had a sink installed at fork time — an uninstrumented run must not
+     pay for span marshalling. *)
+  let ship_spans = Obs.enabled () in
   Obs.clear_sinks ();
   let counts = ref [] and samples = ref [] in
+  let decisions = ref [] and spans = ref [] in
   let capture =
     {
       Obs.emit =
         (function
           | Obs.Count { name; delta; _ } -> counts := (name, delta) :: !counts
           | Obs.Sample { name; v; _ } -> samples := (name, v) :: !samples
+          | Obs.Decision { d; _ } -> decisions := d :: !decisions
+          | Obs.Span_end { name; cat; ts_ns; dur_ns; depth; args } ->
+            if ship_spans then
+              spans :=
+                {
+                  Obs.w_name = name;
+                  w_cat = cat;
+                  w_ts_ns = ts_ns;
+                  w_dur_ns = dur_ns;
+                  w_depth = depth;
+                  w_args = args;
+                }
+                :: !spans
           | _ -> ());
       flush = ignore;
     }
@@ -75,13 +95,18 @@ let child_loop f task_rd res_wr : unit =
   let ic = Unix.in_channel_of_descr task_rd in
   let oc = Unix.out_channel_of_descr res_wr in
   let poisoned = ref None in
+  let reset () =
+    counts := [];
+    samples := [];
+    decisions := [];
+    spans := []
+  in
   let rec loop () =
     match (Marshal.from_channel ic : _ down) with
     | exception End_of_file -> ()
     | Quit -> ()
     | Ctl x ->
-      counts := [];
-      samples := [];
+      reset ();
       (match !poisoned with
       | Some _ -> ()
       | None -> (
@@ -89,8 +114,7 @@ let child_loop f task_rd res_wr : unit =
         with e -> poisoned := Some (Printexc.to_string e)));
       loop ()
     | Job (id, x) ->
-      counts := [];
-      samples := [];
+      reset ();
       let r =
         match !poisoned with
         | Some msg -> Error ("control task failed: " ^ msg)
@@ -98,9 +122,10 @@ let child_loop f task_rd res_wr : unit =
       in
       let tally =
         { counts = aggregate_counts (List.rev !counts);
-          samples = List.rev !samples }
+          samples = List.rev !samples;
+          decisions = List.rev !decisions }
       in
-      Marshal.to_channel oc (id, r, tally) [];
+      Marshal.to_channel oc (id, r, tally, List.rev !spans) [];
       flush oc;
       loop ()
   in
@@ -111,6 +136,7 @@ let child_loop f task_rd res_wr : unit =
 (* --- parent side -------------------------------------------------------- *)
 
 type worker = {
+  index : int;  (** 0-based lane for re-stamped spans *)
   pid : int;
   task_fd : Unix.file_descr;  (** write end, non-blocking *)
   res_fd : Unix.file_descr;  (** read end, blocking (read only after select) *)
@@ -169,11 +195,21 @@ let ensure_capacity w extra =
     w.ibuf <- b
   end
 
+let total_inflight t =
+  Array.fold_left (fun acc w -> acc + w.inflight) 0 t.workers
+
+let gauge_depth t =
+  if Obs.enabled () then
+    Obs.gauge (t.name ^ ".queue_depth") (float_of_int (total_inflight t))
+
 (* Extract every complete marshalled reply from the worker's input
-   accumulator into the results table. *)
+   accumulator into the results table. Spans the worker shipped are
+   re-stamped into the parent's live sinks here, attributed to the
+   worker's lane and the reply's ticket; they are not stored. *)
 let parse_replies t w =
   let pos = ref 0 in
   let continue = ref true in
+  let parsed = ref false in
   while !continue do
     let avail = w.ilen - !pos in
     if avail < Marshal.header_size then continue := false
@@ -181,13 +217,17 @@ let parse_replies t w =
       let total = Marshal.total_size w.ibuf !pos in
       if avail < total then continue := false
       else begin
-        let id, r, tally = Marshal.from_bytes w.ibuf !pos in
+        let id, r, tally, spans = Marshal.from_bytes w.ibuf !pos in
         pos := !pos + total;
         w.inflight <- w.inflight - 1;
+        parsed := true;
+        if Obs.enabled () then
+          List.iter (Obs.worker_span ~worker:w.index ~ticket:id) spans;
         Hashtbl.replace t.results id (r, tally)
       end
     end
   done;
+  if !parsed then gauge_depth t;
   if !pos > 0 then begin
     Bytes.blit w.ibuf !pos w.ibuf 0 (w.ilen - !pos);
     w.ilen <- w.ilen - !pos
@@ -240,7 +280,7 @@ let create ?(name = "pool") ~jobs f =
   Obs.span ~cat:"pool" (name ^ ".create") @@ fun sp ->
   Obs.set sp "jobs" (Obs.Int jobs);
   let workers =
-    Array.init jobs (fun _ ->
+    Array.init jobs (fun index ->
         let task_rd, task_wr = Unix.pipe ~cloexec:false () in
         let res_rd, res_wr = Unix.pipe ~cloexec:false () in
         match Unix.fork () with
@@ -256,6 +296,7 @@ let create ?(name = "pool") ~jobs f =
           Hashtbl.replace live_fds task_wr ();
           Hashtbl.replace live_fds res_rd ();
           {
+            index;
             pid;
             task_fd = task_wr;
             res_fd = res_rd;
@@ -284,6 +325,7 @@ let submit t task =
   w.inflight <- w.inflight + 1;
   Queue.push (Marshal.to_bytes (Job (id, task)) []) w.outq;
   Obs.count (t.name ^ ".tasks");
+  gauge_depth t;
   pump t ~block:false;
   id
 
@@ -310,9 +352,10 @@ let rec await t id =
       await t id
     end
 
-let replay { counts; samples } =
+let replay { counts; samples; decisions } =
   List.iter (fun (name, by) -> Obs.count ~by name) counts;
-  List.iter (fun (name, v) -> Obs.sample name v) samples
+  List.iter (fun (name, v) -> Obs.sample name v) samples;
+  List.iter Obs.journal decisions
 
 let map t xs =
   let ids = List.map (submit t) xs in

@@ -17,11 +17,18 @@
     identically on OCaml 4.14 and 5.x.
 
     Observability: workers clear the parent's sinks on startup and
-    instead capture their own counter increments and histogram samples
-    per task; the captured {!tally} travels back with each result so
-    the parent can {!replay} it into its own sinks — selectively, which
-    is what lets speculative callers account only the work a sequential
-    run would have performed. *)
+    instead capture their own counter increments, histogram samples and
+    decision-journal events per task; the captured {!tally} travels
+    back with each result so the parent can {!replay} it into its own
+    sinks — selectively, which is what lets speculative callers account
+    only the work a sequential run would have performed. When the
+    parent had a sink installed at fork time, completed span records
+    also travel back with each reply and are re-stamped into the live
+    sinks as [Worker_span] events (lane = worker index, ticket = the
+    reply's ticket) as replies are parsed, so a single trace shows the
+    parent pump and every worker. The pool also reports a
+    ["<name>.queue_depth"] gauge (total in-flight tasks) on every
+    submit and reply. *)
 
 val available : bool
 (** [true] on Unix-like systems where [Unix.fork] works. *)
@@ -41,11 +48,13 @@ type ('task, 'res) t
 type ticket
 (** Handle for one submitted task. *)
 
-(** Counter increments and histogram samples captured in a worker while
-    it ran one task, in emission order (counters aggregated by name). *)
+(** Counter increments, histogram samples and decision-journal events
+    captured in a worker while it ran one task, in emission order
+    (counters aggregated by name). *)
 type tally = {
   counts : (string * int) list;
   samples : (string * float) list;
+  decisions : Hlts_obs.Journal.event list;
 }
 
 val create : ?name:string -> jobs:int -> ('task -> 'res) -> ('task, 'res) t
@@ -75,8 +84,9 @@ val await : ('task, 'res) t -> ticket -> 'res * tally
     before replying. *)
 
 val replay : tally -> unit
-(** Re-emit the captured counters and samples into the parent's sinks
-    ([Obs.count] / [Obs.sample] per entry, in captured order). *)
+(** Re-emit the captured counters, samples and journal decisions into
+    the parent's sinks ([Obs.count] / [Obs.sample] / [Obs.journal] per
+    entry, in captured order). *)
 
 val map : ('task, 'res) t -> 'task list -> 'res list
 (** [map t xs] submits every element, awaits them in order, replays

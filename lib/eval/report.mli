@@ -1,0 +1,32 @@
+(** Self-contained HTML reports rendered from a decision-journal file.
+
+    [hlts report] feeds the lines of a {!Hlts_obs.journal_sink} JSONL
+    file through {!parse} and writes {!to_html}'s output. The renderer
+    uses only what is in the file — canonical decision lines (the
+    [{"j":...}] prefix) for the merge trajectory and the
+    testability-balance table, span begin/end lines for the per-phase
+    breakdown, [wspan]/[gauge] lines for pool-utilization and
+    queue-depth lanes, and the [run.meta] instant for run metadata —
+    and the HTML it emits embeds all styling and charts inline (CSS +
+    SVG), no external assets. Unparseable lines are counted and
+    skipped, never fatal, so a report can be rendered from a journal
+    truncated by a crash. *)
+
+type t
+(** Parsed journal, accumulated and ready to render. *)
+
+val parse : string list -> t
+(** [parse lines] folds the journal lines, in file order, into a
+    report model. Tolerant: malformed lines are skipped and counted. *)
+
+val to_html : t -> string
+(** Render the complete HTML document. *)
+
+val iterations : t -> int
+(** Number of [Iter_begin] decisions seen (for CLI feedback/tests). *)
+
+val decisions : t -> int
+(** Total decision lines decoded. *)
+
+val skipped : t -> int
+(** Lines that failed to parse or decode. *)

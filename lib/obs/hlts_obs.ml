@@ -38,7 +38,17 @@ module Json = struct
       match Float.classify_float f with
       | FP_nan | FP_infinite -> Buffer.add_string buf "null"
       | FP_normal | FP_subnormal | FP_zero ->
-        Buffer.add_string buf (Printf.sprintf "%.12g" f)
+        (* shortest %g rendering that round-trips, so encode/decode is
+           exact and canonical journal lines compare byte-for-byte *)
+        let s = Printf.sprintf "%.12g" f in
+        let s =
+          if float_of_string s = f then s
+          else begin
+            let s15 = Printf.sprintf "%.15g" f in
+            if float_of_string s15 = f then s15 else Printf.sprintf "%.17g" f
+          end
+        in
+        Buffer.add_string buf s
     end
     | Str s ->
       Buffer.add_char buf '"';
@@ -221,11 +231,234 @@ module Json = struct
     | Null | Bool _ | Int _ | Float _ | Str _ | List _ -> None
 end
 
+module Journal = struct
+  type pair =
+    | Units of int * int
+    | Registers of int * int
+
+  type strategy =
+    | SR1
+    | SR2
+
+  type reject =
+    | Infeasible
+    | Over_budget
+    | Not_improving
+    | Not_selected
+
+  type event =
+    | Iter_begin of { iteration : int; pool : int }
+    | Candidate_scored of {
+        pair : pair;
+        delta_e : int;
+        delta_h : float;
+        sched_len : int;
+      }
+    | Candidate_rejected of { pair : pair; reason : reject }
+    | Merge_committed of {
+        description : string;
+        reason : string;
+        delta_e : int;
+        delta_h : float;
+        cost : float;
+      }
+    | Reschedule of { strategy : strategy; moved_ops : (int * int * int) list }
+    | Testability_snapshot of {
+        seq_depth : float;
+        registers : int;
+        units : int;
+        sched_len : int;
+        area_mm2 : float;
+      }
+
+  let json_of_pair = function
+    | Units (a, b) ->
+      Json.Obj [ ("kind", Json.Str "units"); ("a", Json.Int a); ("b", Json.Int b) ]
+    | Registers (a, b) ->
+      Json.Obj
+        [ ("kind", Json.Str "registers"); ("a", Json.Int a); ("b", Json.Int b) ]
+
+  let string_of_reject = function
+    | Infeasible -> "infeasible"
+    | Over_budget -> "over_budget"
+    | Not_improving -> "not_improving"
+    | Not_selected -> "not_selected"
+
+  let string_of_strategy = function
+    | SR1 -> "SR1"
+    | SR2 -> "SR2"
+
+  let encode = function
+    | Iter_begin { iteration; pool } ->
+      Json.Obj
+        [
+          ("ev", Json.Str "iter_begin"); ("iteration", Json.Int iteration);
+          ("pool", Json.Int pool);
+        ]
+    | Candidate_scored { pair; delta_e; delta_h; sched_len } ->
+      Json.Obj
+        [
+          ("ev", Json.Str "candidate_scored"); ("pair", json_of_pair pair);
+          ("delta_e", Json.Int delta_e); ("delta_h", Json.Float delta_h);
+          ("sched_len", Json.Int sched_len);
+        ]
+    | Candidate_rejected { pair; reason } ->
+      Json.Obj
+        [
+          ("ev", Json.Str "candidate_rejected"); ("pair", json_of_pair pair);
+          ("reason", Json.Str (string_of_reject reason));
+        ]
+    | Merge_committed { description; reason; delta_e; delta_h; cost } ->
+      Json.Obj
+        [
+          ("ev", Json.Str "merge_committed");
+          ("description", Json.Str description); ("reason", Json.Str reason);
+          ("delta_e", Json.Int delta_e); ("delta_h", Json.Float delta_h);
+          ("cost", Json.Float cost);
+        ]
+    | Reschedule { strategy; moved_ops } ->
+      Json.Obj
+        [
+          ("ev", Json.Str "reschedule");
+          ("strategy", Json.Str (string_of_strategy strategy));
+          ( "moved",
+            Json.List
+              (List.map
+                 (fun (op, from_, to_) ->
+                   Json.List [ Json.Int op; Json.Int from_; Json.Int to_ ])
+                 moved_ops) );
+        ]
+    | Testability_snapshot { seq_depth; registers; units; sched_len; area_mm2 }
+      ->
+      Json.Obj
+        [
+          ("ev", Json.Str "testability_snapshot");
+          ("seq_depth", Json.Float seq_depth);
+          ("registers", Json.Int registers); ("units", Json.Int units);
+          ("sched_len", Json.Int sched_len); ("area_mm2", Json.Float area_mm2);
+        ]
+
+  let ( let* ) = Result.bind
+
+  let field name j =
+    match Json.member name j with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S" name)
+
+  let int_field name j =
+    let* v = field name j in
+    match v with
+    | Json.Int i -> Ok i
+    | _ -> Error (Printf.sprintf "field %S: expected int" name)
+
+  (* %g drops the ".0" of integral floats, so the parser hands them back
+     as Int — coerce. *)
+  let float_field name j =
+    let* v = field name j in
+    match v with
+    | Json.Float f -> Ok f
+    | Json.Int i -> Ok (float_of_int i)
+    | _ -> Error (Printf.sprintf "field %S: expected number" name)
+
+  let str_field name j =
+    let* v = field name j in
+    match v with
+    | Json.Str s -> Ok s
+    | _ -> Error (Printf.sprintf "field %S: expected string" name)
+
+  let pair_field name j =
+    let* p = field name j in
+    let* kind = str_field "kind" p in
+    let* a = int_field "a" p in
+    let* b = int_field "b" p in
+    match kind with
+    | "units" -> Ok (Units (a, b))
+    | "registers" -> Ok (Registers (a, b))
+    | k -> Error (Printf.sprintf "unknown pair kind %S" k)
+
+  let reject_of_string = function
+    | "infeasible" -> Ok Infeasible
+    | "over_budget" -> Ok Over_budget
+    | "not_improving" -> Ok Not_improving
+    | "not_selected" -> Ok Not_selected
+    | s -> Error (Printf.sprintf "unknown reject reason %S" s)
+
+  let moved_of_json = function
+    | Json.List rows ->
+      List.fold_left
+        (fun acc row ->
+          let* acc = acc in
+          match row with
+          | Json.List [ Json.Int op; Json.Int from_; Json.Int to_ ] ->
+            Ok ((op, from_, to_) :: acc)
+          | _ -> Error "bad moved-op row")
+        (Ok []) rows
+      |> Result.map List.rev
+    | _ -> Error "field \"moved\": expected list"
+
+  let decode j =
+    let* ev = str_field "ev" j in
+    match ev with
+    | "iter_begin" ->
+      let* iteration = int_field "iteration" j in
+      let* pool = int_field "pool" j in
+      Ok (Iter_begin { iteration; pool })
+    | "candidate_scored" ->
+      let* pair = pair_field "pair" j in
+      let* delta_e = int_field "delta_e" j in
+      let* delta_h = float_field "delta_h" j in
+      let* sched_len = int_field "sched_len" j in
+      Ok (Candidate_scored { pair; delta_e; delta_h; sched_len })
+    | "candidate_rejected" ->
+      let* pair = pair_field "pair" j in
+      let* reason = str_field "reason" j in
+      let* reason = reject_of_string reason in
+      Ok (Candidate_rejected { pair; reason })
+    | "merge_committed" ->
+      let* description = str_field "description" j in
+      let* reason = str_field "reason" j in
+      let* delta_e = int_field "delta_e" j in
+      let* delta_h = float_field "delta_h" j in
+      let* cost = float_field "cost" j in
+      Ok (Merge_committed { description; reason; delta_e; delta_h; cost })
+    | "reschedule" ->
+      let* strategy = str_field "strategy" j in
+      let* strategy =
+        match strategy with
+        | "SR1" -> Ok SR1
+        | "SR2" -> Ok SR2
+        | s -> Error (Printf.sprintf "unknown strategy %S" s)
+      in
+      let* moved = field "moved" j in
+      let* moved_ops = moved_of_json moved in
+      Ok (Reschedule { strategy; moved_ops })
+    | "testability_snapshot" ->
+      let* seq_depth = float_field "seq_depth" j in
+      let* registers = int_field "registers" j in
+      let* units = int_field "units" j in
+      let* sched_len = int_field "sched_len" j in
+      let* area_mm2 = float_field "area_mm2" j in
+      Ok (Testability_snapshot { seq_depth; registers; units; sched_len; area_mm2 })
+    | k -> Error (Printf.sprintf "unknown journal event %S" k)
+
+  let is_decision_line line =
+    String.length line >= 5 && String.sub line 0 5 = "{\"j\":"
+end
+
 type value =
   | Int of int
   | Float of float
   | Str of string
   | Bool of bool
+
+type span_rec = {
+  w_name : string;
+  w_cat : string;
+  w_ts_ns : int64;
+  w_dur_ns : int64;
+  w_depth : int;
+  w_args : (string * value) list;
+}
 
 type event =
   | Span_begin of { name : string; cat : string; ts_ns : int64; depth : int }
@@ -246,6 +479,8 @@ type event =
       args : (string * value) list;
       ts_ns : int64;
     }
+  | Decision of { d : Journal.event; ts_ns : int64 }
+  | Worker_span of { worker : int; ticket : int; span : span_rec }
 
 type sink = { emit : event -> unit; flush : unit -> unit }
 
@@ -309,6 +544,12 @@ let sample name v =
 
 let instant ?(cat = "") ?(args = []) name =
   if enabled () then broadcast (Instant { name; cat; args; ts_ns = Clock.now_ns () })
+
+let journal d =
+  if enabled () then broadcast (Decision { d; ts_ns = Clock.now_ns () })
+
+let worker_span ~worker ~ticket span =
+  if enabled () then broadcast (Worker_span { worker; ticket; span })
 
 (* ---- shared rendering helpers ---------------------------------------- *)
 
@@ -416,6 +657,10 @@ module Summary = struct
           max_v = max prev.max_v v;
         }
     | Instant _ -> ()
+    (* decisions are content, not time; worker spans already account
+       their wall time inside the worker — folding them into the
+       parent's self-time stack would double-book the pump wait *)
+    | Decision _ | Worker_span _ -> ()
 
   let sink t = { emit = emit t; flush = (fun () -> ()) }
 
@@ -496,9 +741,14 @@ module Summary = struct
     fprintf ppf "@]"
 end
 
-(* ---- JSONL sink -------------------------------------------------------- *)
+(* ---- JSONL sinks ------------------------------------------------------- *)
 
-let jsonl_sink write =
+(* One renderer serves both line-oriented sinks. [canonical] selects the
+   journal shape for Decision events: a 0-based sequence number and no
+   timestamp, so those lines are byte-identical at every [-j N]. The
+   plain jsonl shape keeps the timestamp for stream consumers. *)
+let make_jsonl ~canonical write =
+  let seq = ref 0 in
   let line fields =
     write (Json.to_string (Json.Obj fields));
     write "\n"
@@ -544,8 +794,37 @@ let jsonl_sink write =
           ("cat", Json.Str cat); ("ts_us", Json.Float (us_of_ns ts_ns));
           ("args", json_of_args args);
         ]
+    | Decision { d; ts_ns } ->
+      if canonical then begin
+        let fields =
+          match Journal.encode d with
+          | Json.Obj fields -> fields
+          | _ -> assert false (* encode always yields an object *)
+        in
+        line (("j", Json.Int !seq) :: fields);
+        incr seq
+      end
+      else
+        line
+          [
+            ("ev", Json.Str "decision");
+            ("ts_us", Json.Float (us_of_ns ts_ns)); ("d", Journal.encode d);
+          ]
+    | Worker_span { worker; ticket; span } ->
+      line
+        [
+          ("ev", Json.Str "wspan"); ("worker", Json.Int worker);
+          ("ticket", Json.Int ticket); ("name", Json.Str span.w_name);
+          ("cat", Json.Str span.w_cat);
+          ("ts_us", Json.Float (us_of_ns span.w_ts_ns));
+          ("dur_us", Json.Float (us_of_ns span.w_dur_ns));
+          ("depth", Json.Int span.w_depth); ("args", json_of_args span.w_args);
+        ]
   in
   { emit; flush = (fun () -> ()) }
+
+let jsonl_sink write = make_jsonl ~canonical:false write
+let journal_sink write = make_jsonl ~canonical:true write
 
 (* ---- Chrome trace_event sink ------------------------------------------- *)
 
@@ -560,10 +839,26 @@ let chrome_sink write =
     if !first then first := false else Buffer.add_string buf ",\n";
     Buffer.add_string buf (Json.to_string (Json.Obj fields))
   in
-  let common name ph ts =
+  (* pid lanes: 1 = the parent process, 2 + w = pool worker w. A
+     process_name metadata record is emitted the first time each lane
+     appears so the trace viewer labels them. *)
+  let seen_pids : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let lane pid label =
+    if not (Hashtbl.mem seen_pids pid) then begin
+      Hashtbl.add seen_pids pid ();
+      record
+        [
+          ("name", Json.Str "process_name"); ("ph", Json.Str "M");
+          ("pid", Json.Int pid); ("tid", Json.Int 1);
+          ("args", Json.Obj [ ("name", Json.Str label) ]);
+        ]
+    end
+  in
+  let common ?(pid = 1) name ph ts =
+    if pid = 1 then lane 1 "hlts (parent)";
     [
       ("name", Json.Str name); ("ph", Json.Str ph);
-      ("ts", Json.Float (rel ts)); ("pid", Json.Int 1); ("tid", Json.Int 1);
+      ("ts", Json.Float (rel ts)); ("pid", Json.Int pid); ("tid", Json.Int 1);
     ]
   in
   let counter_record name ts v =
@@ -593,6 +888,34 @@ let chrome_sink write =
       record
         (common name "i" ts_ns
         @ [ ("cat", Json.Str cat); ("s", Json.Str "t"); ("args", json_of_args args) ])
+    | Decision { d; ts_ns } ->
+      let kind, payload =
+        match Journal.encode d with
+        | Json.Obj (("ev", Json.Str kind) :: rest) -> (kind, rest)
+        | _ -> ("decision", [])
+      in
+      record
+        (common ("journal." ^ kind) "i" ts_ns
+        @ [
+            ("cat", Json.Str "journal"); ("s", Json.Str "t");
+            ("args", Json.Obj payload);
+          ])
+    | Worker_span { worker; ticket; span } ->
+      let pid = 2 + worker in
+      lane pid (Printf.sprintf "pool worker %d" worker);
+      let cat = if span.w_cat = "" then "default" else span.w_cat in
+      record
+        (common ~pid span.w_name "X" (Int64.sub span.w_ts_ns span.w_dur_ns)
+        @ [
+            ("cat", Json.Str cat);
+            ("dur", Json.Float (us_of_ns span.w_dur_ns));
+            ( "args",
+              Json.Obj
+                (("ticket", Json.Int ticket)
+                :: (match json_of_args span.w_args with
+                   | Json.Obj fields -> fields
+                   | _ -> [])) );
+          ])
   in
   let flush () =
     if not !flushed then begin

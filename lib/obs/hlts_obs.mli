@@ -56,12 +56,108 @@ module Json : sig
   (** Field lookup in an [Obj]; [None] otherwise. *)
 end
 
+(** Typed decision journal: the *what* and *why* of an Algorithm-1 run,
+    as opposed to the *how long* the spans record. Events are emitted by
+    {!Hlts_synth.Synth} (iteration boundaries, candidate verdicts,
+    commits), {!Hlts_synth.Merge} (SR1/SR2 rescheduling) and replayed
+    across the worker-pool boundary exactly like counters, so the
+    journal is byte-identical at every [-j N].
+
+    Only plain data here — journal events must marshal across the pool
+    wire — and no timestamps: a journal event is deterministic content
+    by construction; the {!journal_sink} stamps a sequence number, never
+    a clock reading. *)
+module Journal : sig
+  (** A candidate merge pair: two functional-unit ids or two register
+      ids (mirrors [Candidates.pair], which lives above this library). *)
+  type pair =
+    | Units of int * int
+    | Registers of int * int
+
+  (** Which enhancement strategy resolved the merge-sort rescheduling:
+      [SR2] when a head-to-head order was decided by the occupancy
+      metric (the order that lets SR1 reduce sequential depth), [SR1]
+      when only forced orders and the critical-path fallback applied. *)
+  type strategy =
+    | SR1
+    | SR2
+
+  (** Why a candidate was not committed. [Infeasible]: the merger has no
+      acyclic rescheduling. [Over_budget]: feasible, but the schedule
+      exceeds the latency budget. [Not_improving]: within budget, but
+      [alpha*dE + beta*dH >= 0] under [Cost_improving]. [Not_selected]:
+      acceptable, but a cheaper candidate won the iteration. *)
+  type reject =
+    | Infeasible
+    | Over_budget
+    | Not_improving
+    | Not_selected
+
+  type event =
+    | Iter_begin of { iteration : int; pool : int }
+        (** [pool] = size of the score-ordered candidate list. *)
+    | Candidate_scored of {
+        pair : pair;
+        delta_e : int;       (** control steps *)
+        delta_h : float;     (** mm2 *)
+        sched_len : int;     (** post-merge schedule length *)
+      }
+    | Candidate_rejected of { pair : pair; reason : reject }
+    | Merge_committed of {
+        description : string;
+        reason : string;     (** e.g. "cheapest acceptable of top-3 (rank 2)" *)
+        delta_e : int;
+        delta_h : float;
+        cost : float;
+      }
+    | Reschedule of {
+        strategy : strategy;
+        moved_ops : (int * int * int) list;
+            (** [(op, old step, new step)] for every op the merger's
+                constraints moved, ascending by op id. *)
+      }
+    | Testability_snapshot of {
+        seq_depth : float;
+        registers : int;
+        units : int;
+        sched_len : int;
+        area_mm2 : float;
+      }  (** design-quality snapshot after each committed merger *)
+
+  val encode : event -> Json.t
+  (** Canonical JSON object: an ["ev"] kind tag plus the payload fields.
+      Field values are deterministic (floats render shortest-round-trip),
+      so byte-comparing encodings compares events exactly. *)
+
+  val decode : Json.t -> (event, string) result
+  (** Inverse of {!encode} (ignores an extra ["j"] sequence field). *)
+
+  val is_decision_line : string -> bool
+  (** True for canonical journal lines (as written by {!journal_sink} —
+      they start with [{"j":]); false for the interleaved timing lines.
+      The determinism contract covers exactly the lines this accepts. *)
+end
+
 (** Argument values attached to spans and instant events. *)
 type value =
   | Int of int
   | Float of float
   | Str of string
   | Bool of bool
+
+(** One completed span as captured inside a pool worker, shipped back
+    with the reply and re-stamped into the parent's sinks as a
+    {!Worker_span}. Timestamps are {!Clock} readings — the monotonic
+    clock is system-wide, so worker and parent timestamps share one
+    timeline and need no translation. *)
+type span_rec = {
+  w_name : string;
+  w_cat : string;
+  w_ts_ns : int64;   (** end timestamp, as [Span_end] *)
+  w_dur_ns : int64;
+  w_depth : int;
+  w_args : (string * value) list;
+}
 
 (** The event stream delivered to sinks. Timestamps are {!Clock}
     readings; [depth] is the span-nesting depth (0 = root). *)
@@ -84,6 +180,14 @@ type event =
       args : (string * value) list;
       ts_ns : int64;
     }
+  | Decision of { d : Journal.event; ts_ns : int64 }
+      (** A decision-journal event (see {!Journal}). [ts_ns] is when the
+          emitting process recorded it; canonical journal output ignores
+          it. *)
+  | Worker_span of { worker : int; ticket : int; span : span_rec }
+      (** A span completed inside pool worker [worker] while serving
+          [ticket], re-stamped into the parent's sinks by the pool
+          pump. *)
 
 type sink = {
   emit : event -> unit;
@@ -129,6 +233,16 @@ val sample : string -> float -> unit
 
 val instant : ?cat:string -> ?args:(string * value) list -> string -> unit
 (** A point event. *)
+
+val journal : Journal.event -> unit
+(** Report a decision-journal event (as {!Decision}) to the installed
+    sinks. Free when no sink is installed, like every other entry
+    point. *)
+
+val worker_span : worker:int -> ticket:int -> span_rec -> unit
+(** Re-stamp a span captured inside a pool worker into the parent's
+    sinks (as {!Worker_span}). Called by the pool pump as replies are
+    parsed. *)
 
 (** In-memory aggregation sink. Self time of a span is its duration
     minus the durations of its direct children, so summing self time
@@ -183,12 +297,26 @@ end
 val jsonl_sink : (string -> unit) -> sink
 (** [jsonl_sink write] renders each event as one JSON object per line
     through [write]. Line shapes: [{"ev":"begin"|"end"|"count"|
-    "gauge"|"sample"|"instant", "name":..., ...}] with timestamps in
-    microseconds. *)
+    "gauge"|"sample"|"instant"|"decision"|"wspan", "name":..., ...}]
+    with timestamps in microseconds. *)
+
+val journal_sink : (string -> unit) -> sink
+(** [journal_sink write] is the canonical decision-journal sink: each
+    {!Decision} becomes one line [{"j":<seq>, "ev":<kind>, ...}] where
+    [seq] is a 0-based decision counter and the payload carries *no*
+    timestamps — these lines are byte-identical at every [-j N]
+    ({!Journal.is_decision_line} recognizes them). All other events are
+    written too, in the {!jsonl_sink} shapes (with timestamps), so one
+    file carries both the deterministic decision record and the timing
+    context; consumers split the two with [is_decision_line]. *)
 
 val chrome_sink : (string -> unit) -> sink
 (** [chrome_sink write] buffers Chrome [trace_event] records and emits
     a complete [{"traceEvents":[...]}] document on [flush]. Spans
     become ["X"] (complete) events, counters/gauges ["C"] events and
     instants ["i"] events; timestamps are microseconds relative to
-    sink creation. *)
+    sink creation. The parent process renders as pid 1; each
+    {!Worker_span} renders on pid [2 + worker] with a ["process_name"]
+    metadata record, so pool workers appear as separate lanes.
+    {!Decision} events render as instants in the ["journal"]
+    category. *)

@@ -27,6 +27,15 @@ let ops_at t s =
 
 let bindings t = IntMap.bindings t
 
+let diff before after =
+  IntMap.fold
+    (fun op s_after acc ->
+      match IntMap.find_opt op before with
+      | Some s_before when s_before <> s_after -> (op, s_before, s_after) :: acc
+      | Some _ | None -> acc)
+    after []
+  |> List.rev
+
 let set t op s =
   if s < 1 then invalid_arg "Schedule.set: step < 1";
   IntMap.add op s t

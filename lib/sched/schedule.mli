@@ -21,6 +21,12 @@ val ops_at : t -> int -> int list
 val bindings : t -> (int * int) list
 (** All [(op id, step)] pairs, ascending by op id. *)
 
+val diff : t -> t -> (int * int * int) list
+(** [diff before after] lists every op scheduled in both whose step
+    changed, as [(op, old step, new step)] ascending by op id. Ops only
+    present in one of the two schedules are ignored. Used by the
+    decision journal to report what a rescheduling moved. *)
+
 val set : t -> int -> int -> t
 (** [set t op step] reassigns one operation. *)
 

@@ -208,7 +208,7 @@ let test_chrome_wellformed () =
               (num (Obs.Json.member "dur" e) >= 0.0);
             Alcotest.(check bool) "ts >= 0" true
               (num (Obs.Json.member "ts" e) >= 0.0)
-          | Some (Obs.Json.Str ("C" | "i")) -> ()
+          | Some (Obs.Json.Str ("C" | "i" | "M")) -> ()
           | _ -> Alcotest.fail "unexpected event phase")
         events
     | _ -> Alcotest.fail "no traceEvents array")
@@ -220,6 +220,61 @@ let test_chrome_wellformed () =
    the exact same totals at any job count (PR 4's accounting
    invariant). Only the pool's own bookkeeping counters
    ([synth.pool.*], [pool] spans) may differ. *)
+(* Sinks must leave complete documents behind when the instrumented body
+   dies mid-span: the span's [Fun.protect] still emits the end event and
+   [with_sink]'s [Fun.protect] still flushes, so a trace of a crashed
+   run loads in the viewer and a journal of one still parses per line. *)
+let test_chrome_complete_on_exception () =
+  let buf = Buffer.create 256 in
+  (try
+     Obs.with_sink
+       (Obs.chrome_sink (Buffer.add_string buf))
+       (fun () ->
+         Obs.span ~cat:"x" "doomed" (fun _ ->
+             Obs.span ~cat:"x" "inner" (fun _ -> failwith "boom")))
+   with Failure _ -> ());
+  match Obs.Json.of_string (Buffer.contents buf) with
+  | Error e -> Alcotest.failf "crashed trace does not parse: %s" e
+  | Ok doc -> (
+    match Obs.Json.member "traceEvents" doc with
+    | Some (Obs.Json.List events) ->
+      let complete =
+        List.filter_map
+          (fun e ->
+            match Obs.Json.member "ph" e, Obs.Json.member "name" e with
+            | Some (Obs.Json.Str "X"), Some (Obs.Json.Str n) -> Some n
+            | _ -> None)
+          events
+      in
+      List.iter
+        (fun n ->
+          Alcotest.(check bool) (n ^ " span closed") true (List.mem n complete))
+        [ "doomed"; "inner" ]
+    | _ -> Alcotest.fail "no traceEvents")
+
+let test_journal_complete_on_exception () =
+  let buf = Buffer.create 256 in
+  (try
+     Obs.with_sink
+       (Obs.journal_sink (Buffer.add_string buf))
+       (fun () ->
+         Obs.span ~cat:"x" "doomed" (fun _ ->
+             Obs.journal (Obs.Journal.Iter_begin { iteration = 1; pool = 0 });
+             failwith "boom"))
+   with Failure _ -> ());
+  let lines =
+    List.filter (fun l -> l <> "")
+      (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  Alcotest.(check bool) "decision survived the crash" true
+    (List.exists Obs.Journal.is_decision_line lines);
+  List.iter
+    (fun l ->
+      match Obs.Json.of_string l with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "line %S does not parse: %s" l e)
+    lines
+
 let test_parallel_counters_match () =
   if not Hlts_pool.Pool.available then Alcotest.skip ();
   let counters jobs =
@@ -278,5 +333,9 @@ let () =
           Alcotest.test_case "jsonl well-formed" `Quick test_jsonl_wellformed;
           Alcotest.test_case "chrome trace well-formed" `Quick
             test_chrome_wellformed;
+          Alcotest.test_case "chrome trace complete after exception" `Quick
+            test_chrome_complete_on_exception;
+          Alcotest.test_case "journal complete after exception" `Quick
+            test_journal_complete_on_exception;
         ] );
     ]

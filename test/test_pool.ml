@@ -150,6 +150,130 @@ let test_no_fd_leaks () =
    with Exit -> ());
   Alcotest.(check int) "fd count restored" before (count_fds ())
 
+(* --- worker observability ----------------------------------------------- *)
+
+module Obs = Hlts_obs
+
+let recording () =
+  let events = ref [] in
+  let sink = { Obs.emit = (fun e -> events := e :: !events); flush = ignore } in
+  (sink, fun () -> List.rev !events)
+
+(* A task that exercises the whole shipping surface: nested spans and a
+   journal decision, all emitted inside the worker. *)
+let spanning_task n =
+  Obs.span ~cat:"work" "task.outer" (fun _ ->
+      Obs.span ~cat:"work" "task.inner" (fun _ -> ());
+      Obs.journal (Obs.Journal.Iter_begin { iteration = n; pool = 0 });
+      n + 1)
+
+let test_worker_span_restamp () =
+  skip_unless_unix ();
+  let sink, events = recording () in
+  let jobs = 2 in
+  let results =
+    Obs.with_sink sink (fun () ->
+        Pool.with_pool ~name:"t.obs" ~jobs spanning_task @@ fun pool ->
+        Pool.map pool [ 0; 1; 2; 3; 4; 5 ])
+  in
+  Alcotest.(check (list int)) "results" [ 1; 2; 3; 4; 5; 6 ] results;
+  let wspans =
+    List.filter_map
+      (function
+        | Obs.Worker_span { worker; ticket; span } -> Some (worker, ticket, span)
+        | _ -> None)
+      (events ())
+  in
+  (* two spans per task, shipped back and re-stamped *)
+  Alcotest.(check int) "wspan count" 12 (List.length wspans);
+  List.iter
+    (fun (worker, ticket, span) ->
+      Alcotest.(check bool) "worker lane in range" true
+        (worker >= 0 && worker < jobs);
+      Alcotest.(check int) "round-robin lane" (ticket mod jobs) worker;
+      Alcotest.(check bool) "positive duration" true
+        (span.Obs.w_dur_ns >= 0L))
+    wspans;
+  (* per lane, re-stamped spans arrive in the worker's completion order:
+     end timestamps never go backwards *)
+  for w = 0 to jobs - 1 do
+    let lane =
+      List.filter_map
+        (fun (worker, _, span) ->
+          if worker = w then Some span.Obs.w_ts_ns else None)
+        wspans
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "lane %d nonempty" w)
+      true (lane <> []);
+    ignore
+      (List.fold_left
+         (fun prev ts ->
+           Alcotest.(check bool)
+             (Printf.sprintf "lane %d monotonic" w)
+             true (ts >= prev);
+           ts)
+         Int64.min_int lane)
+  done;
+  (* the journal decisions captured in the workers were replayed into
+     the parent sink, in submission order *)
+  let iters =
+    List.filter_map
+      (function
+        | Obs.Decision { d = Obs.Journal.Iter_begin { iteration; _ }; _ } ->
+          Some iteration
+        | _ -> None)
+      (events ())
+  in
+  Alcotest.(check (list int)) "decisions replayed in order" [ 0; 1; 2; 3; 4; 5 ]
+    iters
+
+let test_chrome_worker_lanes () =
+  skip_unless_unix ();
+  let buf = Buffer.create 1024 in
+  ignore
+    (Obs.with_sink
+       (Obs.chrome_sink (Buffer.add_string buf))
+       (fun () ->
+         Pool.with_pool ~name:"t.lanes" ~jobs:2 spanning_task @@ fun pool ->
+         Pool.map pool [ 0; 1; 2; 3 ]));
+  match Obs.Json.of_string (Buffer.contents buf) with
+  | Error e -> Alcotest.failf "trace does not parse: %s" e
+  | Ok doc -> (
+    match Obs.Json.member "traceEvents" doc with
+    | Some (Obs.Json.List events) ->
+      let by_ph ph field =
+        List.filter_map
+          (fun e ->
+            match Obs.Json.member "ph" e, Obs.Json.member field e with
+            | Some (Obs.Json.Str p), Some v when p = ph -> Some v
+            | _ -> None)
+          events
+      in
+      let worker_pids =
+        List.filter_map
+          (function Obs.Json.Int pid when pid >= 2 -> Some pid | _ -> None)
+          (by_ph "X" "pid")
+        |> List.sort_uniq compare
+      in
+      Alcotest.(check (list int))
+        "complete spans on both worker lanes" [ 2; 3 ] worker_pids;
+      let lane_names =
+        List.filter_map
+          (fun e ->
+            match Obs.Json.member "name" e, Obs.Json.member "args" e with
+            | Some (Obs.Json.Str "process_name"), Some args ->
+              Obs.Json.member "name" args
+            | _ -> None)
+          events
+      in
+      List.iter
+        (fun n ->
+          Alcotest.(check bool) n true
+            (List.mem (Obs.Json.Str n) lane_names))
+        [ "hlts (parent)"; "pool worker 0"; "pool worker 1" ]
+    | _ -> Alcotest.fail "no traceEvents")
+
 (* --- parallel synthesis determinism ------------------------------------- *)
 
 (* Same digest as test_synth's golden-trajectory check: %h renders the
@@ -225,6 +349,13 @@ let () =
           Alcotest.test_case "no fd leaks" `Quick test_no_fd_leaks;
           Alcotest.test_case "closure items via Par" `Quick
             test_par_closure_items;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "worker spans re-stamped" `Quick
+            test_worker_span_restamp;
+          Alcotest.test_case "chrome trace worker lanes" `Quick
+            test_chrome_worker_lanes;
         ] );
       ( "determinism",
         [
