@@ -207,6 +207,24 @@ let host_json ~jobs =
       | [] -> []
       | js -> [ ("jobs", List (Stdlib.List.map (fun j -> Int j) js)) ]))
 
+(* Resource usage of the benchmark process, stamped next to [host] when
+   the document is written (so it covers the whole run). Informational
+   and host-dependent, like the wall times: every drift gate keys on an
+   explicit field list, so nothing here is ever asserted. *)
+let res_json () =
+  let s = Hlts_obs.Res.snapshot () in
+  Hlts_obs.Json.(
+    Obj
+      [
+        ("max_rss_kb", Int s.Hlts_obs.Res.max_rss_kb);
+        ("utime_s", Float s.Hlts_obs.Res.utime_s);
+        ("stime_s", Float s.Hlts_obs.Res.stime_s);
+        ("gc_minor_words", Float s.Hlts_obs.Res.minor_words);
+        ("gc_major_words", Float s.Hlts_obs.Res.major_words);
+        ("gc_minor_collections", Int s.Hlts_obs.Res.minor_collections);
+        ("gc_major_collections", Int s.Hlts_obs.Res.major_collections);
+      ])
+
 let records_digest records =
   let line r =
     Printf.sprintf "%d|%s|%d|%h|%h|%h" r.Synth.iteration r.Synth.description
@@ -316,8 +334,9 @@ let run_json ~only file =
     Hlts_obs.Json.(
       Obj
         [
-          ("schema", Str "hlts-bench-synth/3");
+          ("schema", Str "hlts-bench-synth/4");
           ("host", host_json ~jobs:synthetic_jobs);
+          ("res", res_json ());
           ("benchmarks", List entries);
         ])
   in
@@ -431,8 +450,9 @@ let run_json_atpg ~only ~oracle seed file =
     Hlts_obs.Json.(
       Obj
         [
-          ("schema", Str "hlts-bench-atpg/2");
+          ("schema", Str "hlts-bench-atpg/3");
           ("host", host_json ~jobs:[]);
+          ("res", res_json ());
           ("benchmarks", List entries);
         ])
   in

@@ -68,11 +68,31 @@ let journal_arg =
   in
   Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
 
+let metrics_arg =
+  let doc =
+    "After the run, write a Prometheus text-exposition snapshot \
+     (counters, gauges, histogram summaries, per-phase self time and \
+     process resources) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let heartbeat_arg =
+  let doc =
+    "Append one JSON progress snapshot per cadence tick to $(docv) \
+     while the run executes; watch it live with $(b,hlts top --follow)."
+  in
+  Arg.(value & opt (some string) None & info [ "heartbeat" ] ~docv:"FILE" ~doc)
+
+let heartbeat_ms_arg =
+  let doc = "Heartbeat snapshot cadence in milliseconds (0 = every event)." in
+  Arg.(value & opt int 100 & info [ "heartbeat-ms" ] ~docv:"MS" ~doc)
+
 (* Installs the requested sinks around [f]; file sinks are flushed and
    closed on the way out — [Fun.protect] runs the closers even when [f]
    raises mid-span, so trace/journal files are complete documents after
    a crash — and the summary (if any) is printed last. *)
-let with_obs ~stats ~trace ~jsonl ?(journal = None) f =
+let with_obs ~stats ~trace ~jsonl ?(journal = None) ?(metrics = None)
+    ?(heartbeat = None) ?(heartbeat_ms = 100) f =
   let installed = ref [] and closers = ref [] in
   let install sink =
     Obs.add_sink sink;
@@ -92,6 +112,32 @@ let with_obs ~stats ~trace ~jsonl ?(journal = None) f =
     end
     else None
   in
+  (* The metrics snapshot aggregates into its own summary so --metrics
+     works with or without --stats; the exposition is rendered once on
+     the way out. The file is opened up front so an unwritable path
+     fails before the run, not after it. *)
+  let metrics_summary =
+    Option.map
+      (fun path ->
+        let oc = open_out path in
+        let s = Obs.Summary.create () in
+        install (Obs.Summary.sink s);
+        (oc, s))
+      metrics
+  in
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      (* flushed per snapshot so a concurrent [hlts top --follow] sees
+         each line as soon as it is written *)
+      let sink =
+        Obs.heartbeat_sink ~interval_ms:heartbeat_ms (fun s ->
+            output_string oc s;
+            flush oc)
+      in
+      closers := (fun () -> sink.Obs.flush (); close_out oc) :: !closers;
+      install sink)
+    heartbeat;
   Option.iter (open_file Obs.chrome_sink) trace;
   Option.iter (open_file Obs.jsonl_sink) jsonl;
   Option.iter (open_file Obs.journal_sink) journal;
@@ -99,6 +145,12 @@ let with_obs ~stats ~trace ~jsonl ?(journal = None) f =
     ~finally:(fun () ->
       List.iter (fun close -> close ()) !closers;
       List.iter Obs.remove_sink !installed;
+      Option.iter
+        (fun (oc, s) ->
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc (Obs.Metrics.expose s)))
+        metrics_summary;
       Option.iter (fun s -> Format.printf "%a@." Obs.Summary.pp s) summary)
     f
 
@@ -121,6 +173,11 @@ let with_errors f =
   match f () with
   | Ok () -> 0
   | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+  | exception Sys_error msg ->
+    (* an unopenable --metrics/--heartbeat/--trace/... path: a user
+       error, reported like the report/top missing-file case *)
     Printf.eprintf "error: %s\n" msg;
     1
   | exception e ->
@@ -159,11 +216,13 @@ let synth_cmd =
     in
     Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
-  let run bench approach bits jobs stats trace jsonl journal =
+  let run bench approach bits jobs stats trace jsonl journal metrics heartbeat
+      heartbeat_ms =
     with_errors (fun () ->
         let* d = find_bench bench in
         let* a = find_approach approach in
-        with_obs ~stats ~trace ~jsonl ~journal (fun () ->
+        with_obs ~stats ~trace ~jsonl ~journal ~metrics ~heartbeat ~heartbeat_ms
+          (fun () ->
             run_meta ~bench ~approach ~bits ?jobs ();
             let o = Eval.outcome ?jobs a d ~bits in
             Render.schedule_figure Format.std_formatter d o;
@@ -179,7 +238,8 @@ let synth_cmd =
     (Cmd.info "synth"
        ~doc:"Synthesize a benchmark and print its schedule and allocation.")
     Term.(const run $ bench_arg $ approach_arg $ bits_arg $ jobs_arg
-          $ stats_arg $ trace_arg $ jsonl_arg $ journal_arg)
+          $ stats_arg $ trace_arg $ jsonl_arg $ journal_arg $ metrics_arg
+          $ heartbeat_arg $ heartbeat_ms_arg)
 
 let testability_cmd =
   let run bench approach bits =
@@ -218,11 +278,13 @@ let atpg_cmd =
     in
     Arg.(value & flag & info [ "collapse-gates" ] ~doc)
   in
-  let run bench approach bits seed collapse_gates stats trace jsonl journal =
+  let run bench approach bits seed collapse_gates stats trace jsonl journal
+      metrics heartbeat heartbeat_ms =
     with_errors (fun () ->
         let* d = find_bench bench in
         let* a = find_approach approach in
-        with_obs ~stats ~trace ~jsonl ~journal (fun () ->
+        with_obs ~stats ~trace ~jsonl ~journal ~metrics ~heartbeat ~heartbeat_ms
+          (fun () ->
             run_meta ~bench ~approach ~bits ();
             let atpg =
               { (atpg_config seed) with
@@ -244,7 +306,7 @@ let atpg_cmd =
     (Cmd.info "atpg" ~doc:"Run the full synthesis + test-generation pipeline.")
     Term.(const run $ bench_arg $ approach_arg $ bits_arg $ seed_arg
           $ collapse_gates_arg $ stats_arg $ trace_arg $ jsonl_arg
-          $ journal_arg)
+          $ journal_arg $ metrics_arg $ heartbeat_arg $ heartbeat_ms_arg)
 
 let table_cmd =
   let which =
@@ -471,8 +533,10 @@ let profile_cmd =
 
 let report_cmd =
   let journal_file =
+    (* [Arg.string], not [Arg.file]: a missing path must surface as our
+       own one-line error with exit code 1, not cmdliner's CLI error. *)
     let doc = "Decision-journal file written by --journal." in
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"JOURNAL" ~doc)
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"JOURNAL" ~doc)
   in
   let out_arg =
     let doc = "Output HTML file." in
@@ -480,7 +544,11 @@ let report_cmd =
   in
   let run journal out =
     with_errors (fun () ->
-        let ic = open_in journal in
+        let* ic =
+          match open_in journal with
+          | ic -> Ok ic
+          | exception Sys_error msg -> Error msg
+        in
         let lines = ref [] in
         (try
            while true do
@@ -518,6 +586,45 @@ let report_cmd =
           and pool utilization.")
     Term.(const run $ journal_file $ out_arg)
 
+let top_cmd =
+  let hb_file =
+    let doc = "Heartbeat file written by --heartbeat." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"HEARTBEAT" ~doc)
+  in
+  let follow_arg =
+    let doc =
+      "Keep re-reading the file and redrawing in place until the \
+       producer writes its final snapshot (or --frames is reached)."
+    in
+    Arg.(value & flag & info [ "f"; "follow" ] ~doc)
+  in
+  let frames_arg =
+    let doc = "With --follow, stop after $(docv) rendered frames (0 = until final)." in
+    Arg.(value & opt int 0 & info [ "frames" ] ~docv:"N" ~doc)
+  in
+  let interval_arg =
+    let doc = "With --follow, redraw every $(docv) milliseconds." in
+    Arg.(value & opt int 250 & info [ "interval-ms" ] ~docv:"MS" ~doc)
+  in
+  let run file follow frames interval_ms =
+    with_errors (fun () ->
+        if follow then
+          Hlts_eval.Top.follow ~frames ~interval_ms ~file (fun s ->
+              print_string s;
+              flush stdout)
+        else
+          let* panel = Hlts_eval.Top.once ~file in
+          print_string panel;
+          Ok ())
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Render a live dashboard (RSS, CPU, GC rate, queue depth, worker \
+          utilization, counter rates) from a --heartbeat file, optionally \
+          following a still-running job.")
+    Term.(const run $ hb_file $ follow_arg $ frames_arg $ interval_arg)
+
 let () =
   let info =
     Cmd.info "hlts" ~version:"1.0.0"
@@ -531,6 +638,6 @@ let () =
        (Cmd.group info ~default
           [
             list_cmd; synth_cmd; testability_cmd; atpg_cmd; profile_cmd;
-            report_cmd; table_cmd; figure_cmd; ablation_cmd; verify_cmd;
-            dot_cmd; compile_cmd;
+            report_cmd; top_cmd; table_cmd; figure_cmd; ablation_cmd;
+            verify_cmd; dot_cmd; compile_cmd;
           ]))

@@ -111,7 +111,7 @@ let stuck_code f =
   match f.Fault.f_stuck with Fault.Stuck_at_0 -> 0 | Fault.Stuck_at_1 -> 1
 
 let run ?(config = default_config) ?(engine = `Cone) circuit =
-  Obs.span ~cat:"atpg" "atpg.run" @@ fun run_sp ->
+  Obs.span ~cat:"atpg" ~res:true "atpg.run" @@ fun run_sp ->
   let t0 = Obs.Clock.now_ns () in
   let sim = Obs.span ~cat:"atpg" "atpg.compile" (fun _ -> Sim.compile circuit) in
   let faults =

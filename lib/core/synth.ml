@@ -385,7 +385,7 @@ let pool_step params ~budget ~sp ~pool ~iteration state =
 
 let run ?(params = default_params) ?jobs dfg =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
-  Obs.span ~cat:"synth" "synth.run" @@ fun run_sp ->
+  Obs.span ~cat:"synth" ~res:true "synth.run" @@ fun run_sp ->
   let critical_path = Hlts_dfg.Dfg.longest_chain dfg in
   let budget =
     if params.latency_factor = infinity then max_int
@@ -442,6 +442,10 @@ let run ?(params = default_params) ?jobs dfg =
                    sched_len = Hlts_sched.Schedule.length state'.State.schedule;
                    area_mm2 = State.area state' ~bits:params.bits;
                  });
+          (* One resource reading per committed merger: cheap enough at
+             commit granularity and exactly the cadence the heartbeat
+             and memory panel want. Gauges only — never digested. *)
+          Obs.Res.emit ();
           on_commit state';
           loop state' (record :: records) (iteration + 1)
     in
@@ -460,7 +464,7 @@ let run ?(params = default_params) ?jobs dfg =
          attempts the sequential scan would have made, at slice
          granularity that split would otherwise be lost. *)
       let try_one pair =
-        let counts = ref [] and samples = ref [] in
+        let counts = ref [] and samples = ref [] and gauges = ref [] in
         let decisions = ref [] in
         let capture =
           {
@@ -470,6 +474,8 @@ let run ?(params = default_params) ?jobs dfg =
                   counts := (name, delta) :: !counts
                 | Obs.Sample { name; v; _ } ->
                   samples := (name, v) :: !samples
+                | Obs.Gauge { name; v; _ } ->
+                  gauges := (name, v) :: !gauges
                 | Obs.Decision { d; _ } -> decisions := d :: !decisions
                 | _ -> ());
             flush = ignore;
@@ -485,6 +491,7 @@ let run ?(params = default_params) ?jobs dfg =
           {
             Pool.counts = List.rev !counts;
             samples = List.rev !samples;
+            gauges = List.rev !gauges;
             decisions = List.rev !decisions;
           } )
       in

@@ -22,9 +22,9 @@ let live_fds : (Unix.file_descr, unit) Hashtbl.t = Hashtbl.create 16
 (* --- wire protocol ------------------------------------------------------ *)
 
 (* Parent -> worker, one marshalled message per task; worker -> parent,
-   one marshalled [(id, result, tally, spans)] quadruple per [Job].
-   [Ctl] tasks (broadcasts) produce no reply; [Quit] ends the worker
-   loop. *)
+   one marshalled [(id, result, tally, spans, wres)] quintuple per
+   [Job]. [Ctl] tasks (broadcasts) produce no reply; [Quit] ends the
+   worker loop. *)
 type 'task down =
   | Job of int * 'task
   | Ctl of 'task
@@ -33,7 +33,22 @@ type 'task down =
 type tally = {
   counts : (string * int) list;
   samples : (string * float) list;
+  gauges : (string * float) list;
   decisions : Obs.Journal.event list;
+}
+
+(* Cumulative resource usage of one worker process, riding back with
+   each instrumented reply so parent-side accounting never needs to
+   poke at other pids. *)
+type wres = {
+  wr_tasks : int;
+  wr_utime_s : float;
+  wr_stime_s : float;
+  wr_rss_kb : int;
+  wr_max_rss_kb : int;
+  wr_minor_words : float;
+  wr_major_words : float;
+  wr_major_collections : int;
 }
 
 type ticket = int
@@ -53,6 +68,18 @@ let aggregate_counts entries =
     entries;
   List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
 
+(* Last value per gauge name, names in first-emission order. *)
+let aggregate_gauges entries =
+  let tbl = Hashtbl.create 8 and order = ref [] in
+  List.iter
+    (fun (name, v) ->
+      if not (Hashtbl.mem tbl name) then order := name :: !order;
+      Hashtbl.replace tbl name v)
+    entries;
+  List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
+
+let is_res_gauge name = String.length name >= 4 && String.sub name 0 4 = "res."
+
 let child_loop f task_rd res_wr : unit =
   worker_flag := true;
   Hashtbl.iter
@@ -60,13 +87,14 @@ let child_loop f task_rd res_wr : unit =
     live_fds;
   Hashtbl.reset live_fds;
   (* The parent keeps the sinks; the worker only captures its own
-     counters, samples and journal decisions, shipping them back with
-     each reply. Full span records travel too, but only when the parent
-     had a sink installed at fork time — an uninstrumented run must not
-     pay for span marshalling. *)
-  let ship_spans = Obs.enabled () in
+     counters, samples, gauges and journal decisions, shipping them back
+     with each reply. Full span records and a resource snapshot travel
+     too, but only when the parent had a sink installed at fork time —
+     an uninstrumented run must not pay for span marshalling or procfs
+     reads. *)
+  let instrumented = Obs.enabled () in
   Obs.clear_sinks ();
-  let counts = ref [] and samples = ref [] in
+  let counts = ref [] and samples = ref [] and gauges = ref [] in
   let decisions = ref [] and spans = ref [] in
   let capture =
     {
@@ -74,9 +102,14 @@ let child_loop f task_rd res_wr : unit =
         (function
           | Obs.Count { name; delta; _ } -> counts := (name, delta) :: !counts
           | Obs.Sample { name; v; _ } -> samples := (name, v) :: !samples
+          | Obs.Gauge { name; v; _ } ->
+            (* "res." gauges are host-dependent readings; the worker's
+               own resources travel via [wres] instead, so the replayed
+               tally stays deterministic. *)
+            if not (is_res_gauge name) then gauges := (name, v) :: !gauges
           | Obs.Decision { d; _ } -> decisions := d :: !decisions
           | Obs.Span_end { name; cat; ts_ns; dur_ns; depth; args } ->
-            if ship_spans then
+            if instrumented then
               spans :=
                 {
                   Obs.w_name = name;
@@ -95,11 +128,30 @@ let child_loop f task_rd res_wr : unit =
   let ic = Unix.in_channel_of_descr task_rd in
   let oc = Unix.out_channel_of_descr res_wr in
   let poisoned = ref None in
+  let served = ref 0 in
   let reset () =
     counts := [];
     samples := [];
+    gauges := [];
     decisions := [];
     spans := []
+  in
+  let resources () =
+    if not instrumented then None
+    else begin
+      let s = Obs.Res.snapshot () in
+      Some
+        {
+          wr_tasks = !served;
+          wr_utime_s = s.utime_s;
+          wr_stime_s = s.stime_s;
+          wr_rss_kb = s.rss_kb;
+          wr_max_rss_kb = s.max_rss_kb;
+          wr_minor_words = s.minor_words;
+          wr_major_words = s.major_words;
+          wr_major_collections = s.major_collections;
+        }
+    end
   in
   let rec loop () =
     match (Marshal.from_channel ic : _ down) with
@@ -120,12 +172,14 @@ let child_loop f task_rd res_wr : unit =
         | Some msg -> Error ("control task failed: " ^ msg)
         | None -> ( try Ok (f x) with e -> Error (Printexc.to_string e))
       in
+      incr served;
       let tally =
         { counts = aggregate_counts (List.rev !counts);
           samples = List.rev !samples;
+          gauges = aggregate_gauges (List.rev !gauges);
           decisions = List.rev !decisions }
       in
-      Marshal.to_channel oc (id, r, tally, List.rev !spans) [];
+      Marshal.to_channel oc (id, r, tally, List.rev !spans, resources ()) [];
       flush oc;
       loop ()
   in
@@ -147,6 +201,7 @@ type worker = {
   mutable inflight : int;
   mutable alive : bool;
   mutable fail : string option;
+  mutable res : wres option;  (** latest resource snapshot, if shipped *)
 }
 
 type ('task, 'res) t = {
@@ -202,6 +257,34 @@ let gauge_depth t =
   if Obs.enabled () then
     Obs.gauge (t.name ^ ".queue_depth") (float_of_int (total_inflight t))
 
+(* Fleet-wide resource gauges from the latest per-worker snapshots.
+   These are readings, not algorithm state: useful for [hlts top] and
+   the metrics snapshot, excluded (like everything host-dependent) from
+   determinism digests. *)
+let gauge_resources t =
+  if Obs.enabled () then begin
+    let rss = ref 0 and cpu = ref 0.0 and tasks = ref 0 and any = ref false in
+    Array.iter
+      (fun w ->
+        match w.res with
+        | None -> ()
+        | Some r ->
+          any := true;
+          rss := !rss + r.wr_rss_kb;
+          cpu := !cpu +. r.wr_utime_s +. r.wr_stime_s;
+          tasks := !tasks + r.wr_tasks)
+      t.workers;
+    if !any then begin
+      Obs.gauge (t.name ^ ".workers_rss_kb") (float_of_int !rss);
+      Obs.gauge (t.name ^ ".workers_cpu_s") !cpu;
+      Obs.gauge (t.name ^ ".workers_tasks") (float_of_int !tasks)
+    end
+  end
+
+let worker_resources t =
+  Array.to_list t.workers
+  |> List.filter_map (fun w -> Option.map (fun r -> (w.index, r)) w.res)
+
 (* Extract every complete marshalled reply from the worker's input
    accumulator into the results table. Spans the worker shipped are
    re-stamped into the parent's live sinks here, attributed to the
@@ -217,17 +300,23 @@ let parse_replies t w =
       let total = Marshal.total_size w.ibuf !pos in
       if avail < total then continue := false
       else begin
-        let id, r, tally, spans = Marshal.from_bytes w.ibuf !pos in
+        let id, r, tally, spans, wres = Marshal.from_bytes w.ibuf !pos in
         pos := !pos + total;
         w.inflight <- w.inflight - 1;
         parsed := true;
+        (match (wres : wres option) with
+        | Some _ -> w.res <- wres
+        | None -> ());
         if Obs.enabled () then
           List.iter (Obs.worker_span ~worker:w.index ~ticket:id) spans;
         Hashtbl.replace t.results id (r, tally)
       end
     end
   done;
-  if !parsed then gauge_depth t;
+  if !parsed then begin
+    gauge_depth t;
+    gauge_resources t
+  end;
   if !pos > 0 then begin
     Bytes.blit w.ibuf !pos w.ibuf 0 (w.ilen - !pos);
     w.ilen <- w.ilen - !pos
@@ -307,6 +396,7 @@ let create ?(name = "pool") ~jobs f =
             inflight = 0;
             alive = true;
             fail = None;
+            res = None;
           })
   in
   { name; workers; next = 0; results = Hashtbl.create 64; open_ = true }
@@ -352,19 +442,53 @@ let rec await t id =
       await t id
     end
 
-let replay { counts; samples; decisions } =
+let replay { counts; samples; gauges; decisions } =
   List.iter (fun (name, by) -> Obs.count ~by name) counts;
   List.iter (fun (name, v) -> Obs.sample name v) samples;
+  List.iter (fun (name, v) -> Obs.gauge name v) gauges;
   List.iter Obs.journal decisions
+
+(* Deterministic cross-worker gauge merge: max over every tally, names
+   in first-seen order. [-j N] changes which worker records which
+   gauge, never the multiset of per-task (name, value) pairs — the
+   tallies hand the exact same pairs to this fold in ticket order at
+   every job count — so max (an order-independent, duplicate-tolerant
+   reduction) makes the merged list byte-identical at every [-j N].
+   Ties need no breaking: equal values are indistinguishable. *)
+let merge_gauges tallies =
+  let tbl = Hashtbl.create 8 and order = ref [] in
+  List.iter
+    (fun tally ->
+      List.iter
+        (fun (name, v) ->
+          match Hashtbl.find_opt tbl name with
+          | None ->
+            order := name :: !order;
+            Hashtbl.add tbl name v
+          | Some prev -> if v > prev then Hashtbl.replace tbl name v)
+        tally.gauges)
+    tallies;
+  List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
 
 let map t xs =
   let ids = List.map (submit t) xs in
-  List.map
-    (fun id ->
-      let v, tally = await t id in
-      replay tally;
-      v)
-    ids
+  let tallies = ref [] in
+  let results =
+    List.map
+      (fun id ->
+        let v, tally = await t id in
+        tallies := tally :: !tallies;
+        (* per-ticket replay keeps counters/samples/decisions in ticket
+           order; gauges are merged once over the whole batch below so
+           their final values don't depend on ticket interleaving *)
+        replay { tally with gauges = [] };
+        v)
+      ids
+  in
+  List.iter
+    (fun (name, v) -> Obs.gauge name v)
+    (merge_gauges (List.rev !tallies));
+  results
 
 let shutdown t =
   if t.open_ then begin

@@ -48,13 +48,31 @@ type ('task, 'res) t
 type ticket
 (** Handle for one submitted task. *)
 
-(** Counter increments, histogram samples and decision-journal events
-    captured in a worker while it ran one task, in emission order
-    (counters aggregated by name). *)
+(** Counter increments, histogram samples, gauge settings and
+    decision-journal events captured in a worker while it ran one task,
+    in emission order (counters aggregated by name, gauges
+    last-value-per-name). ["res."]-prefixed gauges are host-dependent
+    readings and are never captured — worker resources travel as
+    {!wres} instead — so a tally is deterministic content. *)
 type tally = {
   counts : (string * int) list;
   samples : (string * float) list;
+  gauges : (string * float) list;
   decisions : Hlts_obs.Journal.event list;
+}
+
+(** Cumulative resource usage of one worker process, snapshotted in the
+    worker as each reply is sent (only when the pool was created with a
+    sink installed — uninstrumented runs skip the sampling). *)
+type wres = {
+  wr_tasks : int;              (** tasks served so far *)
+  wr_utime_s : float;          (** user CPU seconds *)
+  wr_stime_s : float;          (** system CPU seconds *)
+  wr_rss_kb : int;             (** current resident set, kB *)
+  wr_max_rss_kb : int;         (** peak resident set, kB *)
+  wr_minor_words : float;
+  wr_major_words : float;
+  wr_major_collections : int;
 }
 
 val create : ?name:string -> jobs:int -> ('task -> 'res) -> ('task, 'res) t
@@ -84,14 +102,28 @@ val await : ('task, 'res) t -> ticket -> 'res * tally
     before replying. *)
 
 val replay : tally -> unit
-(** Re-emit the captured counters, samples and journal decisions into
-    the parent's sinks ([Obs.count] / [Obs.sample] / [Obs.journal] per
-    entry, in captured order). *)
+(** Re-emit the captured counters, samples, gauges and journal
+    decisions into the parent's sinks ([Obs.count] / [Obs.sample] /
+    [Obs.gauge] / [Obs.journal] per entry, in captured order). *)
+
+val merge_gauges : tally list -> (string * float) list
+(** Deterministic cross-worker gauge merge: the maximum value recorded
+    per gauge name over all tallies, names in first-seen order. Because
+    the multiset of per-task (name, value) pairs is independent of the
+    job count, the merged list is byte-identical at every [-j N]. *)
+
+val worker_resources : _ t -> (int * wres) list
+(** Latest resource snapshot per worker (workers that have not yet
+    replied to an instrumented task are absent), ascending by worker
+    index. The pool also folds these into ["<name>.workers_rss_kb"],
+    ["<name>.workers_cpu_s"] and ["<name>.workers_tasks"] gauges as
+    replies are parsed. *)
 
 val map : ('task, 'res) t -> 'task list -> 'res list
 (** [map t xs] submits every element, awaits them in order, replays
-    every tally, and returns the results in input order. Equivalent to
-    [List.map f xs] run serially, up to event timing.
+    every tally (counters/samples/decisions per ticket; gauges once per
+    batch via {!merge_gauges}), and returns the results in input order.
+    Equivalent to [List.map f xs] run serially, up to event timing.
     @raise Failure as {!await}. *)
 
 val shutdown : _ t -> unit

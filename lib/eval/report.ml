@@ -50,6 +50,9 @@ type t = {
   phases : (string, float) Hashtbl.t;  (** cat -> self us *)
   workers : (int, worker_lane) Hashtbl.t;
   mutable depth_series : (float * float) list;  (** (ts us, queue depth), reversed *)
+  res_series : (string, (float * float) list) Hashtbl.t;
+      (** resource gauge -> (ts us, value) points, reversed while building *)
+  mutable res_order : string list;  (** reversed first-seen *)
   mutable ts_min : float;
   mutable ts_max : float;
   mutable decisions : int;
@@ -64,6 +67,8 @@ let create () =
     phases = Hashtbl.create 8;
     workers = Hashtbl.create 8;
     depth_series = [];
+    res_series = Hashtbl.create 16;
+    res_order = [];
     ts_min = infinity;
     ts_max = neg_infinity;
     decisions = 0;
@@ -214,15 +219,28 @@ let apply_line t line =
           let dur_us = Option.value ~default:0.0 (fnum "dur_us" j) in
           apply_phase t ~cat ~dur_us
         | Some "gauge" -> begin
-          match fstr "name" j with
-          | Some name
-            when String.length name >= 12
-                 && String.sub name (String.length name - 12) 12
-                    = ".queue_depth" -> begin
-            match fnum "ts_us" j, fnum "value" j with
-            | Some ts, Some v -> t.depth_series <- (ts, v) :: t.depth_series
-            | _ -> ()
-          end
+          let has_suffix ~suffix name =
+            let ls = String.length suffix and l = String.length name in
+            l >= ls && String.sub name (l - ls) ls = suffix
+          in
+          let is_resource name =
+            (String.length name >= 4 && String.sub name 0 4 = "res.")
+            || has_suffix ~suffix:".workers_rss_kb" name
+            || has_suffix ~suffix:".workers_cpu_s" name
+            || has_suffix ~suffix:".workers_tasks" name
+          in
+          match fstr "name" j, fnum "ts_us" j, fnum "value" j with
+          | Some name, Some ts, Some v when has_suffix ~suffix:".queue_depth" name
+            -> t.depth_series <- (ts, v) :: t.depth_series
+          | Some name, Some ts, Some v when is_resource name ->
+            let prev =
+              match Hashtbl.find_opt t.res_series name with
+              | Some pts -> pts
+              | None ->
+                t.res_order <- name :: t.res_order;
+                []
+            in
+            Hashtbl.replace t.res_series name ((ts, v) :: prev)
           | _ -> ()
         end
         | Some "wspan" -> begin
@@ -268,6 +286,12 @@ let parse lines =
   List.iter (apply_line t) lines;
   t.iters <- List.rev t.iters;
   t.depth_series <- List.rev t.depth_series;
+  t.res_order <- List.rev t.res_order;
+  List.iter
+    (fun name ->
+      Hashtbl.replace t.res_series name
+        (List.rev (Hashtbl.find t.res_series name)))
+    t.res_order;
   t
 
 (* --- HTML rendering ------------------------------------------------------ *)
@@ -524,6 +548,76 @@ let section_pool buf t =
          [ ("queue depth", "#4a7ebb", rel) ])
   end
 
+(* Memory/GC panel from the "res.*" (parent process) and
+   "*.workers_*" (pool fleet) gauge series the run recorded. All
+   timestamps are rebased to seconds from the first event. *)
+let section_memory buf t =
+  if t.res_order <> [] then begin
+    let t0 = if t.ts_min = infinity then 0.0 else t.ts_min in
+    let series ?(scale = 1.0) name =
+      match Hashtbl.find_opt t.res_series name with
+      | None | Some [] -> None
+      | Some pts ->
+        Some (List.map (fun (ts, v) -> ((ts -. t0) /. 1e6, v *. scale)) pts)
+    in
+    let kb_to_mb = 1.0 /. 1024.0 in
+    let w_to_mw = 1e-6 in
+    let pick specs =
+      List.filter_map
+        (fun (label, color, name, scale) ->
+          Option.map (fun pts -> (label, color, pts)) (series ~scale name))
+        specs
+    in
+    let workers_of suffix =
+      List.filter
+        (fun name ->
+          let ls = String.length suffix and l = String.length name in
+          l >= ls && String.sub name (l - ls) ls = suffix)
+        t.res_order
+    in
+    let mem_series =
+      pick
+        [
+          ("rss", "#4a7ebb", "res.rss_kb", kb_to_mb);
+          ("peak rss", "#b33", "res.max_rss_kb", kb_to_mb);
+        ]
+      @ List.concat_map
+          (fun name ->
+            pick [ ("workers rss", "#3a8a4d", name, kb_to_mb) ])
+          (workers_of ".workers_rss_kb")
+    in
+    let gc_series =
+      pick
+        [
+          ("minor words", "#4a7ebb", "res.gc.minor_words", w_to_mw);
+          ("major words", "#b33", "res.gc.major_words", w_to_mw);
+          ("heap words", "#b38a2d", "res.gc.heap_words", w_to_mw);
+        ]
+    in
+    let coll_series =
+      pick
+        [
+          ("minor gcs", "#4a7ebb", "res.gc.minor_collections", 1.0);
+          ("major gcs", "#b33", "res.gc.major_collections", 1.0);
+        ]
+    in
+    if mem_series <> [] || gc_series <> [] || coll_series <> [] then begin
+      Buffer.add_string buf "<h2>Memory and GC</h2>\n";
+      if mem_series <> [] then
+        Buffer.add_string buf
+          (svg_chart ~title:"resident set (MB) over time (s)" ~width:640
+             ~height:200 mem_series);
+      if gc_series <> [] then
+        Buffer.add_string buf
+          (svg_chart ~title:"GC cumulative allocation (Mwords) over time (s)"
+             ~width:640 ~height:200 gc_series);
+      if coll_series <> [] then
+        Buffer.add_string buf
+          (svg_chart ~title:"GC collections over time (s)" ~width:640
+             ~height:160 coll_series)
+    end
+  end
+
 let to_html t =
   let buf = Buffer.create 16384 in
   Buffer.add_string buf
@@ -543,6 +637,7 @@ let to_html t =
   section_trajectory buf t;
   section_table buf t;
   section_pool buf t;
+  section_memory buf t;
   Buffer.add_string buf "</body></html>\n";
   Buffer.contents buf
 

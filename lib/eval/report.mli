@@ -6,7 +6,8 @@
     [{"j":...}] prefix) for the merge trajectory and the
     testability-balance table, span begin/end lines for the per-phase
     breakdown, [wspan]/[gauge] lines for pool-utilization and
-    queue-depth lanes, and the [run.meta] instant for run metadata —
+    queue-depth lanes, ["res.*"] / ["*.workers_*"] gauge lines for the
+    memory/GC panel, and the [run.meta] instant for run metadata —
     and the HTML it emits embeds all styling and charts inline (CSS +
     SVG), no external assets. Unparseable lines are counted and
     skipped, never fatal, so a report can be rendered from a journal

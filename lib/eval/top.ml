@@ -1,0 +1,242 @@
+module Obs = Hlts_obs
+module Json = Obs.Json
+
+(* One heartbeat snapshot, as written by [Hlts_obs.heartbeat_sink]. *)
+type hb = {
+  hb_seq : int;
+  hb_t_s : float;
+  hb_final : bool;
+  hb_res : (string * float) list;      (** "res." prefix already stripped *)
+  hb_counters : (string * int) list;
+  hb_gauges : (string * float) list;
+}
+
+let num = function
+  | Json.Float f -> Some f
+  | Json.Int i -> Some (float_of_int i)
+  | _ -> None
+
+let parse_line line =
+  match Json.of_string line with
+  | Error e -> Error e
+  | Ok j -> (
+    match Json.member "hb" j with
+    | Some (Json.Int hb_seq) ->
+      let obj name =
+        match Json.member name j with
+        | Some (Json.Obj fields) -> fields
+        | _ -> []
+      in
+      let floats fields =
+        List.filter_map (fun (k, v) -> Option.map (fun f -> (k, f)) (num v)) fields
+      in
+      let ints fields =
+        List.filter_map
+          (fun (k, v) -> match v with Json.Int i -> Some (k, i) | _ -> None)
+          fields
+      in
+      Ok
+        {
+          hb_seq;
+          hb_t_s =
+            Option.value ~default:0.0 (Option.bind (Json.member "t_s" j) num);
+          hb_final = Json.member "final" j = Some (Json.Bool true);
+          hb_res = floats (obj "res");
+          hb_counters = ints (obj "counters");
+          hb_gauges = floats (obj "gauges");
+        }
+    | _ -> Error "not a heartbeat snapshot")
+
+(* Read every complete snapshot currently in [file]. The file is
+   typically being appended to by a live run: a trailing fragment
+   without a newline is a torn write in progress, and any line that
+   fails to parse is noise — both are counted as skipped, never
+   fatal. Only a missing/unreadable file is an error. *)
+let read_file file =
+  match open_in_bin file with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let skipped = ref 0 in
+    let n = String.length content in
+    let rec lines acc start =
+      if start >= n then List.rev acc
+      else
+        match String.index_from_opt content start '\n' with
+        | None ->
+          incr skipped;  (* torn trailing write *)
+          List.rev acc
+        | Some nl ->
+          lines (String.sub content start (nl - start) :: acc) (nl + 1)
+    in
+    let hbs =
+      List.filter_map
+        (fun line ->
+          if String.trim line = "" then None
+          else
+            match parse_line line with
+            | Ok hb -> Some hb
+            | Error _ ->
+              incr skipped;
+              None)
+        (lines [] 0)
+    in
+    Ok (hbs, !skipped)
+
+(* ---- rendering --------------------------------------------------------- *)
+
+let mb_of_kb kb = kb /. 1024.0
+let mw_of_w w = w /. 1e6
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+(* Render one snapshot as a fixed-height text panel. [prev] (an earlier
+   snapshot) supplies the baseline for rates; without one, rates are
+   since t=0. *)
+let render ?prev ~file ~skipped cur =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let resf name = Option.value ~default:0.0 (List.assoc_opt name cur.hb_res) in
+  let base_res name =
+    match prev with
+    | Some p -> Option.value ~default:0.0 (List.assoc_opt name p.hb_res)
+    | None -> 0.0
+  in
+  let dt =
+    match prev with
+    | Some p when cur.hb_t_s > p.hb_t_s -> cur.hb_t_s -. p.hb_t_s
+    | Some _ -> 0.0
+    | None -> cur.hb_t_s
+  in
+  let res_rate name =
+    if dt <= 0.0 then 0.0 else (resf name -. base_res name) /. dt
+  in
+  let counter hb name =
+    Option.value ~default:0 (List.assoc_opt name hb.hb_counters)
+  in
+  let counter_rate name =
+    if dt <= 0.0 then 0.0
+    else
+      let prev_v = match prev with Some p -> counter p name | None -> 0 in
+      float_of_int (counter cur name - prev_v) /. dt
+  in
+  line "hlts top — %s · snapshot #%d · t=%.1fs · %s%s" file cur.hb_seq
+    cur.hb_t_s
+    (if cur.hb_final then "FINISHED" else "RUNNING")
+    (if skipped > 0 then Printf.sprintf " · %d line(s) skipped" skipped else "");
+  line "mem   rss %7.1f MB   peak %7.1f MB   heap %7.1f MB"
+    (mb_of_kb (resf "rss_kb"))
+    (mb_of_kb (resf "max_rss_kb"))
+    (mb_of_kb (resf "gc.heap_words" *. 8.0 /. 1024.0));
+  let wall = if cur.hb_t_s > 0.0 then cur.hb_t_s else 1.0 in
+  line "cpu   user %6.2fs   sys %6.2fs   (%.0f%% of wall)" (resf "utime_s")
+    (resf "stime_s")
+    (100.0 *. (resf "utime_s" +. resf "stime_s") /. wall);
+  line
+    "gc    minor %8.1f Mw (%6.1f Mw/s)   major %8.1f Mw (%6.1f Mw/s)   \
+     collections %.0f/%.0f"
+    (mw_of_w (resf "gc.minor_words"))
+    (mw_of_w (res_rate "gc.minor_words"))
+    (mw_of_w (resf "gc.major_words"))
+    (mw_of_w (res_rate "gc.major_words"))
+    (resf "gc.minor_collections")
+    (resf "gc.major_collections");
+  (* Pool gauges: queue depth plus the fleet aggregates the pool folds
+     out of per-worker resource snapshots. *)
+  let gauge_sum suffix =
+    List.fold_left
+      (fun acc (n, v) -> if ends_with ~suffix n then acc +. v else acc)
+      0.0 cur.hb_gauges
+  in
+  let has suffix = List.exists (fun (n, _) -> ends_with ~suffix n) cur.hb_gauges in
+  if has ".queue_depth" || has ".workers_tasks" then
+    line "pool  queue %3.0f   workers: cpu %6.2fs   rss %7.1f MB   tasks %.0f"
+      (gauge_sum ".queue_depth")
+      (gauge_sum ".workers_cpu_s")
+      (mb_of_kb (gauge_sum ".workers_rss_kb"))
+      (gauge_sum ".workers_tasks");
+  let rated =
+    List.map (fun (n, v) -> (n, v, counter_rate n)) cur.hb_counters
+    |> List.sort (fun (n1, _, r1) (n2, _, r2) ->
+           match compare r2 r1 with 0 -> compare n1 n2 | c -> c)
+  in
+  if rated <> [] then begin
+    line "counters%32s%14s" "total" "rate";
+    List.iteri
+      (fun i (n, v, r) ->
+        if i < 10 then line "  %-34s %10d %10.1f/s" n v r)
+      rated
+  end;
+  let other_gauges =
+    List.filter
+      (fun (n, _) ->
+        not
+          (ends_with ~suffix:".queue_depth" n
+          || ends_with ~suffix:".workers_cpu_s" n
+          || ends_with ~suffix:".workers_rss_kb" n
+          || ends_with ~suffix:".workers_tasks" n))
+      cur.hb_gauges
+  in
+  if other_gauges <> [] then begin
+    line "gauges";
+    List.iteri
+      (fun i (n, v) -> if i < 8 then line "  %-34s %12.3f" n v)
+      other_gauges
+  end;
+  Buffer.contents b
+
+let last = function
+  | [] -> None
+  | hbs -> Some (List.nth hbs (List.length hbs - 1))
+
+(* One-shot: render the newest snapshot in [file], rates measured
+   against the oldest one. *)
+let once ~file =
+  match read_file file with
+  | Error e -> Error e
+  | Ok ([], _) -> Error (file ^ ": no complete heartbeat snapshot")
+  | Ok ((first :: _ as hbs), skipped) ->
+    let cur = Option.get (last hbs) in
+    let prev = if cur.hb_seq > first.hb_seq then Some first else None in
+    Ok (render ?prev ~file ~skipped cur)
+
+(* Live mode: re-read [file] every [interval_ms], clear the terminal
+   and redraw. Stops after rendering a final snapshot, or after
+   [frames] frames when [frames > 0]. An existing-but-still-empty file
+   is polled (the producer opens it before the first event), with a
+   bound so a crashed producer cannot hang us forever. *)
+let follow ?(frames = 0) ?(interval_ms = 250) ~file write =
+  let sleep () = Unix.sleepf (float_of_int (max 1 interval_ms) /. 1000.0) in
+  let max_empty_polls = 1 + (60_000 / max 1 interval_ms) in
+  let rec loop ~rendered ~empty prev =
+    match read_file file with
+    | Error e -> Error e
+    | Ok ([], _) ->
+      if empty >= max_empty_polls then
+        Error (file ^ ": no heartbeat snapshot appeared")
+      else begin
+        sleep ();
+        loop ~rendered ~empty:(empty + 1) prev
+      end
+    | Ok ((first :: _ as hbs), skipped) ->
+      let cur = Option.get (last hbs) in
+      let base =
+        match prev with
+        | Some p when p.hb_seq < cur.hb_seq -> Some p
+        | _ -> if cur.hb_seq > first.hb_seq then Some first else None
+      in
+      write ("\027[2J\027[H" ^ render ?prev:base ~file ~skipped cur);
+      let rendered = rendered + 1 in
+      if cur.hb_final || (frames > 0 && rendered >= frames) then Ok ()
+      else begin
+        sleep ();
+        loop ~rendered ~empty:0 (Some cur)
+      end
+  in
+  loop ~rendered:0 ~empty:0 None

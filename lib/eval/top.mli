@@ -1,0 +1,53 @@
+(** Terminal dashboard over a heartbeat file.
+
+    [hlts synth --heartbeat hb.jsonl] appends one JSON snapshot line at
+    a fixed cadence (see {!Hlts_obs.heartbeat_sink}); this module tails
+    such a file — possibly while the producer is still writing it — and
+    renders resident set, CPU, GC pressure, pool utilization and
+    counter rates as a fixed text panel.
+
+    Robustness contract (shared with [hlts report]): a missing or
+    unreadable file is a clean [Error], never an exception; a torn
+    trailing line or an unparseable line is counted as skipped and
+    otherwise ignored, because tailing a live file *will* observe
+    partial writes. *)
+
+(** One heartbeat snapshot. *)
+type hb = {
+  hb_seq : int;                        (** 0-based snapshot sequence *)
+  hb_t_s : float;                      (** seconds since the run started *)
+  hb_final : bool;                     (** last snapshot of the run *)
+  hb_res : (string * float) list;
+      (** process resources, ["res."] prefix stripped ([rss_kb],
+          [gc.minor_words], ...) *)
+  hb_counters : (string * int) list;
+  hb_gauges : (string * float) list;
+}
+
+val parse_line : string -> (hb, string) result
+(** Parse one snapshot line. *)
+
+val read_file : string -> (hb list * int, string) result
+(** [read_file f] is every complete snapshot currently in [f], in file
+    order, plus the number of skipped lines (torn trailing fragment,
+    unparseable lines). [Error] only when the file cannot be opened. *)
+
+val render : ?prev:hb -> file:string -> skipped:int -> hb -> string
+(** Render one snapshot as a multi-line text panel; [prev] is the
+    baseline snapshot for rate columns (defaults to rates since
+    t=0). *)
+
+val once : file:string -> (string, string) result
+(** Render the newest snapshot of [file] (rates measured against the
+    oldest), or an error line for a missing/empty file. *)
+
+val follow :
+  ?frames:int -> ?interval_ms:int -> file:string -> (string -> unit) ->
+  (unit, string) result
+(** [follow ~file write] re-reads [file] every [interval_ms] (default
+    250) and passes a clear-screen escape plus the rendered panel to
+    [write], rate-basing each frame on the previous one. Returns [Ok]
+    after rendering a snapshot flagged final, or after [frames] frames
+    when [frames > 0]. An existing-but-empty file is polled (bounded),
+    so starting concurrently with the producer is safe; a missing file
+    is an immediate [Error]. *)

@@ -6,6 +6,17 @@ module Clock = struct
   let seconds_since t0 = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9
 end
 
+(* Shortest decimal rendering that round-trips the float exactly, so
+   encodings are canonical and byte-comparable. Shared by the JSON
+   emitter and the Prometheus exposition. *)
+let float_repr f =
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s
+  else begin
+    let s15 = Printf.sprintf "%.15g" f in
+    if float_of_string s15 = f then s15 else Printf.sprintf "%.17g" f
+  end
+
 module Json = struct
   type t =
     | Null
@@ -37,18 +48,7 @@ module Json = struct
     | Float f -> begin
       match Float.classify_float f with
       | FP_nan | FP_infinite -> Buffer.add_string buf "null"
-      | FP_normal | FP_subnormal | FP_zero ->
-        (* shortest %g rendering that round-trips, so encode/decode is
-           exact and canonical journal lines compare byte-for-byte *)
-        let s = Printf.sprintf "%.12g" f in
-        let s =
-          if float_of_string s = f then s
-          else begin
-            let s15 = Printf.sprintf "%.15g" f in
-            if float_of_string s15 = f then s15 else Printf.sprintf "%.17g" f
-          end
-        in
-        Buffer.add_string buf s
+      | FP_normal | FP_subnormal | FP_zero -> Buffer.add_string buf (float_repr f)
     end
     | Str s ->
       Buffer.add_char buf '"';
@@ -508,9 +508,18 @@ let dummy = { args = []; live = false }
 
 let set sp key v = if sp.live then sp.args <- (key, v) :: sp.args
 
-let span ?(cat = "") name f =
+let span ?(cat = "") ?(res = false) name f =
   if not (enabled ()) then f dummy
   else begin
+    (* When [res] is requested, snapshot the GC before the span body and
+       attach allocation deltas to the closing event. Kept out of the
+       default path: quick_stat is cheap but not free, and most spans
+       are inner-loop. *)
+    let g0 =
+      (* Gc.counters, not quick_stat: the latter's word counts exclude
+         the current domain's un-flushed minor buffer. *)
+      if res then Some (Gc.counters (), Gc.quick_stat ()) else None
+    in
     let t0 = Clock.now_ns () in
     let d = !depth in
     depth := d + 1;
@@ -520,6 +529,18 @@ let span ?(cat = "") name f =
       ~finally:(fun () ->
         depth := d;
         let t1 = Clock.now_ns () in
+        (match g0 with
+        | None -> ()
+        | Some ((minor0, _, major0), g0) ->
+          let minor1, _, major1 = Gc.counters () in
+          let g1 = Gc.quick_stat () in
+          (* prepended so the deltas render after user-set args *)
+          sp.args <-
+            ("gc_major_collections", Int (g1.major_collections - g0.major_collections))
+            :: ("gc_minor_collections", Int (g1.minor_collections - g0.minor_collections))
+            :: ("gc_major_words", Float (major1 -. major0))
+            :: ("gc_minor_words", Float (minor1 -. minor0))
+            :: sp.args);
         broadcast
           (Span_end
              {
@@ -550,6 +571,113 @@ let journal d =
 
 let worker_span ~worker ~ticket span =
   if enabled () then broadcast (Worker_span { worker; ticket; span })
+
+(* ---- process resource sampler ----------------------------------------- *)
+
+module Res = struct
+  type snapshot = {
+    utime_s : float;
+    stime_s : float;
+    rss_kb : int;
+    max_rss_kb : int;
+    minor_words : float;
+    promoted_words : float;
+    major_words : float;
+    minor_collections : int;
+    major_collections : int;
+    heap_words : int;
+  }
+
+  (* One pass over /proc/self/status for VmRSS (current) and VmHWM
+     (peak); both reported by the kernel in kB. Returns (0, 0) where
+     procfs is unavailable so callers never have to branch on the
+     platform. *)
+  let proc_rss_kb () =
+    match open_in "/proc/self/status" with
+    | exception Sys_error _ -> (0, 0)
+    | ic ->
+      let rss = ref 0 and hwm = ref 0 in
+      let value_of line =
+        (* "VmRSS:     123456 kB" — extract the digit run *)
+        let v = ref 0 and seen = ref false in
+        String.iter
+          (fun c ->
+            if c >= '0' && c <= '9' then begin
+              seen := true;
+              v := (!v * 10) + (Char.code c - Char.code '0')
+            end)
+          line;
+        if !seen then !v else 0
+      in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.length line >= 6 && String.sub line 0 6 = "VmRSS:" then
+             rss := value_of line
+           else if String.length line >= 6 && String.sub line 0 6 = "VmHWM:" then
+             hwm := value_of line
+         done
+       with End_of_file -> ());
+      close_in_noerr ic;
+      (!rss, !hwm)
+
+  let snapshot () =
+    let g = Gc.quick_stat () in
+    (* quick_stat's word counters lag until the next minor collection
+       flushes the current domain's buffer; Gc.counters reads the live
+       allocation pointers and stays cheap. *)
+    let minor_words, promoted_words, major_words = Gc.counters () in
+    let tm = Unix.times () in
+    let rss_kb, max_rss_kb = proc_rss_kb () in
+    {
+      utime_s = tm.Unix.tms_utime;
+      stime_s = tm.Unix.tms_stime;
+      rss_kb;
+      max_rss_kb;
+      minor_words;
+      promoted_words;
+      major_words;
+      minor_collections = g.minor_collections;
+      major_collections = g.major_collections;
+      heap_words = g.heap_words;
+    }
+
+  (* Delta from [a] to [b]: monotone fields subtract; point-in-time
+     fields (rss, peak rss, heap size) take [b]'s value. *)
+  let delta a b =
+    {
+      utime_s = b.utime_s -. a.utime_s;
+      stime_s = b.stime_s -. a.stime_s;
+      rss_kb = b.rss_kb;
+      max_rss_kb = b.max_rss_kb;
+      minor_words = b.minor_words -. a.minor_words;
+      promoted_words = b.promoted_words -. a.promoted_words;
+      major_words = b.major_words -. a.major_words;
+      minor_collections = b.minor_collections - a.minor_collections;
+      major_collections = b.major_collections - a.major_collections;
+      heap_words = b.heap_words;
+    }
+
+  (* The "res." prefix marks process-resource gauges: they are
+     host-dependent by nature, so every digest/determinism gate excludes
+     them (and the pool's counter-equality contract never sees them,
+     gauges merge by max). *)
+  let gauges s =
+    [
+      ("res.utime_s", s.utime_s);
+      ("res.stime_s", s.stime_s);
+      ("res.rss_kb", float_of_int s.rss_kb);
+      ("res.max_rss_kb", float_of_int s.max_rss_kb);
+      ("res.gc.minor_words", s.minor_words);
+      ("res.gc.major_words", s.major_words);
+      ("res.gc.heap_words", float_of_int s.heap_words);
+      ("res.gc.minor_collections", float_of_int s.minor_collections);
+      ("res.gc.major_collections", float_of_int s.major_collections);
+    ]
+
+  let emit () =
+    if enabled () then List.iter (fun (n, v) -> gauge n v) (gauges (snapshot ()))
+end
 
 (* ---- shared rendering helpers ---------------------------------------- *)
 
@@ -741,6 +869,234 @@ module Summary = struct
     fprintf ppf "@]"
 end
 
+(* ---- Prometheus text exposition ---------------------------------------- *)
+
+module Metrics = struct
+  (* Prometheus metric names admit [a-zA-Z_:][a-zA-Z0-9_:]*; our event
+     names use dots. Map everything else to '_' and guard a leading
+     digit. *)
+  let metric_name name =
+    let buf = Buffer.create (String.length name + 8) in
+    String.iteri
+      (fun i c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> Buffer.add_char buf c
+        | '0' .. '9' ->
+          if i = 0 then Buffer.add_char buf '_';
+          Buffer.add_char buf c
+        | _ -> Buffer.add_char buf '_')
+      name;
+    Buffer.contents buf
+
+  let prom_float f =
+    match Float.classify_float f with
+    | FP_nan -> "NaN"
+    | FP_infinite -> if f > 0.0 then "+Inf" else "-Inf"
+    | FP_normal | FP_subnormal | FP_zero -> float_repr f
+
+  let escape_label_value v =
+    let buf = Buffer.create (String.length v) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      v;
+    Buffer.contents buf
+
+  let header buf name ~help ~typ =
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name typ)
+
+  let sample_line buf name ?(labels = []) v =
+    Buffer.add_string buf name;
+    if labels <> [] then begin
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, lv) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf "%s=\"%s\"" k (escape_label_value lv)))
+        labels;
+      Buffer.add_char buf '}'
+    end;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (prom_float v);
+    Buffer.add_char buf '\n'
+
+  (* Render a [Summary] into Prometheus text exposition. Counters become
+     monotone [_total] counters, gauges stay gauges, samples become
+     summaries (min/max as extreme quantiles plus _sum/_count), per-phase
+     self time is one labelled gauge family. When [res] is true a fresh
+     resource snapshot is appended; recorded "res.*" gauges in the
+     summary are dropped in favour of that snapshot so the file never
+     carries two generations of the same gauge. *)
+  let expose ?(res = true) summary =
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun (name, v) ->
+        let m = "hlts_" ^ metric_name name ^ "_total" in
+        header buf m ~help:(Printf.sprintf "Event counter %s." name) ~typ:"counter";
+        sample_line buf m (float_of_int v))
+      (Summary.counters summary);
+    let is_res name =
+      String.length name >= 4 && String.sub name 0 4 = "res."
+    in
+    List.iter
+      (fun (name, v) ->
+        if not (res && is_res name) then begin
+          let m = "hlts_" ^ metric_name name in
+          header buf m ~help:(Printf.sprintf "Gauge %s." name) ~typ:"gauge";
+          sample_line buf m v
+        end)
+      (Summary.gauges summary);
+    List.iter
+      (fun (name, (st : Summary.sample_stat)) ->
+        let m = "hlts_" ^ metric_name name in
+        header buf m ~help:(Printf.sprintf "Sample summary %s." name) ~typ:"summary";
+        if st.n > 0 then begin
+          sample_line buf m ~labels:[ ("quantile", "0") ] st.min_v;
+          sample_line buf m ~labels:[ ("quantile", "1") ] st.max_v
+        end;
+        sample_line buf (m ^ "_sum") st.sum;
+        sample_line buf (m ^ "_count") (float_of_int st.n))
+      (Summary.samples summary);
+    (match Summary.phases summary with
+    | [] -> ()
+    | phases ->
+      let m = "hlts_phase_self_seconds" in
+      header buf m ~help:"Self time per span category." ~typ:"gauge";
+      List.iter
+        (fun (cat, s) ->
+          let cat = if cat = "" then "uncategorized" else cat in
+          sample_line buf m ~labels:[ ("phase", cat) ] s)
+        phases);
+    if res then begin
+      List.iter
+        (fun (name, v) ->
+          let m = "hlts_" ^ metric_name name in
+          header buf m ~help:(Printf.sprintf "Process resource %s." name) ~typ:"gauge";
+          sample_line buf m v)
+        (Res.gauges (Res.snapshot ()))
+    end;
+    Buffer.contents buf
+
+  (* Minimal exposition-format reader, enough to round-trip what
+     [expose] writes: used by the unit tests and by anything that wants
+     to scrape a written snapshot. *)
+  type sample = {
+    m_name : string;
+    m_labels : (string * string) list;
+    m_value : float;
+  }
+
+  let parse_line line =
+    let n = String.length line in
+    let i = ref 0 in
+    let fail msg = Error msg in
+    let skip_sp () = while !i < n && (line.[!i] = ' ' || line.[!i] = '\t') do incr i done in
+    let name_char c =
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+      | _ -> false
+    in
+    let read_name () =
+      let start = !i in
+      while !i < n && name_char line.[!i] do incr i done;
+      String.sub line start (!i - start)
+    in
+    let m_name = read_name () in
+    if m_name = "" then fail "expected metric name"
+    else begin
+      let labels = ref [] in
+      let label_err = ref None in
+      if !i < n && line.[!i] = '{' then begin
+        incr i;
+        let rec labels_loop () =
+          skip_sp ();
+          if !i < n && line.[!i] = '}' then incr i
+          else begin
+            let k = read_name () in
+            if k = "" || !i + 1 >= n || line.[!i] <> '=' || line.[!i + 1] <> '"'
+            then label_err := Some "bad label"
+            else begin
+              i := !i + 2;
+              let buf = Buffer.create 16 in
+              let rec str_loop () =
+                if !i >= n then label_err := Some "unterminated label value"
+                else
+                  match line.[!i] with
+                  | '"' -> incr i
+                  | '\\' when !i + 1 < n ->
+                    (match line.[!i + 1] with
+                    | 'n' -> Buffer.add_char buf '\n'
+                    | c -> Buffer.add_char buf c);
+                    i := !i + 2;
+                    str_loop ()
+                  | c ->
+                    Buffer.add_char buf c;
+                    incr i;
+                    str_loop ()
+              in
+              str_loop ();
+              if !label_err = None then begin
+                labels := (k, Buffer.contents buf) :: !labels;
+                skip_sp ();
+                if !i < n && line.[!i] = ',' then begin
+                  incr i;
+                  labels_loop ()
+                end
+                else if !i < n && line.[!i] = '}' then incr i
+                else label_err := Some "expected , or } in labels"
+              end
+            end
+          end
+        in
+        labels_loop ()
+      end;
+      match !label_err with
+      | Some msg -> fail msg
+      | None ->
+        skip_sp ();
+        let value_str = String.sub line !i (n - !i) |> String.trim in
+        (* the value may be followed by an optional timestamp *)
+        let value_str =
+          match String.index_opt value_str ' ' with
+          | Some sp -> String.sub value_str 0 sp
+          | None -> value_str
+        in
+        let v =
+          match value_str with
+          | "+Inf" -> Some infinity
+          | "-Inf" -> Some neg_infinity
+          | "NaN" -> Some nan
+          | s -> float_of_string_opt s
+        in
+        (match v with
+        | None -> fail (Printf.sprintf "bad sample value %S" value_str)
+        | Some m_value -> Ok { m_name; m_labels = List.rev !labels; m_value })
+    end
+
+  let parse text =
+    let lines = String.split_on_char '\n' text in
+    List.fold_left
+      (fun acc line ->
+        match acc with
+        | Error _ -> acc
+        | Ok samples ->
+          let line = String.trim line in
+          if line = "" || line.[0] = '#' then acc
+          else begin
+            match parse_line line with
+            | Ok s -> Ok (s :: samples)
+            | Error msg -> Error (Printf.sprintf "%s: %s" msg line)
+          end)
+      (Ok []) lines
+    |> Result.map List.rev
+end
+
 (* ---- JSONL sinks ------------------------------------------------------- *)
 
 (* One renderer serves both line-oriented sinks. [canonical] selects the
@@ -825,6 +1181,67 @@ let make_jsonl ~canonical write =
 
 let jsonl_sink write = make_jsonl ~canonical:false write
 let journal_sink write = make_jsonl ~canonical:true write
+
+(* ---- heartbeat sink ----------------------------------------------------- *)
+
+(* Appends one JSON object per line, at most one every [interval_ms],
+   snapshotting counters, gauges, and process resources so an external
+   tail (hlts top) can render live progress. Each snapshot is written
+   with a single [write] call so concurrent readers never see a torn
+   line. The final snapshot (flagged "final") is emitted on flush. *)
+let heartbeat_sink ?(interval_ms = 100) write =
+  let summary = Summary.create () in
+  let t0 = Clock.now_ns () in
+  let seq = ref 0 in
+  let last = ref 0L in
+  let finalized = ref false in
+  let interval_ns = Int64.of_int (interval_ms * 1_000_000) in
+  let is_res name = String.length name >= 4 && String.sub name 0 4 = "res." in
+  let snapshot ~final () =
+    let res =
+      Res.gauges (Res.snapshot ())
+      |> List.map (fun (name, v) ->
+             (* strip the "res." prefix inside the dedicated object *)
+             (String.sub name 4 (String.length name - 4), Json.Float v))
+    in
+    let counters =
+      List.map (fun (n, v) -> (n, Json.Int v)) (Summary.counters summary)
+    in
+    let gauges =
+      Summary.gauges summary
+      |> List.filter (fun (n, _) -> not (is_res n))
+      |> List.map (fun (n, v) -> (n, Json.Float v))
+    in
+    let fields =
+      [
+        ("hb", Json.Int !seq);
+        ("t_s", Json.Float (Clock.seconds_since t0));
+      ]
+      @ (if final then [ ("final", Json.Bool true) ] else [])
+      @ [
+          ("res", Json.Obj res);
+          ("counters", Json.Obj counters);
+          ("gauges", Json.Obj gauges);
+        ]
+    in
+    incr seq;
+    write (Json.to_string (Json.Obj fields) ^ "\n")
+  in
+  let emit ev =
+    Summary.emit summary ev;
+    let now = Clock.now_ns () in
+    if !last = 0L || Int64.sub now !last >= interval_ns then begin
+      last := now;
+      snapshot ~final:false ()
+    end
+  in
+  let flush () =
+    if not !finalized then begin
+      finalized := true;
+      snapshot ~final:true ()
+    end
+  in
+  { emit; flush }
 
 (* ---- Chrome trace_event sink ------------------------------------------- *)
 

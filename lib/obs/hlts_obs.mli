@@ -212,11 +212,18 @@ type span
 (** A live span handle, used to attach arguments. When no sink is
     installed a shared dummy handle is passed and {!set} is a no-op. *)
 
-val span : ?cat:string -> string -> (span -> 'a) -> 'a
+val span : ?cat:string -> ?res:bool -> string -> (span -> 'a) -> 'a
 (** [span ~cat name f] times [f] with the monotonic clock and reports
     a [Span_begin]/[Span_end] pair around it (exception-safe). [cat]
     is the phase the span accounts to in per-phase breakdowns
-    ("testability", "candidates", "merge", "reschedule", "atpg", ...). *)
+    ("testability", "candidates", "merge", "reschedule", "atpg", ...).
+
+    With [~res:true] the span additionally snapshots the GC before and
+    after [f] and attaches allocation deltas to the closing event
+    ([gc_minor_words], [gc_major_words], [gc_minor_collections],
+    [gc_major_collections]), after any user-set arguments. Reserve it
+    for coarse spans (whole runs, whole phases): the extra
+    [Gc.quick_stat] is cheap but not free. *)
 
 val set : span -> string -> value -> unit
 (** Attach an argument to the running span; arguments are reported in
@@ -243,6 +250,48 @@ val worker_span : worker:int -> ticket:int -> span_rec -> unit
 (** Re-stamp a span captured inside a pool worker into the parent's
     sinks (as {!Worker_span}). Called by the pool pump as replies are
     parsed. *)
+
+(** Process-resource sampler: GC statistics ([Gc.quick_stat]), user/sys
+    CPU time ([Unix.times]) and resident-set size (current and peak,
+    from [/proc/self/status]; reported as 0 where procfs is
+    unavailable).
+
+    Resource readings are host-dependent by nature, so they are kept
+    out of every determinism contract: they are only ever reported as
+    gauges under the reserved ["res."] name prefix, which trajectory
+    and journal digests exclude and the pool merges by max. *)
+module Res : sig
+  type snapshot = {
+    utime_s : float;          (** user CPU seconds *)
+    stime_s : float;          (** system CPU seconds *)
+    rss_kb : int;             (** current resident set, kB (VmRSS) *)
+    max_rss_kb : int;         (** peak resident set, kB (VmHWM) *)
+    minor_words : float;
+    promoted_words : float;
+    major_words : float;
+    minor_collections : int;
+    major_collections : int;
+    heap_words : int;         (** major-heap size, words *)
+  }
+
+  val snapshot : unit -> snapshot
+  (** Read the current process's resources. Cheap (one [quick_stat],
+      one [times], one procfs scan); suitable per commit, not per
+      candidate. *)
+
+  val delta : snapshot -> snapshot -> snapshot
+  (** [delta a b]: monotone fields (CPU, GC words/collections) are
+      [b - a]; point-in-time fields (rss, peak rss, heap size) are
+      [b]'s. *)
+
+  val gauges : snapshot -> (string * float) list
+  (** Render as ["res."]-prefixed gauge pairs ([res.utime_s],
+      [res.rss_kb], [res.gc.minor_words], ...). *)
+
+  val emit : unit -> unit
+  (** Snapshot and report every gauge from {!gauges} to the installed
+      sinks. Free when no sink is installed. *)
+end
 
 (** In-memory aggregation sink. Self time of a span is its duration
     minus the durations of its direct children, so summing self time
@@ -294,6 +343,40 @@ module Summary : sig
       share), per-span table, counters, gauges and histograms. *)
 end
 
+(** Prometheus text-exposition rendering of a {!Summary}, plus a
+    minimal reader used to check round-trips. This is the scrape
+    surface a future [hlts serve] will expose over a socket; today it
+    is written to a file by [--metrics]. *)
+module Metrics : sig
+  val metric_name : string -> string
+  (** Sanitize an event name into a valid Prometheus metric name:
+      characters outside [[a-zA-Z0-9_:]] map to ['_'] and a leading
+      digit is prefixed with ['_']. *)
+
+  val expose : ?res:bool -> Summary.t -> string
+  (** Render the summary in Prometheus text exposition format (with
+      [# HELP]/[# TYPE] headers): counters as [hlts_<name>_total]
+      counters, gauges as [hlts_<name>] gauges, samples as summaries
+      ([quantile="0"]/[quantile="1"] extremes plus [_sum]/[_count]) and
+      per-phase self time as [hlts_phase_self_seconds{phase="..."}].
+      When [res] is true (default) a fresh {!Res.snapshot} is appended
+      as gauges and any recorded ["res.*"] gauges in the summary are
+      dropped in its favour. *)
+
+  type sample = {
+    m_name : string;
+    m_labels : (string * string) list;
+    m_value : float;
+  }
+  (** One exposition sample line: name, label pairs, value. *)
+
+  val parse : string -> (sample list, string) result
+  (** Parse text in the exposition format: comment ([#]) and blank
+      lines are skipped, every other line must be
+      [name[{label="value",...}] value [timestamp]]. Returns samples in
+      file order. *)
+end
+
 val jsonl_sink : (string -> unit) -> sink
 (** [jsonl_sink write] renders each event as one JSON object per line
     through [write]. Line shapes: [{"ev":"begin"|"end"|"count"|
@@ -309,6 +392,17 @@ val journal_sink : (string -> unit) -> sink
     written too, in the {!jsonl_sink} shapes (with timestamps), so one
     file carries both the deterministic decision record and the timing
     context; consumers split the two with [is_decision_line]. *)
+
+val heartbeat_sink : ?interval_ms:int -> (string -> unit) -> sink
+(** [heartbeat_sink ~interval_ms write] appends one JSON snapshot line
+    through [write] at most every [interval_ms] milliseconds (default
+    100; 0 = on every event), aggregating events into an internal
+    {!Summary}. Each line is a single [write] call of the form
+    [{"hb":<seq>, "t_s":<elapsed>, "res":{...}, "counters":{...},
+    "gauges":{...}}] so a concurrent reader ([hlts top]) never sees a
+    torn line; ["res.*"] gauges are folded into the ["res"] object. The
+    first event always produces a snapshot, and [flush] writes a last
+    one flagged ["final":true], which tailing readers use to stop. *)
 
 val chrome_sink : (string -> unit) -> sink
 (** [chrome_sink write] buffers Chrome [trace_event] records and emits

@@ -274,6 +274,161 @@ let test_chrome_worker_lanes () =
         [ "hlts (parent)"; "pool worker 0"; "pool worker 1" ]
     | _ -> Alcotest.fail "no traceEvents")
 
+(* --- resource telemetry and gauge merging -------------------------------- *)
+
+let tally_of_gauges gauges =
+  { Pool.counts = []; samples = []; gauges; decisions = [] }
+
+let test_merge_gauges_unit () =
+  (* max across tallies, first-seen name order *)
+  let merged =
+    Pool.merge_gauges
+      [
+        tally_of_gauges [ ("g.a", 1.0); ("g.b", 5.0) ];
+        tally_of_gauges [ ("g.b", 2.0); ("g.c", -3.0) ];
+        tally_of_gauges [ ("g.a", 4.0); ("g.c", -7.0) ];
+      ]
+  in
+  Alcotest.(check (list (pair string (float 0.0))))
+    "max per name, first-seen order"
+    [ ("g.a", 4.0); ("g.b", 5.0); ("g.c", -3.0) ]
+    merged;
+  Alcotest.(check (list (pair string (float 0.0)))) "empty" []
+    (Pool.merge_gauges [])
+
+(* A task that emits a gauge whose value depends only on the item, so
+   the multiset of (name, value) pairs is identical at any -j N and the
+   max-merge must be byte-identical. *)
+let gauging_task n =
+  Obs.gauge "g.depth" (float_of_int (n mod 5));
+  Obs.gauge (Printf.sprintf "g.item.%d" (n mod 3)) (float_of_int n);
+  n
+
+let merged_gauges ~jobs items =
+  let sink, events = recording () in
+  ignore
+    (Obs.with_sink sink (fun () ->
+         Pool.with_pool ~name:"t.gauge" ~jobs gauging_task @@ fun pool ->
+         Pool.map pool items));
+  List.filter_map
+    (function
+      | Obs.Gauge { name; v; _ }
+        when String.length name >= 2 && String.sub name 0 2 = "g." ->
+        Some (name, v)
+      | _ -> None)
+    (events ())
+
+let test_gauge_merge_deterministic () =
+  skip_unless_unix ();
+  let items = List.init 23 Fun.id in
+  let g1 = merged_gauges ~jobs:1 items in
+  let g4 = merged_gauges ~jobs:4 items in
+  Alcotest.(check bool) "gauges observed" true (g1 <> []);
+  Alcotest.(check (list (pair string (float 0.0))))
+    "merged gauges identical at -j1 and -j4" g1 g4
+
+let test_worker_resources () =
+  skip_unless_unix ();
+  let sink, events = recording () in
+  let resources =
+    Obs.with_sink sink (fun () ->
+        Pool.with_pool ~name:"t.res" ~jobs:2 succ @@ fun pool ->
+        ignore (Pool.map pool (List.init 10 Fun.id));
+        Pool.worker_resources pool)
+  in
+  Alcotest.(check int) "both workers reported" 2 (List.length resources);
+  let tasks =
+    List.fold_left (fun acc (_, r) -> acc + r.Pool.wr_tasks) 0 resources
+  in
+  Alcotest.(check int) "tasks served sum to batch size" 10 tasks;
+  List.iter
+    (fun (w, r) ->
+      Alcotest.(check bool) (Printf.sprintf "worker %d lane" w) true
+        (w = 0 || w = 1);
+      Alcotest.(check bool) "cpu monotone" true
+        (r.Pool.wr_utime_s >= 0.0 && r.Pool.wr_stime_s >= 0.0);
+      if Sys.file_exists "/proc/self/status" then
+        Alcotest.(check bool) "worker rss read" true (r.Pool.wr_rss_kb > 0))
+    resources;
+  (* and the parent-side rollup gauges were emitted under the pool name *)
+  let gauge_names =
+    List.filter_map
+      (function Obs.Gauge { name; _ } -> Some name | _ -> None)
+      (events ())
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) n true (List.mem n gauge_names))
+    [ "t.res.workers_rss_kb"; "t.res.workers_cpu_s"; "t.res.workers_tasks" ]
+
+(* Uninstrumented pools must not pay for resource snapshots: with no
+   sink installed at fork time, worker_resources stays empty. *)
+let test_worker_resources_passive () =
+  skip_unless_unix ();
+  Obs.clear_sinks ();
+  Pool.with_pool ~name:"t.res.off" ~jobs:2 succ @@ fun pool ->
+  ignore (Pool.map pool [ 1; 2; 3; 4 ]);
+  Alcotest.(check int) "no snapshots when passive" 0
+    (List.length (Pool.worker_resources pool))
+
+(* Chrome-trace structural check: every X event carries pid/tid, and
+   within a lane the spans nest — any two are disjoint or contained,
+   never partially overlapping. *)
+let test_chrome_span_nesting () =
+  skip_unless_unix ();
+  let buf = Buffer.create 1024 in
+  ignore
+    (Obs.with_sink
+       (Obs.chrome_sink (Buffer.add_string buf))
+       (fun () ->
+         Obs.span ~cat:"t" "parent.outer" (fun _ ->
+             Pool.with_pool ~name:"t.nest" ~jobs:2 spanning_task @@ fun pool ->
+             Pool.map pool [ 0; 1; 2; 3; 4; 5 ])));
+  match Obs.Json.of_string (Buffer.contents buf) with
+  | Error e -> Alcotest.failf "trace does not parse: %s" e
+  | Ok doc -> (
+    match Obs.Json.member "traceEvents" doc with
+    | Some (Obs.Json.List events) ->
+      let xs =
+        List.filter_map
+          (fun e ->
+            match Obs.Json.member "ph" e with
+            | Some (Obs.Json.Str "X") ->
+              let num field =
+                match Obs.Json.member field e with
+                | Some (Obs.Json.Int i) -> float_of_int i
+                | Some (Obs.Json.Float f) -> f
+                | _ -> Alcotest.failf "X event missing %s" field
+              in
+              Some (num "pid", num "ts", num "dur")
+            | _ -> None)
+          events
+      in
+      Alcotest.(check bool) "trace has complete spans" true
+        (List.length xs >= 13);
+      let eps = 0.011 (* ts unit is us; re-stamping rounds to 1 ns *) in
+      List.iter
+        (fun (pid, ts, dur) ->
+          List.iter
+            (fun (pid', ts', dur') ->
+              if pid = pid' && (ts, dur) <> (ts', dur') then begin
+                let e1 = ts +. dur and e2 = ts' +. dur' in
+                let disjoint =
+                  e1 <= ts' +. eps || e2 <= ts +. eps
+                in
+                let contained =
+                  (ts >= ts' -. eps && e1 <= e2 +. eps)
+                  || (ts' >= ts -. eps && e2 <= e1 +. eps)
+                in
+                if not (disjoint || contained) then
+                  Alcotest.failf
+                    "spans partially overlap on lane %g: [%g,%g) vs [%g,%g)"
+                    pid ts e1 ts' e2
+              end)
+            xs)
+        xs
+    | _ -> Alcotest.fail "no traceEvents")
+
 (* --- parallel synthesis determinism ------------------------------------- *)
 
 (* Same digest as test_synth's golden-trajectory check: %h renders the
@@ -356,6 +511,19 @@ let () =
             test_worker_span_restamp;
           Alcotest.test_case "chrome trace worker lanes" `Quick
             test_chrome_worker_lanes;
+          Alcotest.test_case "chrome trace spans nest" `Quick
+            test_chrome_span_nesting;
+        ] );
+      ( "resources",
+        [
+          Alcotest.test_case "merge_gauges max semantics" `Quick
+            test_merge_gauges_unit;
+          Alcotest.test_case "gauge merge deterministic across -j" `Quick
+            test_gauge_merge_deterministic;
+          Alcotest.test_case "worker resources accounted" `Quick
+            test_worker_resources;
+          Alcotest.test_case "passive pool skips sampling" `Quick
+            test_worker_resources_passive;
         ] );
       ( "determinism",
         [

@@ -1,0 +1,177 @@
+(* Tests for Hlts_eval.Top — the heartbeat-file parser and terminal
+   dashboard behind [hlts top]. The interesting contracts are the
+   robustness ones: torn trailing lines are skipped (tailing a live file
+   observes partial writes), missing files are clean errors, and the
+   renderer works from whatever subset of fields a snapshot carries. *)
+
+module Obs = Hlts_obs
+module Top = Hlts_eval.Top
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* A realistic heartbeat file: produced by the actual sink, so these
+   tests also pin the sink → top format contract. *)
+let heartbeat_lines () =
+  let buf = Buffer.create 512 in
+  let sink = Obs.heartbeat_sink ~interval_ms:0 (Buffer.add_string buf) in
+  Obs.with_sink sink (fun () ->
+      Obs.count "top.iters";
+      Obs.gauge "top.depth" 3.0;
+      Obs.count ~by:2 "top.iters");
+  Buffer.contents buf
+
+let write_file content =
+  let file = Filename.temp_file "hlts_top_test" ".jsonl" in
+  let oc = open_out_bin file in
+  output_string oc content;
+  close_out oc;
+  at_exit (fun () -> try Sys.remove file with Sys_error _ -> ());
+  file
+
+(* --- parsing ------------------------------------------------------------- *)
+
+let test_parse_line () =
+  let line =
+    {|{"hb":4,"t_s":1.5,"final":true,"res":{"rss_kb":2048},"counters":{"c":7},"gauges":{"g":0.5}}|}
+  in
+  (match Top.parse_line line with
+  | Error e -> Alcotest.failf "good line rejected: %s" e
+  | Ok hb ->
+    Alcotest.(check int) "seq" 4 hb.Top.hb_seq;
+    Alcotest.(check (float 0.0)) "t_s" 1.5 hb.Top.hb_t_s;
+    Alcotest.(check bool) "final" true hb.Top.hb_final;
+    Alcotest.(check (list (pair string (float 0.0)))) "res"
+      [ ("rss_kb", 2048.0) ] hb.Top.hb_res;
+    Alcotest.(check (list (pair string int))) "counters" [ ("c", 7) ]
+      hb.Top.hb_counters;
+    Alcotest.(check (list (pair string (float 0.0)))) "gauges"
+      [ ("g", 0.5) ] hb.Top.hb_gauges);
+  (match Top.parse_line "{\"t_s\":1.0}" with
+  | Ok _ -> Alcotest.fail "line without hb accepted"
+  | Error _ -> ());
+  match Top.parse_line "{\"hb\":0,\"t_s\":" with
+  | Ok _ -> Alcotest.fail "torn json accepted"
+  | Error _ -> ()
+
+let test_parse_sink_output () =
+  let lines =
+    List.filter (fun l -> l <> "")
+      (String.split_on_char '\n' (heartbeat_lines ()))
+  in
+  Alcotest.(check bool) "sink produced snapshots" true (List.length lines >= 2);
+  List.iteri
+    (fun i l ->
+      match Top.parse_line l with
+      | Error e -> Alcotest.failf "sink line %d rejected: %s" i e
+      | Ok hb -> Alcotest.(check int) "seq matches position" i hb.Top.hb_seq)
+    lines
+
+(* --- file reading -------------------------------------------------------- *)
+
+let test_read_file_torn_tail () =
+  let content = heartbeat_lines () in
+  (* chop the last line's newline plus a few bytes: a torn write *)
+  let torn = String.sub content 0 (String.length content - 5) in
+  let file = write_file torn in
+  (match Top.read_file file with
+  | Error e -> Alcotest.failf "torn file fatal: %s" e
+  | Ok (hbs, skipped) ->
+    let full = List.length (String.split_on_char '\n' content) - 1 in
+    Alcotest.(check int) "complete lines kept" (full - 1) (List.length hbs);
+    Alcotest.(check int) "torn fragment counted" 1 skipped);
+  (* a complete-but-garbage line is skipped, not fatal *)
+  let file = write_file (content ^ "not json\n") in
+  match Top.read_file file with
+  | Error e -> Alcotest.failf "garbage line fatal: %s" e
+  | Ok (hbs, skipped) ->
+    Alcotest.(check bool) "snapshots survive" true (hbs <> []);
+    Alcotest.(check int) "garbage counted" 1 skipped
+
+let test_read_file_missing () =
+  match Top.read_file "/nonexistent/heartbeat.jsonl" with
+  | Ok _ -> Alcotest.fail "missing file did not error"
+  | Error e -> Alcotest.(check bool) "error names the file" true
+      (contains ~needle:"heartbeat.jsonl" e)
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let test_once_renders () =
+  let file = write_file (heartbeat_lines ()) in
+  match Top.once ~file with
+  | Error e -> Alcotest.failf "once failed: %s" e
+  | Ok panel ->
+    Alcotest.(check bool) "names the file" true (contains ~needle:file panel);
+    Alcotest.(check bool) "final snapshot shown" true
+      (contains ~needle:"FINISHED" panel);
+    Alcotest.(check bool) "counter shown" true
+      (contains ~needle:"top.iters" panel);
+    Alcotest.(check bool) "gauge shown" true
+      (contains ~needle:"top.depth" panel)
+
+let test_once_empty_and_missing () =
+  (match Top.once ~file:(write_file "") with
+  | Ok _ -> Alcotest.fail "empty file rendered"
+  | Error _ -> ());
+  match Top.once ~file:"/nonexistent/hb.jsonl" with
+  | Ok _ -> Alcotest.fail "missing file rendered"
+  | Error _ -> ()
+
+let test_follow_stops_on_final () =
+  let file = write_file (heartbeat_lines ()) in
+  let frames = ref [] in
+  match
+    Top.follow ~interval_ms:10 ~file (fun s -> frames := s :: !frames)
+  with
+  | Error e -> Alcotest.failf "follow failed: %s" e
+  | Ok () ->
+    (match !frames with
+    | [ frame ] ->
+      Alcotest.(check bool) "clear-screen prefix" true
+        (String.length frame > 4 && String.sub frame 0 2 = "\027[");
+      Alcotest.(check bool) "rendered the final snapshot" true
+        (contains ~needle:"FINISHED" frame)
+    | l -> Alcotest.failf "expected one frame, got %d" (List.length l))
+
+let test_follow_frames_bound () =
+  (* no final marker: strip it so follow only stops via ~frames *)
+  let lines =
+    List.filter
+      (fun l -> l <> "" && not (contains ~needle:"\"final\"" l))
+      (String.split_on_char '\n' (heartbeat_lines ()))
+  in
+  let file = write_file (String.concat "\n" lines ^ "\n") in
+  let n = ref 0 in
+  match Top.follow ~frames:3 ~interval_ms:10 ~file (fun _ -> incr n) with
+  | Error e -> Alcotest.failf "follow failed: %s" e
+  | Ok () -> Alcotest.(check int) "stopped at the frame bound" 3 !n
+
+let () =
+  Alcotest.run "hlts_top"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "snapshot line" `Quick test_parse_line;
+          Alcotest.test_case "sink output round-trips" `Quick
+            test_parse_sink_output;
+        ] );
+      ( "files",
+        [
+          Alcotest.test_case "torn tail skipped" `Quick
+            test_read_file_torn_tail;
+          Alcotest.test_case "missing file is clean error" `Quick
+            test_read_file_missing;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "once renders newest" `Quick test_once_renders;
+          Alcotest.test_case "empty and missing error" `Quick
+            test_once_empty_and_missing;
+          Alcotest.test_case "follow stops on final" `Quick
+            test_follow_stops_on_final;
+          Alcotest.test_case "follow honors frame bound" `Quick
+            test_follow_frames_bound;
+        ] );
+    ]
