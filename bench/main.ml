@@ -349,15 +349,20 @@ let run_json ~only file =
 (* --- JSON ATPG perf trajectory (BENCH_atpg.json) -------------------- *)
 
 (* Machine-readable fault-simulation benchmark: for every paper
-   benchmark at 4/8/16 bits, synthesize with "Ours" (the canonical
-   8-bit structure, as in the tables), expand at [bits] and run the
-   full ATPG pipeline with the cone engine. Everything except [wall_s]
-   and [faults_per_s] is deterministic; [detect_digest] pins the exact
+   benchmark at the selected bit widths (--json-atpg-widths, default
+   4/8/16), synthesize with "Ours" (the canonical 8-bit structure, as
+   in the tables), expand at [bits] and run the full ATPG pipeline with
+   the word-parallel PPSFP engine. Everything except the wall-time and
+   throughput fields is deterministic; [detect_digest] pins the exact
    detection events, so a drift in the engine shows up even when the
    coverage happens to stay the same. With [oracle], each cell is
-   re-run on the pre-optimization full-sweep engine, every
-   deterministic field is asserted identical, and the entry gains
-   [wall_full_s] / [speedup]. *)
+   re-run on BOTH scalar replay engines (the cone-limited one and the
+   pre-optimization full-sweep one), every deterministic field is
+   asserted identical across all three, and the entry gains
+   [wall_cone_s] / [wall_full_s] / [speedup_vs_cone] /
+   [speedup_vs_full] plus [random_speedup_vs_cone] — the random-phase
+   fault-grading ratio, which is where PPSFP's 63-machines-per-sweep
+   packing pays. *)
 
 module Atpg = Hlts_atpg.Atpg
 
@@ -374,60 +379,89 @@ let atpg_deterministic_fields (r : Atpg.result) =
     ("detect_digest", Str r.Atpg.detect_digest);
   ]
 
+(* The scalar engines the oracle mode replays each cell on. *)
+let atpg_oracle_engines = [ ("cone", `Cone); ("full", `Full) ]
+
 let atpg_json_entry ~oracle seed name dfg bits =
   let params = { Synth.default_params with Synth.bits = 8 } in
   let o = Eval.outcome ~params Flows.Ours dfg ~bits:8 in
   let circuit = Hlts_netlist.Expand.circuit o.Flows.etpn ~bits in
   let config = atpg_config seed in
-  let summary = Hlts_obs.Summary.create () in
-  let t0 = Hlts_obs.Clock.now_ns () in
-  let r =
-    Hlts_obs.with_sink (Hlts_obs.Summary.sink summary) (fun () ->
-        Atpg.run ~config ~engine:`Cone circuit)
+  let run_engine engine =
+    let summary = Hlts_obs.Summary.create () in
+    let t0 = Hlts_obs.Clock.now_ns () in
+    let r =
+      Hlts_obs.with_sink (Hlts_obs.Summary.sink summary) (fun () ->
+          Atpg.run ~config ~engine circuit)
+    in
+    (r, Hlts_obs.Clock.seconds_since t0, summary)
   in
-  let wall_s = Hlts_obs.Clock.seconds_since t0 in
-  let mean_cone_gates =
-    match
-      List.assoc_opt "sim.cone_gates" (Hlts_obs.Summary.samples summary)
-    with
+  let r, wall_s, summary = run_engine `Ppsfp in
+  let per_s faults seconds =
+    if seconds > 0.0 then float_of_int faults /. seconds else 0.0
+  in
+  let sample_mean key =
+    match List.assoc_opt key (Hlts_obs.Summary.samples summary) with
     | Some s when s.Hlts_obs.Summary.n > 0 ->
       s.Hlts_obs.Summary.sum /. float_of_int s.Hlts_obs.Summary.n
     | Some _ | None -> 0.0
   in
   let oracle_fields =
     if not oracle then []
-    else begin
-      let t1 = Hlts_obs.Clock.now_ns () in
-      let rf = Atpg.run ~config ~engine:`Full circuit in
-      let wall_full_s = Hlts_obs.Clock.seconds_since t1 in
-      if atpg_deterministic_fields r <> atpg_deterministic_fields rf then
-        failwith
-          (Printf.sprintf
-             "engine mismatch on %s @ %d bit: cone and full disagree" name
-             bits);
-      [
-        ("wall_full_s", Hlts_obs.Json.Float wall_full_s);
-        ("speedup", Hlts_obs.Json.Float (wall_full_s /. wall_s));
-      ]
-    end
+    else
+      List.concat_map
+        (fun (ename, engine) ->
+          let ro, wall_o, _ = run_engine engine in
+          if atpg_deterministic_fields r <> atpg_deterministic_fields ro then
+            failwith
+              (Printf.sprintf
+                 "engine mismatch on %s @ %d bit: ppsfp and %s disagree" name
+                 bits ename);
+          [
+            ("wall_" ^ ename ^ "_s", Hlts_obs.Json.Float wall_o);
+            ("speedup_vs_" ^ ename, Hlts_obs.Json.Float (wall_o /. wall_s));
+          ]
+          @
+          if ename <> "cone" then []
+          else
+            [
+              ( "random_speedup_vs_cone",
+                Hlts_obs.Json.Float
+                  (if r.Atpg.random_seconds > 0.0 then
+                     ro.Atpg.random_seconds /. r.Atpg.random_seconds
+                   else 0.0) );
+            ])
+        atpg_oracle_engines
   in
   let open Hlts_obs.Json in
   Obj
     ([
        ("name", Str name);
        ("bits", Int bits);
+       ("engine", Str "ppsfp");
        ("wall_s", Float wall_s);
+       ("random_s", Float r.Atpg.random_seconds);
+       ("det_s", Float r.Atpg.det_seconds);
        ("gates", Int r.Atpg.gate_count);
        ("dffs", Int r.Atpg.dff_count);
      ]
      @ atpg_deterministic_fields r
      @ [
-         ("faults_per_s", Float (float_of_int r.Atpg.total_faults /. wall_s));
-         ("mean_cone_gates", Float mean_cone_gates);
+         ( "random_faults_per_s",
+           Float (per_s r.Atpg.total_faults r.Atpg.random_seconds) );
+         ( "det_faults_per_s",
+           Float
+             (per_s
+                (r.Atpg.total_faults - r.Atpg.detected_random)
+                r.Atpg.det_seconds) );
+         ( "words_simulated",
+           Int (Hlts_obs.Summary.counter summary "sim.words_simulated") );
+         ("mean_faults_per_word", Float (sample_mean "sim.faults_per_word"));
+         ("mean_cone_gates", Float (sample_mean "sim.cone_gates"));
        ]
      @ oracle_fields)
 
-let run_json_atpg ~only ~oracle seed file =
+let run_json_atpg ~only ~oracle ~widths seed file =
   let selected =
     match only with
     | [] -> json_benchmarks
@@ -443,14 +477,14 @@ let run_json_atpg ~only ~oracle seed file =
             let e = atpg_json_entry ~oracle seed name dfg bits in
             Printf.printf " done\n%!";
             e)
-          json_widths)
+          widths)
       selected
   in
   let doc =
     Hlts_obs.Json.(
       Obj
         [
-          ("schema", Str "hlts-bench-atpg/3");
+          ("schema", Str "hlts-bench-atpg/4");
           ("host", host_json ~jobs:[]);
           ("res", res_json ());
           ("benchmarks", List entries);
@@ -510,6 +544,7 @@ let () =
   let jobs = ref None in
   let json_only = ref [] in
   let atpg_oracle = ref false in
+  let atpg_widths = ref json_widths in
   let trace = ref None in
   let actions : (unit -> unit) list ref = ref [] in
   let add f = actions := f :: !actions in
@@ -554,12 +589,20 @@ let () =
         Arg.String
           (fun f ->
             add (fun () ->
-                run_json_atpg ~only:!json_only ~oracle:!atpg_oracle !seed f)),
+                run_json_atpg ~only:!json_only ~oracle:!atpg_oracle
+                  ~widths:!atpg_widths !seed f)),
         "FILE   write the fault-simulation perf trajectory (BENCH_atpg.json)" );
       ( "--json-atpg-oracle",
         Arg.Set atpg_oracle,
-        "       re-run each --json-atpg cell on the full-sweep oracle engine, \
-         assert bit-identical results, and report the speedup" );
+        "       re-run each --json-atpg cell on both scalar replay engines \
+         (cone and full), assert bit-identical results, and report the \
+         speedups" );
+      ( "--json-atpg-widths",
+        Arg.String
+          (fun s ->
+            atpg_widths :=
+              List.map int_of_string (String.split_on_char ',' s)),
+        "W,..   bit widths for --json-atpg (default 4,8,16)" );
       ( "--trace",
         Arg.String (fun f -> trace := Some f),
         "FILE   write a Chrome trace_event file of the run" );

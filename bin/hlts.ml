@@ -278,8 +278,27 @@ let atpg_cmd =
     in
     Arg.(value & flag & info [ "collapse-gates" ] ~doc)
   in
-  let run bench approach bits seed collapse_gates stats trace jsonl journal
-      metrics heartbeat heartbeat_ms =
+  let engine_arg =
+    let doc =
+      "Fault-grading engine: $(b,ppsfp) (word-parallel, 62 faults per \
+       sweep), $(b,cone) (per-fault cone-limited replay) or $(b,full) \
+       (per-fault full sweep, the oracle). Every reported number except \
+       the timings is identical across the three."
+    in
+    let engines =
+      [ ("ppsfp", `Ppsfp); ("cone", `Cone); ("full", `Full) ]
+    in
+    Arg.(value & opt (enum engines) `Ppsfp & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Fan PPSFP fault-word batches out over $(docv) forked workers; \
+       the results (and digest) are byte-identical for every job count."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let run bench approach bits seed collapse_gates engine jobs stats trace
+      jsonl journal metrics heartbeat heartbeat_ms =
     with_errors (fun () ->
         let* d = find_bench bench in
         let* a = find_approach approach in
@@ -290,23 +309,36 @@ let atpg_cmd =
               { (atpg_config seed) with
                 Hlts_atpg.Atpg.collapse_gate_inputs = collapse_gates }
             in
-            let row = Eval.evaluate ~atpg a d ~bits in
+            let row = Eval.evaluate ~atpg ~engine ~jobs a d ~bits in
+            let engine_name =
+              match engine with
+              | `Ppsfp -> "ppsfp"
+              | `Cone -> "cone"
+              | `Full -> "full"
+            in
             Printf.printf
-              "%s / %s / %d bit:\n\
+              "%s / %s / %d bit (engine %s, %d job%s):\n\
               \  gates: %d   fault coverage: %.2f%%   tg effort: %d (%.2fs)\n\
-              \  test cycles: %d   area: %.3f mm2   seq depth: %.1f\n"
+              \  random phase: %.3fs   det phase: %.3fs\n\
+              \  test cycles: %d   area: %.3f mm2   seq depth: %.1f\n\
+              \  detect digest: %s\n"
               bench
               (Flows.approach_name a)
-              bits row.Eval.gate_count row.Eval.fault_coverage_pct
-              row.Eval.tg_effort row.Eval.tg_seconds row.Eval.test_cycles
-              row.Eval.area_mm2 row.Eval.seq_depth;
+              bits engine_name jobs
+              (if jobs = 1 then "" else "s")
+              row.Eval.gate_count row.Eval.fault_coverage_pct
+              row.Eval.tg_effort row.Eval.tg_seconds
+              row.Eval.tg_random_seconds row.Eval.tg_det_seconds
+              row.Eval.test_cycles
+              row.Eval.area_mm2 row.Eval.seq_depth row.Eval.detect_digest;
             Ok ()))
   in
   Cmd.v
     (Cmd.info "atpg" ~doc:"Run the full synthesis + test-generation pipeline.")
     Term.(const run $ bench_arg $ approach_arg $ bits_arg $ seed_arg
-          $ collapse_gates_arg $ stats_arg $ trace_arg $ jsonl_arg
-          $ journal_arg $ metrics_arg $ heartbeat_arg $ heartbeat_ms_arg)
+          $ collapse_gates_arg $ engine_arg $ jobs_arg $ stats_arg $ trace_arg
+          $ jsonl_arg $ journal_arg $ metrics_arg $ heartbeat_arg
+          $ heartbeat_ms_arg)
 
 let table_cmd =
   let which =

@@ -1,10 +1,18 @@
 module Netlist = Hlts_netlist.Netlist
 module Fault = Hlts_fault.Fault
 module Sim = Hlts_sim.Sim
+module Ppsfp = Hlts_sim.Ppsfp
+module Pool = Hlts_pool.Pool
 module Rng = Hlts_util.Rng
 module Obs = Hlts_obs
 
-type engine = Podem.engine
+type engine = [ `Cone | `Full | `Ppsfp ]
+
+(* PODEM's post-justification checks are single-fault by nature, so the
+   word-parallel engine delegates them to the cone replayer. *)
+let podem_engine : engine -> Podem.engine = function
+  | `Ppsfp -> `Cone
+  | (`Cone | `Full) as e -> e
 
 type config = {
   seed : int;
@@ -30,6 +38,8 @@ type result = {
   effort : int;
   evals : int;
   seconds : float;
+  random_seconds : float;
+  det_seconds : float;
   gate_count : int;
   dff_count : int;
   detect_digest : string;
@@ -37,26 +47,78 @@ type result = {
 
 (* Reusable fault-replay buffers, allocated once per run: the cone
    engine replays into a {!Sim.scratch}, the full oracle into one
-   machine that {!Sim.replay_full} re-zeroes per fault. *)
+   machine that {!Sim.replay_full} re-zeroes per fault, and the
+   word-parallel engine into a {!Ppsfp.t} plane set. *)
 type replayer = {
   rp_sim : Sim.t;
   rp_engine : engine;
   rp_scratch : Sim.scratch;
   rp_machine : Sim.machine;
+  rp_ppsfp : Ppsfp.t option;
+  rp_collapse : Fault.t -> Fault.t;
+  rp_jobs : int;
 }
 
-let make_replayer sim engine =
+let make_replayer sim engine ~collapse ~jobs =
   { rp_sim = sim; rp_engine = engine;
-    rp_scratch = Sim.scratch sim; rp_machine = Sim.machine sim }
+    rp_scratch = Sim.scratch sim; rp_machine = Sim.machine sim;
+    rp_ppsfp =
+      (match engine with
+      | `Ppsfp -> Some (Ppsfp.create sim)
+      | `Cone | `Full -> None);
+    rp_collapse = collapse;
+    rp_jobs = jobs }
 
 (* First (cycle, lane-diff word) of [fault] against the recorded good
-   trajectory, or None; only lanes in [mask] count. Both engines are
+   trajectory, or None; only lanes in [mask] count. All engines are
    bit-identical (property-tested), so the choice never changes the
    result — only the time it takes. *)
 let replay_fault ?mask rp fault trajectory ~evals =
   match rp.rp_engine with
-  | `Cone -> Sim.replay ?mask rp.rp_sim rp.rp_scratch fault trajectory ~evals
+  | `Cone | `Ppsfp ->
+    Sim.replay ?mask rp.rp_sim rp.rp_scratch fault trajectory ~evals
   | `Full -> Sim.replay_full ?mask rp.rp_sim rp.rp_machine fault trajectory ~evals
+
+(* Grade every fault of [targets] against one recorded trajectory:
+   result [i] is fault [i]'s first (cycle, lane-diff word) or None,
+   with [evals] advanced exactly as a per-fault replay would have.
+   The word-parallel path packs the faults into cone-batched words
+   ({!Ppsfp.plan}), fans the words over the pool when [jobs > 1], and
+   accounts evals analytically: a per-fault replay examines
+   (detection cycle + 1) cycles when it detects, all of them when it
+   does not — including quiet-skipped ones — so the formula matches
+   both replay engines cycle for cycle. *)
+let grade ?mask rp targets trajectory ~evals =
+  match rp.rp_ppsfp with
+  | None ->
+    Array.of_list
+      (List.map (fun f -> replay_fault ?mask rp f trajectory ~evals) targets)
+  | Some pp ->
+    Obs.span ~cat:"ppsfp" "atpg.ppsfp" @@ fun sp ->
+    let plan = Ppsfp.plan ~collapse:rp.rp_collapse pp targets in
+    let batch = Ppsfp.batch ?mask pp trajectory in
+    let n_words = Ppsfp.words plan in
+    Obs.set sp "faults" (Obs.Int (Ppsfp.fault_count plan));
+    Obs.set sp "words" (Obs.Int n_words);
+    let map =
+      if rp.rp_jobs > 1 && n_words > 1 && Pool.available
+         && not (Pool.in_worker ())
+      then
+        Some
+          (fun worker ids ->
+            Pool.with_pool ~name:"atpg.ppsfp" ~jobs:(min rp.rp_jobs n_words)
+              worker
+              (fun pool -> Pool.map pool ids))
+      else None
+    in
+    let res = Ppsfp.grade_words ?map pp plan batch in
+    let cycles = Sim.trajectory_cycles trajectory in
+    Array.iter
+      (function
+        | Some (c, _) -> evals := !evals + c + 1
+        | None -> evals := !evals + cycles)
+      res;
+    res
 
 (* One batch of [lanes] parallel random sequences, recorded as a good
    trajectory. Lanes beyond [lanes] carry constant zeroes, so they can
@@ -107,10 +169,7 @@ let pack_tests sim tests =
   in
   Sim.record sim stimuli
 
-let stuck_code f =
-  match f.Fault.f_stuck with Fault.Stuck_at_0 -> 0 | Fault.Stuck_at_1 -> 1
-
-let run ?(config = default_config) ?(engine = `Cone) circuit =
+let run ?(config = default_config) ?(engine = `Ppsfp) ?(jobs = 1) circuit =
   Obs.span ~cat:"atpg" ~res:true "atpg.run" @@ fun run_sp ->
   let t0 = Obs.Clock.now_ns () in
   let sim = Obs.span ~cat:"atpg" "atpg.compile" (fun _ -> Sim.compile circuit) in
@@ -120,7 +179,10 @@ let run ?(config = default_config) ?(engine = `Cone) circuit =
   let total_faults = List.length faults in
   Obs.set run_sp "faults" (Obs.Int total_faults);
   let rng = Rng.create config.seed in
-  let rp = make_replayer sim engine in
+  let collapse =
+    Fault.collapse_map ~gate_inputs:config.collapse_gate_inputs circuit
+  in
+  let rp = make_replayer sim engine ~collapse ~jobs in
   let evals = ref 0 in
   let detected_random = ref 0 in
   let test_cycles = ref 0 in
@@ -128,6 +190,7 @@ let run ?(config = default_config) ?(engine = `Cone) circuit =
      [detect_digest] the bench drift job and the engine oracle compare. *)
   let events = Buffer.create 1024 in
   (* ---- random phase ---- *)
+  let t_random = Obs.Clock.now_ns () in
   let remaining = ref faults in
   Obs.span ~cat:"atpg" "atpg.random_phase" (fun rsp ->
       for _batch = 1 to config.random_batches do
@@ -140,28 +203,32 @@ let run ?(config = default_config) ?(engine = `Cone) circuit =
             else Int64.sub (Int64.shift_left 1L config.random_lanes) 1L
           in
           let prefix = Array.make 64 0 in
+          let targets = !remaining in
+          let verdicts = grade ~mask:lane_mask rp targets trajectory ~evals in
+          let ix = ref (-1) in
           remaining :=
             List.filter
               (fun fault ->
-                match
-                  replay_fault ~mask:lane_mask rp fault trajectory ~evals
-                with
+                incr ix;
+                match verdicts.(!ix) with
                 | None -> true
                 | Some (cycle, diff) ->
                   incr detected_random;
                   Printf.bprintf events "r %d %d %d %Lx\n"
-                    fault.Fault.f_net (stuck_code fault) cycle diff;
+                    fault.Fault.f_net (Fault.stuck_code fault) cycle diff;
                   let lane = first_lane diff in
                   prefix.(lane) <- max prefix.(lane) (cycle + 1);
                   false)
-              !remaining;
+              targets;
           Array.iter (fun p -> test_cycles := !test_cycles + p) prefix
         end
       done;
       Obs.set rsp "detected" (Obs.Int !detected_random);
       if !detected_random > 0 then
         Obs.count ~by:!detected_random "atpg.detected_random");
+  let random_seconds = Obs.Clock.seconds_since t_random in
   (* ---- deterministic phase ---- *)
+  let t_det = Obs.Clock.now_ns () in
   let detected_det = ref 0 in
   let implications = ref 0 and backtracks = ref 0 in
   let aborted = ref [] in
@@ -174,14 +241,17 @@ let run ?(config = default_config) ?(engine = `Cone) circuit =
       Obs.span ~cat:"atpg" "atpg.drop_batch" @@ fun _ ->
       let trajectory = pack_tests sim tests in
       pending_tests := [];
+      let verdicts = grade rp targets trajectory ~evals in
+      let ix = ref (-1) in
       List.filter
         (fun fault ->
-          match replay_fault rp fault trajectory ~evals with
+          incr ix;
+          match verdicts.(!ix) with
           | None -> true
           | Some (cycle, diff) ->
             incr detected_det;
             Printf.bprintf events "d %d %d %d %Lx\n"
-              fault.Fault.f_net (stuck_code fault) cycle diff;
+              fault.Fault.f_net (Fault.stuck_code fault) cycle diff;
             false)
         targets
   in
@@ -195,7 +265,8 @@ let run ?(config = default_config) ?(engine = `Cone) circuit =
       Obs.count "atpg.faults_tried";
       let verdict, stats =
         Obs.span ~cat:"atpg" "atpg.podem" (fun _ ->
-        Podem.generate ~engine sim ~max_frames:config.max_frames
+        Podem.generate ~engine:(podem_engine engine) sim
+          ~max_frames:config.max_frames
           ~max_backtracks:config.max_backtracks fault)
       in
       implications := !implications + stats.Podem.implications;
@@ -207,7 +278,7 @@ let run ?(config = default_config) ?(engine = `Cone) circuit =
         incr detected_det;
         Obs.count "atpg.detected_det";
         Printf.bprintf events "p %d %d %d\n"
-          fault.Fault.f_net (stuck_code fault)
+          fault.Fault.f_net (Fault.stuck_code fault)
           (Array.length test.Podem.t_frames);
         test_cycles := !test_cycles + Array.length test.Podem.t_frames;
         pending_tests := test :: !pending_tests;
@@ -238,9 +309,11 @@ let run ?(config = default_config) ?(engine = `Cone) circuit =
       chunks !all_tests;
       Obs.set dsp "detected" (Obs.Int !detected_det);
       Obs.set dsp "backtracks" (Obs.Int !backtracks));
+  let det_seconds = Obs.Clock.seconds_since t_det in
   List.iter
     (fun fault ->
-      Printf.bprintf events "u %d %d\n" fault.Fault.f_net (stuck_code fault))
+      Printf.bprintf events "u %d %d\n" fault.Fault.f_net
+        (Fault.stuck_code fault))
     (List.rev !aborted);
   let undetected = List.length !aborted in
   let detected = total_faults - undetected in
@@ -252,8 +325,15 @@ let run ?(config = default_config) ?(engine = `Cone) circuit =
   Obs.set run_sp "coverage" (Obs.Float coverage);
   Obs.set run_sp "effort" (Obs.Int (!implications + !backtracks + !evals));
   if !evals > 0 then Obs.count ~by:!evals "atpg.evals";
-  if seconds > 0.0 then
-    Obs.gauge "atpg.faults_per_s" (float_of_int total_faults /. seconds);
+  (* per-phase rates: the random phase grades every collapsed fault, the
+     deterministic phase only what survived it *)
+  if random_seconds > 0.0 then
+    Obs.gauge "atpg.random_faults_per_s"
+      (float_of_int total_faults /. random_seconds);
+  let det_faults = total_faults - !detected_random in
+  if det_seconds > 0.0 && det_faults > 0 then
+    Obs.gauge "atpg.det_faults_per_s"
+      (float_of_int det_faults /. det_seconds);
   {
     total_faults;
     detected_random = !detected_random;
@@ -264,6 +344,8 @@ let run ?(config = default_config) ?(engine = `Cone) circuit =
     effort = !implications + !backtracks + !evals;
     evals = !evals;
     seconds;
+    random_seconds;
+    det_seconds;
     gate_count = Sim.gate_count sim;
     dff_count = Array.length circuit.Netlist.dffs;
     detect_digest = Digest.to_hex (Digest.string (Buffer.contents events));

@@ -21,12 +21,16 @@
       a deterministic machine-independent cost; [seconds] is the
       measured CPU time. *)
 
-type engine = Podem.engine
-(** Selects the fault-simulation/PODEM engine for the whole run:
-    [`Cone] (default) replays faults cone-limited and incremental,
-    [`Full] full-sweeps from a zeroed machine — the pre-optimization
-    oracle. Every result field except [seconds] is bit-identical
-    between the two. *)
+type engine = [ `Cone | `Full | `Ppsfp ]
+(** Selects the fault-simulation engine for the grading phases:
+    [`Ppsfp] (default) packs the good machine plus up to 62 faulty
+    machines into one word per net and retires a whole word of faults
+    per sweep ({!Hlts_sim.Ppsfp}); [`Cone] replays each fault
+    cone-limited and incremental; [`Full] full-sweeps from a zeroed
+    machine — the pre-optimization oracle. PODEM's single-fault
+    post-justification checks always use the cone replayer under
+    [`Ppsfp]. Every result field except the wall-clock timings is
+    bit-identical across the three (the CI engine-identity gate). *)
 
 type config = {
   seed : int;
@@ -56,6 +60,8 @@ type result = {
   effort : int;
   evals : int;            (** fault-replay cycle evaluations (effort term) *)
   seconds : float;
+  random_seconds : float; (** wall time of the random grading phase *)
+  det_seconds : float;    (** wall time of the deterministic (PODEM) phase *)
   gate_count : int;
   dff_count : int;
   detect_digest : string;
@@ -66,7 +72,12 @@ type result = {
 }
 
 val run :
-  ?config:config -> ?engine:engine -> Hlts_netlist.Netlist.t -> result
+  ?config:config -> ?engine:engine -> ?jobs:int ->
+  Hlts_netlist.Netlist.t -> result
+(** [jobs] (default 1) fans PPSFP word batches out over a forked worker
+    pool; every result field is byte-identical at any job count (word
+    verdicts are merged in word order and observability tallies are
+    replayed per ticket). Ignored by the single-fault engines. *)
 
 val coverage_pct : result -> float
 (** [100 * coverage]. *)

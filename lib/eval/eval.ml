@@ -20,10 +20,13 @@ type row = {
   fault_coverage_pct : float;
   tg_effort : int;
   tg_seconds : float;
+  tg_random_seconds : float;
+  tg_det_seconds : float;
   test_cycles : int;
   area_mm2 : float;
   seq_depth : float;
   gate_count : int;
+  detect_digest : string;
 }
 
 let params_for_bits bits =
@@ -54,13 +57,14 @@ let register_listing dfg binding =
            (List.map (Dfg.value_name dfg) reg.Binding.reg_values)))
     binding.Binding.registers
 
-let evaluate_outcome ?(atpg = Atpg.default_config) (o : Flows.outcome) ~bits =
+let evaluate_outcome ?(atpg = Atpg.default_config) ?engine ?jobs
+    (o : Flows.outcome) ~bits =
   let etpn = o.Flows.etpn in
   let dfg = o.Flows.state.State.dfg in
   let stats = Etpn.stats etpn in
   let analysis = Testability.analyze etpn in
   let circuit = Hlts_netlist.Expand.circuit etpn ~bits in
-  let r = Atpg.run ~config:atpg circuit in
+  let r = Atpg.run ~config:atpg ?engine ?jobs circuit in
   {
     approach = o.Flows.approach;
     bits;
@@ -73,11 +77,15 @@ let evaluate_outcome ?(atpg = Atpg.default_config) (o : Flows.outcome) ~bits =
     fault_coverage_pct = Atpg.coverage_pct r;
     tg_effort = r.Atpg.effort;
     tg_seconds = r.Atpg.seconds;
+    tg_random_seconds = r.Atpg.random_seconds;
+    tg_det_seconds = r.Atpg.det_seconds;
     test_cycles = r.Atpg.test_cycles;
     area_mm2 = Hlts_floorplan.Floorplan.area etpn ~bits;
     seq_depth = Testability.seq_depth_total analysis;
     gate_count = r.Atpg.gate_count;
+    detect_digest = r.Atpg.detect_digest;
   }
 
-let evaluate ?params ?atpg approach dfg ~bits =
-  evaluate_outcome ?atpg (outcome ?params approach dfg ~bits) ~bits
+let evaluate ?params ?atpg ?engine ?jobs approach dfg ~bits =
+  evaluate_outcome ?atpg ?engine ?jobs (outcome ?params approach dfg ~bits)
+    ~bits

@@ -18,10 +18,13 @@ type row = {
   fault_coverage_pct : float;
   tg_effort : int;                  (** deterministic TG cost *)
   tg_seconds : float;               (** measured CPU seconds *)
+  tg_random_seconds : float;        (** random grading phase wall time *)
+  tg_det_seconds : float;           (** deterministic (PODEM) phase wall time *)
   test_cycles : int;
   area_mm2 : float;
   seq_depth : float;                (** testability sequential-depth metric *)
   gate_count : int;
+  detect_digest : string;           (** {!Hlts_atpg.Atpg.result.detect_digest} *)
 }
 
 val params_for_bits : int -> Hlts_synth.Synth.params
@@ -32,15 +35,22 @@ val params_for_bits : int -> Hlts_synth.Synth.params
 val evaluate :
   ?params:Hlts_synth.Synth.params ->
   ?atpg:Hlts_atpg.Atpg.config ->
+  ?engine:Hlts_atpg.Atpg.engine ->
+  ?jobs:int ->
   Hlts_synth.Flows.approach ->
   Hlts_dfg.Dfg.t ->
   bits:int ->
   row
 (** [params] defaults to {!params_for_bits}; [atpg] to
-    {!Hlts_atpg.Atpg.default_config}. *)
+    {!Hlts_atpg.Atpg.default_config}. [engine] and [jobs] go to
+    {!Hlts_atpg.Atpg.run} (fault-grading engine and worker count); the
+    row is bit-identical for every combination except the timing
+    fields. *)
 
 val evaluate_outcome :
   ?atpg:Hlts_atpg.Atpg.config ->
+  ?engine:Hlts_atpg.Atpg.engine ->
+  ?jobs:int ->
   Hlts_synth.Flows.outcome ->
   bits:int ->
   row

@@ -89,6 +89,9 @@ let collapse ?gate_inputs (c : Netlist.t) faults =
 
 let collapsed_universe ?gate_inputs c = collapse ?gate_inputs c (universe c)
 
+let stuck_code f =
+  match f.f_stuck with Stuck_at_0 -> 0 | Stuck_at_1 -> 1
+
 let to_string f =
   Printf.sprintf "n%d/%d" f.f_net
     (match f.f_stuck with Stuck_at_0 -> 0 | Stuck_at_1 -> 1)

@@ -34,10 +34,19 @@ val collapse : ?gate_inputs:bool -> Hlts_netlist.Netlist.t -> t list -> t list
 val collapse_map : ?gate_inputs:bool -> Hlts_netlist.Netlist.t -> t -> t
 (** The representative function used by {!collapse}: maps any fault to
     its equivalence-class representative (identity for faults that do
-    not collapse). *)
+    not collapse). Equivalent faults have the same faulty circuit
+    function, so any simulation verdict for the representative holds
+    verbatim for every member — which is what lets the word-parallel
+    engine ({!Hlts_sim.Ppsfp.plan} with [~collapse]) assign one bit
+    lane per equivalence class and fan the lane's detection back out to
+    all members. *)
 
 val collapsed_universe : ?gate_inputs:bool -> Hlts_netlist.Netlist.t -> t list
 (** [collapse c (universe c)]. *)
+
+val stuck_code : t -> int
+(** 0 for {!Stuck_at_0}, 1 for {!Stuck_at_1} — the polarity digit used
+    in event logs and lane packing keys. *)
 
 val to_string : t -> string
 (** e.g. ["n42/0"]. *)

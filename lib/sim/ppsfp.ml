@@ -1,0 +1,503 @@
+module Netlist = Hlts_netlist.Netlist
+module Fault = Hlts_fault.Fault
+module Obs = Hlts_obs
+
+(* One plane word per net: bit 0 = good machine, bits 1..max = faulty
+   machines. All per-gate word ops below are bit-position-independent,
+   so every lane (and the good bit) evolves exactly as a standalone
+   64-pattern simulation of that machine would at the chosen pattern
+   lane. OCaml native ints give Sys.int_size usable bits (63 on 64-bit
+   hosts), hence 62 fault lanes per word. *)
+let max_faults_per_word = Sys.int_size - 1
+
+type t = {
+  p_sim : Sim.t;
+  p_dffs : Netlist.dff array;
+  fv : int array;      (* per-net plane words (sweep scratch) *)
+  fstate : int array;  (* per-dff faulty state planes *)
+  inj_mask : int array;  (* per-net faulted lanes; 0 = uninjected *)
+  inj_val : int array;   (* per-net stuck-at-1 lanes *)
+  (* generation-stamped marks for plan construction: stamp = p_gen means
+     "member of the word being built", so building a word clears nothing *)
+  gate_gen : int array;
+  dff_gen : int array;
+  net_gen : int array;
+  sup_gen : int array;
+  mutable p_gen : int;
+}
+
+let create sim =
+  let c = Sim.circuit sim in
+  let n_nets = c.Netlist.n_nets in
+  let n_dffs = Array.length c.Netlist.dffs in
+  {
+    p_sim = sim;
+    p_dffs = c.Netlist.dffs;
+    fv = Array.make n_nets 0;
+    fstate = Array.make n_dffs 0;
+    inj_mask = Array.make n_nets 0;
+    inj_val = Array.make n_nets 0;
+    gate_gen = Array.make (Sim.ops sim).Sim.n_gates 0;
+    dff_gen = Array.make n_dffs 0;
+    net_gen = Array.make n_nets 0;
+    sup_gen = Array.make n_nets 0;
+    p_gen = 0;
+  }
+
+let sim t = t.p_sim
+
+(* One injection point: a net some lane(s) of the word hold stuck. *)
+type site = {
+  s_net : int;
+  s_mask : int;   (* lanes faulted at this net (never bit 0) *)
+  s_val : int;    (* the stuck-at-1 subset of s_mask *)
+  s_swept : bool; (* driver gate is inside the word's union sweep *)
+  s_qload : bool; (* net is the Q of a union flip-flop *)
+}
+
+type word = {
+  w_lanes : int;                (* occupied fault lanes, bits 1..w_lanes *)
+  w_lanes_mask : int;
+  w_fault_ix : int array array; (* lane-1 -> original input indices (collapse fan-out) *)
+  w_sites : site array;
+  w_gates : int array;          (* union-cone gates, levelized ascending *)
+  w_dffs : int array;           (* union flip-flop ids *)
+  w_dff_q : int array;          (* q_output per w_dffs entry *)
+  w_dff_d : int array;          (* d_input per w_dffs entry *)
+  w_pos : int array;            (* union PO nets, po_nets order *)
+  w_support : int array;        (* union-gate inputs provably good-valued *)
+}
+
+type plan = {
+  pl_n : int;  (* input fault count (before lane sharing) *)
+  pl_words : word array;
+}
+
+let words pl = Array.length pl.pl_words
+let fault_count pl = pl.pl_n
+
+(* Union of the member cones, built as ONE multi-source sequential
+   traversal over the fanout CSRs (the same closure {!Sim.cone} computes
+   per net, seeded with every member site at once) — the word never
+   needs the per-site cones themselves, so grading a word of faults
+   builds no per-net cone at all. The union net set is
+   {sites} u {union-gate outputs} u {union-dff Qs} (a cone's bits are
+   nothing else); support = union-gate inputs outside that set, each of
+   which provably carries the good value in every lane (a net outside
+   every member's cone can never be reached by that member's fault
+   effect). Generation stamps make the marks reusable without
+   clearing. *)
+let build_word t reps fanouts lane_uniq =
+  let sim = t.p_sim in
+  let gen = t.p_gen + 1 in
+  t.p_gen <- gen;
+  let ops = Sim.ops sim in
+  let driver_ix = Sim.driver_index sim in
+  let dff_of_q = Sim.dff_of_q sim in
+  let fan_idx, fan_gates = Sim.fanout_gates sim in
+  let dfan_idx, dfan_dffs = Sim.fanout_dffs sim in
+  let k = Array.length lane_uniq in
+  let gates = ref [] and dffs = ref [] in
+  (* net_gen doubles as the traversal's visited set; it ends up holding
+     exactly the union net set the loads below rely on *)
+  let stack = ref [] in
+  Array.iter
+    (fun u ->
+      let net = reps.(u).Fault.f_net in
+      if t.net_gen.(net) <> gen then begin
+        t.net_gen.(net) <- gen;
+        stack := net :: !stack
+      end)
+    lane_uniq;
+  while !stack <> [] do
+    let x = List.hd !stack in
+    stack := List.tl !stack;
+    for i = fan_idx.(x) to fan_idx.(x + 1) - 1 do
+      let gi = fan_gates.(i) in
+      if t.gate_gen.(gi) <> gen then begin
+        t.gate_gen.(gi) <- gen;
+        gates := gi :: !gates;
+        let out = ops.Sim.out.(gi) in
+        if t.net_gen.(out) <> gen then begin
+          t.net_gen.(out) <- gen;
+          stack := out :: !stack
+        end
+      end
+    done;
+    for i = dfan_idx.(x) to dfan_idx.(x + 1) - 1 do
+      let d = dfan_dffs.(i) in
+      if t.dff_gen.(d) <> gen then begin
+        t.dff_gen.(d) <- gen;
+        dffs := d :: !dffs;
+        let q = t.p_dffs.(d).Netlist.q_output in
+        if t.net_gen.(q) <> gen then begin
+          t.net_gen.(q) <- gen;
+          stack := q :: !stack
+        end
+      end
+    done
+  done;
+  let w_gates = Array.of_list !gates in
+  Array.sort compare w_gates;
+  let w_dffs = Array.of_list !dffs in
+  Array.sort compare w_dffs;
+  let w_dff_q = Array.map (fun d -> t.p_dffs.(d).Netlist.q_output) w_dffs in
+  let w_dff_d = Array.map (fun d -> t.p_dffs.(d).Netlist.d_input) w_dffs in
+  (* net_gen already holds the union net set: sites, gate outputs, Qs *)
+  let w_pos =
+    Array.of_list
+      (List.filter (fun po -> t.net_gen.(po) = gen)
+         (Array.to_list (Sim.po_nets sim)))
+  in
+  let support = ref [] in
+  let consider inp =
+    if inp >= 0 && t.net_gen.(inp) <> gen && t.sup_gen.(inp) <> gen then begin
+      t.sup_gen.(inp) <- gen;
+      support := inp :: !support
+    end
+  in
+  Array.iter
+    (fun gi ->
+      consider ops.Sim.in0.(gi);
+      consider ops.Sim.in1.(gi);
+      consider ops.Sim.in2.(gi))
+    w_gates;
+  let w_support = Array.of_list (List.rev !support) in
+  (* injection sites: lanes grouped by net, first-occurrence order *)
+  let site_ix = Hashtbl.create 16 in
+  let sites = ref [] and n_sites = ref 0 in
+  let masks = Array.make k 0 and vals = Array.make k 0 in
+  Array.iteri
+    (fun lane0 u ->
+      let f = reps.(u) in
+      let bit = 1 lsl (lane0 + 1) in
+      let s =
+        match Hashtbl.find_opt site_ix f.Fault.f_net with
+        | Some s -> s
+        | None ->
+          let s = !n_sites in
+          incr n_sites;
+          Hashtbl.add site_ix f.Fault.f_net s;
+          sites := f.Fault.f_net :: !sites;
+          s
+      in
+      masks.(s) <- masks.(s) lor bit;
+      if Fault.stuck_code f = 1 then vals.(s) <- vals.(s) lor bit)
+    lane_uniq;
+  let w_sites =
+    Array.of_list
+      (List.rev_map
+         (fun net ->
+           let s = Hashtbl.find site_ix net in
+           let drv = driver_ix.(net) in
+           let d = dff_of_q.(net) in
+           {
+             s_net = net;
+             s_mask = masks.(s);
+             s_val = vals.(s);
+             s_swept = drv >= 0 && t.gate_gen.(drv) = gen;
+             s_qload = d >= 0 && t.dff_gen.(d) = gen;
+           })
+         !sites)
+  in
+  {
+    w_lanes = k;
+    w_lanes_mask = ((1 lsl k) - 1) lsl 1;
+    w_fault_ix = Array.map (fun u -> fanouts.(u)) lane_uniq;
+    w_sites;
+    w_gates;
+    w_dffs;
+    w_dff_q;
+    w_dff_d;
+    w_pos;
+    w_support;
+  }
+
+let plan ?(collapse = fun f -> f) t faults =
+  let faults = Array.of_list faults in
+  let n = Array.length faults in
+  (* dedup by equivalence representative, first-occurrence order; every
+     input index fans out from its representative's lane *)
+  let key = Hashtbl.create 64 in
+  let reps_rev = ref [] and n_uniq = ref 0 in
+  let member_tbl = Hashtbl.create 64 in
+  for i = 0 to n - 1 do
+    let r = collapse faults.(i) in
+    let k = (r.Fault.f_net, Fault.stuck_code r) in
+    let id =
+      match Hashtbl.find_opt key k with
+      | Some id -> id
+      | None ->
+        let id = !n_uniq in
+        incr n_uniq;
+        Hashtbl.add key k id;
+        reps_rev := r :: !reps_rev;
+        id
+    in
+    let tl = try Hashtbl.find member_tbl id with Not_found -> [] in
+    Hashtbl.replace member_tbl id (i :: tl)
+  done;
+  let reps = Array.of_list (List.rev !reps_rev) in
+  let fanouts =
+    Array.init !n_uniq (fun id ->
+        Array.of_list (List.rev (Hashtbl.find member_tbl id)))
+  in
+  (* batching heuristic: order representatives by the levelized position
+     of their first direct fanout gate, so faults with overlapping cones
+     land in the same word and the union sweep stays close to one member
+     cone. Direct fanout (not the cone's first gate) keeps planning free
+     of per-site cone construction — the word union is built by a single
+     multi-source traversal in {!build_word}. *)
+  let fan_idx, fan_gates = Sim.fanout_gates t.p_sim in
+  let first_gate =
+    Array.map
+      (fun r ->
+        let net = r.Fault.f_net in
+        if fan_idx.(net + 1) > fan_idx.(net) then fan_gates.(fan_idx.(net))
+        else max_int)
+      reps
+  in
+  let order = Array.init !n_uniq (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = compare first_gate.(a) first_gate.(b) in
+      if c <> 0 then c
+      else
+        let c = compare reps.(a).Fault.f_net reps.(b).Fault.f_net in
+        if c <> 0 then c else compare (Fault.stuck_code reps.(a)) (Fault.stuck_code reps.(b)))
+    order;
+  let n_words = (!n_uniq + max_faults_per_word - 1) / max_faults_per_word in
+  let pl_words =
+    Array.init n_words (fun w ->
+        let lo = w * max_faults_per_word in
+        let hi = min !n_uniq (lo + max_faults_per_word) in
+        build_word t reps fanouts (Array.sub order lo (hi - lo)))
+  in
+  { pl_n = n; pl_words }
+
+(* Pattern lanes of the trajectory, deduplicated: two bit lanes with
+   identical stimulus columns drive identical good machines, so every
+   faulty machine behaves identically too — simulate one representative,
+   report the verdict for all members. Packed deterministic-test batches
+   make this matter: their unused tail lanes are all one class. *)
+type batch = {
+  b_tr : Sim.trajectory;
+  b_reps : int array;      (* representative pattern lane per class *)
+  b_members : int64 array; (* the class's (masked) member lanes *)
+}
+
+let batch ?(mask = -1L) t tr =
+  ignore t;
+  let stim = Sim.trajectory_stimuli tr in
+  let n_entries = Array.fold_left (fun a l -> a + List.length l) 0 stim in
+  let classes = Hashtbl.create 16 in
+  let reps = Array.make 64 0 and members = Array.make 64 0L in
+  let n_cls = ref 0 in
+  for l = 0 to 63 do
+    if Int64.logand (Int64.shift_right_logical mask l) 1L = 1L then begin
+      let sg = Bytes.create n_entries in
+      let pos = ref 0 in
+      Array.iter
+        (List.iter (fun (_, w) ->
+             Bytes.unsafe_set sg !pos
+               (Char.unsafe_chr
+                  (Int64.to_int (Int64.logand (Int64.shift_right_logical w l) 1L)));
+             incr pos))
+        stim;
+      let sg = Bytes.unsafe_to_string sg in
+      let bit = Int64.shift_left 1L l in
+      match Hashtbl.find_opt classes sg with
+      | Some c -> members.(c) <- Int64.logor members.(c) bit
+      | None ->
+        let c = !n_cls in
+        incr n_cls;
+        Hashtbl.add classes sg c;
+        reps.(c) <- l;
+        members.(c) <- bit
+    end
+  done;
+  {
+    b_tr = tr;
+    b_reps = Array.sub reps 0 !n_cls;
+    b_members = Array.sub members 0 !n_cls;
+  }
+
+(* position of the (single) set bit of [b] *)
+let bit_index b =
+  let n = ref 0 and b = ref b in
+  while !b land 1 = 0 do
+    b := !b lsr 1;
+    incr n
+  done;
+  !n
+
+let grade_word t plan batch w =
+  let word = plan.pl_words.(w) in
+  let sim = t.p_sim in
+  let { Sim.kind; in0; in1; in2; out; _ } = Sim.ops sim in
+  let fv = t.fv and fstate = t.fstate in
+  let inj_mask = t.inj_mask and inj_val = t.inj_val in
+  let sites = word.w_sites in
+  let n_sites = Array.length sites in
+  for s = 0 to n_sites - 1 do
+    let st = sites.(s) in
+    inj_mask.(st.s_net) <- st.s_mask;
+    inj_val.(st.s_net) <- st.s_val
+  done;
+  let cycles = Sim.trajectory_cycles batch.b_tr in
+  let best_cycle = Array.make (word.w_lanes + 1) max_int in
+  let best_diff = Array.make (word.w_lanes + 1) 0L in
+  let quiet = ref 0 in
+  let n_cls = Array.length batch.b_reps in
+  for cls = 0 to n_cls - 1 do
+    let l = batch.b_reps.(cls) in
+    let members = batch.b_members.(cls) in
+    let alive = ref word.w_lanes_mask in
+    let state_uniform = ref true in
+    let c = ref 0 in
+    while !alive <> 0 && !c < cycles do
+      let gv = Sim.trajectory_values batch.b_tr !c in
+      (* bit l of gv.(n): this pattern lane's recorded good value *)
+      let gbit n =
+        Int64.to_int (Int64.logand (Int64.shift_right_logical gv.(n) l) 1L)
+      in
+      (* quiet cycle: faulty state still equals the good state and every
+         injection is a no-op (each site's stuck lanes equal its good
+         bit), so the whole faulty evaluation equals the good one *)
+      let is_quiet =
+        !state_uniform
+        && (let q = ref true and s = ref 0 in
+            while !q && !s < n_sites do
+              let st = sites.(!s) in
+              if st.s_val <> (if gbit st.s_net = 1 then st.s_mask else 0) then
+                q := false;
+              incr s
+            done;
+            !q)
+      in
+      if is_quiet then incr quiet
+      else begin
+        let support = word.w_support in
+        for i = 0 to Array.length support - 1 do
+          let net = support.(i) in
+          fv.(net) <- - (gbit net)
+        done;
+        let qs = word.w_dff_q in
+        (if !state_uniform then
+           (* good Q values broadcast: gv.(q) holds the pre-latch state
+              this cycle's eval loaded (Q nets are never gate outputs),
+              including the all-zero reset state at cycle 0 *)
+           for i = 0 to Array.length qs - 1 do
+             let q = qs.(i) in
+             fv.(q) <- - (gbit q)
+           done
+         else
+           let ds = word.w_dffs in
+           for i = 0 to Array.length ds - 1 do
+             fv.(qs.(i)) <- fstate.(ds.(i))
+           done);
+        (* source-site injection: sites whose driver is outside the
+           sweep. Base value: the faulty Q plane if the site is a union
+           flip-flop's Q (just loaded above), else the good broadcast —
+           sound because a gate-driven net can only differ from good if
+           its driver is a union gate, and then s_swept holds. *)
+        for s = 0 to n_sites - 1 do
+          let st = sites.(s) in
+          if not st.s_swept then begin
+            let base = if st.s_qload then fv.(st.s_net) else - (gbit st.s_net) in
+            fv.(st.s_net) <- (base land lnot st.s_mask) lor st.s_val
+          end
+        done;
+        let wg = word.w_gates in
+        for i = 0 to Array.length wg - 1 do
+          let gi = wg.(i) in
+          let value =
+            match kind.(gi) with
+            | 0 (* and *) -> fv.(in0.(gi)) land fv.(in1.(gi))
+            | 1 (* or *) -> fv.(in0.(gi)) lor fv.(in1.(gi))
+            | 2 (* nand *) -> lnot (fv.(in0.(gi)) land fv.(in1.(gi)))
+            | 3 (* nor *) -> lnot (fv.(in0.(gi)) lor fv.(in1.(gi)))
+            | 4 (* xor *) -> fv.(in0.(gi)) lxor fv.(in1.(gi))
+            | 5 (* xnor *) -> lnot (fv.(in0.(gi)) lxor fv.(in1.(gi)))
+            | 6 (* not *) -> lnot fv.(in0.(gi))
+            | 7 (* buf *) -> fv.(in0.(gi))
+            | _ (* mux2 *) ->
+              let s = fv.(in0.(gi)) in
+              (lnot s land fv.(in1.(gi))) lor (s land fv.(in2.(gi)))
+          in
+          let o = out.(gi) in
+          let im = inj_mask.(o) in
+          fv.(o) <- (if im = 0 then value else (value land lnot im) lor inj_val.(o))
+        done;
+        let diff = ref 0 in
+        let pos = word.w_pos in
+        for i = 0 to Array.length pos - 1 do
+          let po = pos.(i) in
+          diff := !diff lor (fv.(po) lxor (- (gbit po)))
+        done;
+        let newly = !diff land !alive in
+        if newly <> 0 then begin
+          alive := !alive land lnot newly;
+          let rest = ref newly in
+          while !rest <> 0 do
+            let b = !rest land (- !rest) in
+            rest := !rest land lnot b;
+            let j = bit_index b in
+            if !c < best_cycle.(j) then begin
+              best_cycle.(j) <- !c;
+              best_diff.(j) <- members
+            end
+            else if !c = best_cycle.(j) then
+              best_diff.(j) <- Int64.logor best_diff.(j) members
+          done
+        end;
+        if !alive <> 0 then begin
+          let ds = word.w_dffs and dd = word.w_dff_d in
+          let uniform = ref true in
+          for i = 0 to Array.length ds - 1 do
+            let nv = fv.(dd.(i)) in
+            fstate.(ds.(i)) <- nv;
+            (* good state after this cycle = the good D-input value *)
+            if nv <> (- (gbit dd.(i))) then uniform := false
+          done;
+          state_uniform := !uniform
+        end
+      end;
+      incr c
+    done
+  done;
+  for s = 0 to n_sites - 1 do
+    let st = sites.(s) in
+    inj_mask.(st.s_net) <- 0;
+    inj_val.(st.s_net) <- 0
+  done;
+  Obs.count "sim.words_simulated";
+  Obs.sample "sim.faults_per_word" (float_of_int word.w_lanes);
+  if n_cls > 0 then Obs.count ~by:n_cls "sim.ppsfp_lane_sweeps";
+  if !quiet > 0 then Obs.count ~by:!quiet "sim.ppsfp_quiet_cycles";
+  Array.init word.w_lanes (fun i ->
+      let j = i + 1 in
+      if best_cycle.(j) = max_int then None
+      else Some (best_cycle.(j), best_diff.(j)))
+
+let grade_words ?map t plan batch =
+  let res = Array.make plan.pl_n None in
+  let ids = List.init (Array.length plan.pl_words) (fun w -> w) in
+  let worker w = grade_word t plan batch w in
+  let per_word =
+    match map with None -> List.map worker ids | Some m -> m worker ids
+  in
+  List.iteri
+    (fun w lanes ->
+      let word = plan.pl_words.(w) in
+      Array.iteri
+        (fun i verdict ->
+          Array.iter (fun orig -> res.(orig) <- verdict) word.w_fault_ix.(i))
+        lanes)
+    per_word;
+  res
+
+let grade ?mask ?collapse t tr faults =
+  let pl = plan ?collapse t faults in
+  let b = batch ?mask t tr in
+  grade_words t pl b

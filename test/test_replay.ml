@@ -133,15 +133,21 @@ let datapath bits =
   let etpn = Hlts_etpn.Etpn.build_exn d s binding in
   Hlts_netlist.Expand.circuit etpn ~bits
 
+let strip_times r =
+  { r with Atpg.seconds = 0.0; random_seconds = 0.0; det_seconds = 0.0 }
+
 let test_atpg_engines_identical () =
   let c = datapath 4 in
   let rc = Atpg.run ~engine:`Cone c in
   let rf = Atpg.run ~engine:`Full c in
+  let rp = Atpg.run ~engine:`Ppsfp c in
   (* everything except wall time must be bit-identical *)
-  Alcotest.(check bool) "results identical" true
-    ({ rc with Atpg.seconds = 0.0 } = { rf with Atpg.seconds = 0.0 });
+  Alcotest.(check bool) "cone = full" true (strip_times rc = strip_times rf);
+  Alcotest.(check bool) "ppsfp = cone" true (strip_times rp = strip_times rc);
   Alcotest.(check string) "digests equal" rc.Atpg.detect_digest
-    rf.Atpg.detect_digest
+    rf.Atpg.detect_digest;
+  Alcotest.(check string) "ppsfp digest equal" rc.Atpg.detect_digest
+    rp.Atpg.detect_digest
 
 let test_atpg_digest_stable () =
   let c = datapath 4 in
