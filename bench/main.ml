@@ -10,12 +10,13 @@ module Flows = Hlts_synth.Flows
 module Eval = Hlts_eval.Eval
 module Render = Hlts_eval.Render
 module Experiments = Hlts_eval.Experiments
+module Pool = Hlts_pool.Pool
 
 let usage =
-  "bench/main.exe [--table 1|2|3|extra] [-j N] [--figure 1|2|3] \
-   [--ablation params|balance] [--bechamel] [--trace FILE] [--seed N] \
-   [--json FILE] [--json-bench NAMES] [--json-atpg FILE] \
-   [--json-atpg-oracle] [--all]"
+  "bench/main.exe [--table 1|2|3|extra] [-j N] [--backend fork|domains] \
+   [--figure 1|2|3] [--ablation params|balance] [--bechamel] [--trace FILE] \
+   [--seed N] [--json FILE] [--json-bench NAMES] [--json-pool FILE] \
+   [--json-atpg FILE] [--json-atpg-oracle] [--all]"
 
 let atpg_config seed = { Hlts_atpg.Atpg.default_config with Hlts_atpg.Atpg.seed }
 
@@ -24,24 +25,24 @@ let elapsed label f =
   Hlts_obs.span ~cat:"bench" label (fun _ -> f ());
   Printf.printf "[%.1fs]\n%!" (Hlts_obs.Clock.seconds_since t0)
 
-let run_table ?jobs seed which =
+let run_table ?jobs ?backend seed which =
   let atpg = atpg_config seed in
   match which with
   | "1" ->
     elapsed "table1" (fun () ->
         Render.table Format.std_formatter
           ~title:"Table 1: area-optimized Ex benchmark"
-          (Experiments.table1 ~atpg ?jobs ()))
+          (Experiments.table1 ~atpg ?jobs ?backend ()))
   | "2" ->
     elapsed "table2" (fun () ->
         Render.table Format.std_formatter ~with_area:true
           ~title:"Table 2: area-optimized Dct benchmark"
-          (Experiments.table2 ~atpg ?jobs ()))
+          (Experiments.table2 ~atpg ?jobs ?backend ()))
   | "3" ->
     elapsed "table3" (fun () ->
         Render.table Format.std_formatter ~with_area:true
           ~title:"Table 3: area-optimized Diffeq benchmark"
-          (Experiments.table3 ~atpg ?jobs ()))
+          (Experiments.table3 ~atpg ?jobs ?backend ()))
   | "extra" ->
     elapsed "table-extra" (fun () ->
         List.iter
@@ -49,7 +50,7 @@ let run_table ?jobs seed which =
             Render.table Format.std_formatter ~with_area:true
               ~title:(Printf.sprintf "Extra (X1): %s benchmark at 8 bit" name)
               rows)
-          (Experiments.extra_rows ~atpg ?jobs ()))
+          (Experiments.extra_rows ~atpg ?jobs ?backend ()))
   | other -> Printf.eprintf "unknown table %S\n" other
 
 let run_figure which =
@@ -182,6 +183,24 @@ let synthetic_bits = 8
 
 let synthetic_jobs = [ 1; 4 ]
 
+(* One run per (backend, jobs) pair, fork before domains: the OCaml 5
+   runtime refuses to fork once a domain has been spawned, so the
+   backend-major order is load-bearing, not cosmetic. [-j 1] never
+   starts a pool — it is the serial path regardless of backend — so it
+   appears once, labelled "serial". *)
+let synthetic_runs () =
+  (None, 1)
+  :: (Some Pool.Fork, 4)
+  ::
+  (if Pool.backend_available Pool.Domains then [ (Some Pool.Domains, 4) ]
+   else [])
+
+let backend_label ~jobs backend =
+  if jobs <= 1 then "serial"
+  else
+    Pool.backend_name
+      (match backend with Some b -> b | None -> Pool.default_backend ())
+
 (* Host metadata stamped into both BENCH documents: the wall-clock
    fields are only meaningful relative to the machine and toolchain
    that produced them. Everything deterministic is elsewhere. *)
@@ -232,13 +251,13 @@ let records_digest records =
   in
   Digest.to_hex (Digest.string (String.concat "\n" (List.map line records)))
 
-let json_entry ?(jobs = 1) name dfg bits =
+let json_entry ?(jobs = 1) ?backend name dfg bits =
   let summary = Hlts_obs.Summary.create () in
   let params = { Synth.default_params with Synth.bits } in
   let t0 = Hlts_obs.Clock.now_ns () in
   let r =
     Hlts_obs.with_sink (Hlts_obs.Summary.sink summary) (fun () ->
-        Synth.run ~params ~jobs dfg)
+        Synth.run ~params ~jobs ?backend dfg)
   in
   let wall_s = Hlts_obs.Clock.seconds_since t0 in
   let counter = Hlts_obs.Summary.counter summary in
@@ -249,6 +268,7 @@ let json_entry ?(jobs = 1) name dfg bits =
         ("name", Str name);
         ("bits", Int bits);
         ("jobs", Int jobs);
+        ("backend", Str (backend_label ~jobs backend));
         ("wall_s", Float wall_s);
         ("iterations", Int r.Synth.iterations);
         ("merge_attempts", Int (counter "synth.merge_attempts"));
@@ -296,45 +316,47 @@ let run_json ~only file =
           json_widths)
       selected
   in
-  (* One entry per (synthetic, jobs); the merge trajectory must not
-     depend on the worker count, so a digest disagreement aborts the
-     benchmark rather than committing an invalid file. *)
+  (* One entry per (synthetic, backend, jobs), iterated backend-major
+     so every fork pool precedes the first domains pool (see
+     [synthetic_runs]); the merge trajectory must depend on neither the
+     worker count nor the transport, so a digest disagreement aborts
+     the benchmark rather than committing an invalid file. *)
   let synthetic_entries =
+    let serial_digest = Hashtbl.create 4 and serial_wall = Hashtbl.create 4 in
     List.concat_map
-      (fun (name, dfg) ->
-        let runs =
-          List.map
-            (fun jobs ->
-              Printf.printf "json: %s @ %d bit -j %d...%!" name synthetic_bits
-                jobs;
-              let e, digest, wall = json_entry ~jobs name dfg synthetic_bits in
-              Printf.printf " done [%.1fs]\n%!" wall;
-              (jobs, e, digest, wall))
-            synthetic_jobs
-        in
-        (match runs with
-        | (_, _, d0, w0) :: rest ->
-          List.iter
-            (fun (jobs, _, d, w) ->
-              if d <> d0 then
+      (fun (backend, jobs) ->
+        List.map
+          (fun (name, dfg) ->
+            let label = backend_label ~jobs backend in
+            Printf.printf "json: %s @ %d bit -j %d (%s)...%!" name
+              synthetic_bits jobs label;
+            let e, digest, wall =
+              json_entry ~jobs ?backend name dfg synthetic_bits
+            in
+            Printf.printf " done [%.1fs]\n%!" wall;
+            (match Hashtbl.find_opt serial_digest name with
+            | None ->
+              Hashtbl.add serial_digest name digest;
+              Hashtbl.add serial_wall name wall
+            | Some d0 ->
+              if digest <> d0 then
                 failwith
                   (Printf.sprintf
-                     "%s: -j %d digest %s differs from -j 1 digest %s" name
-                     jobs d d0);
-              if jobs > 1 then
-                Printf.printf "json: %s speedup at -j %d: %.2fx\n%!" name jobs
-                  (w0 /. w))
-            rest
-        | [] -> ());
-        List.map (fun (_, e, _, _) -> e) runs)
-      selected_syn
+                     "%s: -j %d (%s) digest %s differs from -j 1 digest %s"
+                     name jobs label digest d0);
+              Printf.printf "json: %s speedup at -j %d (%s): %.2fx\n%!" name
+                jobs label
+                (Hashtbl.find serial_wall name /. wall));
+            e)
+          selected_syn)
+      (synthetic_runs ())
   in
   let entries = paper_entries @ synthetic_entries in
   let doc =
     Hlts_obs.Json.(
       Obj
         [
-          ("schema", Str "hlts-bench-synth/4");
+          ("schema", Str "hlts-bench-synth/5");
           ("host", host_json ~jobs:synthetic_jobs);
           ("res", res_json ());
           ("benchmarks", List entries);
@@ -345,6 +367,143 @@ let run_json ~only file =
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s (%d entries)\n%!" file (List.length entries)
+
+(* --- JSON pool microbenchmark (BENCH_pool.json) --------------------- *)
+
+(* Transport-level costs of the two pool backends on this host:
+   dispatch throughput on no-op tasks, single-task round-trip latency,
+   framed bytes for payload-carrying replies, and the framed bytes of
+   an instrumented (tally-shipping) task versus the same task on a
+   passive pool. The last pair quantifies the slim-fork path: an
+   uninstrumented fork worker never captures, so every reply carries
+   the physically shared empty tally, which Marshal's within-message
+   sharing collapses to a back-reference. The domains transport frames
+   nothing in any scenario (bytes are 0 by construction).
+
+   Everything here is wall-clock and host-dependent; nothing is
+   asserted or drift-gated. Backends run fork-major because the OCaml 5
+   runtime refuses to fork once a domain has been spawned. The passive
+   tally scenario assumes no ambient sink, so run --json-pool without
+   --trace. *)
+
+let pool_tally_task n =
+  Hlts_obs.span ~cat:"bench" "pool.task" (fun _ ->
+      Hlts_obs.count "bench.pool.tasks";
+      Hlts_obs.count ~by:n "bench.pool.sum";
+      Hlts_obs.sample "bench.pool.item" (float_of_int n);
+      Hlts_obs.gauge "bench.pool.depth" (float_of_int (n mod 7));
+      n)
+
+let run_json_pool file =
+  let backends =
+    (Pool.Fork, "fork")
+    ::
+    (if Pool.backend_available Pool.Domains then [ (Pool.Domains, "domains") ]
+     else [])
+  in
+  let jobs = 4 in
+  let timed k =
+    let t0 = Hlts_obs.Clock.now_ns () in
+    k ();
+    Hlts_obs.Clock.seconds_since t0
+  in
+  let entry bname scenario tasks (wall_s, (bytes_out, bytes_in)) =
+    Printf.printf "json-pool: %s %s: %d tasks in %.3fs\n%!" bname scenario
+      tasks wall_s;
+    let open Hlts_obs.Json in
+    Obj
+      [
+        ("backend", Str bname);
+        ("scenario", Str scenario);
+        ("jobs", Int jobs);
+        ("tasks", Int tasks);
+        ("wall_s", Float wall_s);
+        ( "tasks_per_s",
+          Float (if wall_s > 0.0 then float_of_int tasks /. wall_s else 0.0) );
+        ("task_us", Float (wall_s *. 1e6 /. float_of_int tasks));
+        ("bytes_out", Int bytes_out);
+        ("bytes_in", Int bytes_in);
+        ( "reply_bytes_per_task",
+          Float (float_of_int bytes_in /. float_of_int tasks) );
+      ]
+  in
+  let scenarios (backend, bname) =
+    (* pipelined dispatch: minimal task and payload *)
+    let noop =
+      let n = 2000 in
+      entry bname "noop" n
+        ( Pool.with_pool ~name:"bench.pool" ~backend ~jobs (fun (i : int) -> i)
+        @@ fun pool ->
+          let w =
+            timed (fun () -> ignore (Pool.map pool (List.init n Fun.id)))
+          in
+          (w, Pool.io_bytes pool) )
+    in
+    (* one task in flight at a time: submit-to-await round-trip *)
+    let roundtrip =
+      let n = 400 in
+      entry bname "roundtrip" n
+        ( Pool.with_pool ~name:"bench.pool" ~backend ~jobs (fun (i : int) -> i)
+        @@ fun pool ->
+          let w =
+            timed (fun () ->
+                for i = 1 to n do
+                  ignore (Pool.await pool (Pool.submit pool i))
+                done)
+          in
+          (w, Pool.io_bytes pool) )
+    in
+    (* 64 KiB replies: framing cost of payload-carrying results *)
+    let payload =
+      let n = 128 in
+      entry bname "payload64k" n
+        ( Pool.with_pool ~name:"bench.pool" ~backend ~jobs (fun i ->
+              String.make 65536 (Char.chr (i land 0xff)))
+        @@ fun pool ->
+          let w =
+            timed (fun () -> ignore (Pool.map pool (List.init n Fun.id)))
+          in
+          (w, Pool.io_bytes pool) )
+    in
+    (* tally shipping, passive vs instrumented: the bytes_in spread is
+       the slim-fork saving *)
+    let tally ~instrument =
+      let n = 512 in
+      let body () =
+        Pool.with_pool ~name:"bench.pool" ~backend ~jobs pool_tally_task
+        @@ fun pool ->
+        let w = timed (fun () -> ignore (Pool.map pool (List.init n Fun.id))) in
+        (w, Pool.io_bytes pool)
+      in
+      entry bname
+        (if instrument then "tally_instrumented" else "tally_passive")
+        n
+        (if instrument then
+           Hlts_obs.with_sink
+             (Hlts_obs.Summary.sink (Hlts_obs.Summary.create ()))
+             body
+         else body ())
+    in
+    let tally_passive = tally ~instrument:false in
+    let tally_instrumented = tally ~instrument:true in
+    [ noop; roundtrip; payload; tally_passive; tally_instrumented ]
+  in
+  let entries = List.concat_map scenarios backends in
+  let doc =
+    Hlts_obs.Json.(
+      Obj
+        [
+          ("schema", Str "hlts-bench-pool/1");
+          ("host", host_json ~jobs:[ jobs ]);
+          ("res", res_json ());
+          ("scenarios", List entries);
+        ])
+  in
+  let oc = open_out file in
+  output_string oc (Hlts_obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d scenarios)\n%!" file (List.length entries)
 
 (* --- JSON ATPG perf trajectory (BENCH_atpg.json) -------------------- *)
 
@@ -542,6 +701,7 @@ let run_bechamel () =
 let () =
   let seed = ref 1 in
   let jobs = ref None in
+  let backend = ref None in
   let json_only = ref [] in
   let atpg_oracle = ref false in
   let atpg_widths = ref json_widths in
@@ -550,9 +710,9 @@ let () =
   let add f = actions := f :: !actions in
   let all seed =
     run_figure "1";
-    List.iter (run_table ?jobs:!jobs seed) [ "1"; "2"; "3" ];
+    List.iter (run_table ?jobs:!jobs ?backend:!backend seed) [ "1"; "2"; "3" ];
     List.iter run_figure [ "2"; "3" ];
-    run_table ?jobs:!jobs seed "extra";
+    run_table ?jobs:!jobs ?backend:!backend seed "extra";
     run_ablation seed "params";
     run_ablation seed "balance";
     run_ablation seed "latency";
@@ -563,11 +723,21 @@ let () =
   let spec =
     [
       ( "--table",
-        Arg.String (fun s -> add (fun () -> run_table ?jobs:!jobs !seed s)),
+        Arg.String
+          (fun s ->
+            add (fun () -> run_table ?jobs:!jobs ?backend:!backend !seed s)),
         "TABLE  regenerate one table (1|2|3|extra)" );
       ( "-j",
         Arg.Int (fun n -> jobs := Some n),
-        "N      fork N workers for the table ATPG cells (also: HLTS_JOBS)" );
+        "N      run N pool workers for the table ATPG cells (also: HLTS_JOBS)" );
+      ( "--backend",
+        Arg.String
+          (fun s ->
+            match Pool.backend_of_string s with
+            | Ok b -> backend := Some b
+            | Error msg -> raise (Arg.Bad msg)),
+        "NAME   pool transport for -j runs: fork or domains \
+         (also: HLTS_BACKEND)" );
       ( "--figure",
         Arg.String (fun s -> add (fun () -> run_figure s)),
         "FIG    regenerate one figure (1|2|3)" );
@@ -585,6 +755,9 @@ let () =
         Arg.String
           (fun s -> json_only := String.split_on_char ',' s),
         "NAMES  restrict --json to a comma-separated benchmark subset" );
+      ( "--json-pool",
+        Arg.String (fun f -> add (fun () -> run_json_pool f)),
+        "FILE   write the pool transport microbenchmark (BENCH_pool.json)" );
       ( "--json-atpg",
         Arg.String
           (fun f ->

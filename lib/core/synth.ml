@@ -256,22 +256,37 @@ type wtask =
   | W_try of Candidates.pair list
 
 (* Per attempt: (delta_e, delta_h, post-merge schedule length) — [None]
-   = infeasible — plus the counters the attempt emitted in the worker. *)
-type wreply = ((int * float * int) option * Pool.tally) list
+   = infeasible — plus, on shared-heap transports only, the full
+   outcome by reference (a forked worker strips it: the outcome's state
+   holds closures and lazies no Marshal frame can carry, and shipping
+   it serialized is the very cost the slim triples exist to avoid), and
+   the counters the attempt emitted in the worker. *)
+type wreply =
+  ((int * float * int) option * Merge.outcome option * Pool.tally) list
 
 (* The pooled mirror of [step]. The top-k attempts run concurrently;
-   the widening scan evaluates [jobs * k] candidates speculatively per
-   chunk and commits the first acceptable one in score order. Cost and
-   acceptability are computed from the shipped deltas with the same
-   float expressions as [metrics], so the winner is the one the
-   sequential scan would pick; the parent then re-executes exactly that
-   attempt to materialize the outcome (deterministic, so bit-identical
-   to the worker's evaluation). Worker tallies are replayed into the
+   the widening scan evaluates [parallelism * k] candidates
+   speculatively per chunk and commits the first acceptable one in
+   score order. Chunks scale with {!Pool.parallelism}, not [jobs]:
+   speculation is only free when spare hardware absorbs it, and when
+   the pool executes its lanes sequentially (the domains backend's
+   inline mode on one core) a chunk of one makes the scan evaluate
+   exactly what the serial scan would — measured on the 1-core box,
+   jobs-sized chunks wasted ~0.5 GB of allocation per run on feasible
+   mergers the scan never read. Cost and acceptability are computed
+   from the shipped deltas with the same float expressions as
+   [metrics], so the winner is the one the sequential scan would pick.
+   The winning outcome is taken by reference from the reply when the
+   transport shares the heap (the worker already built it; its
+   evaluation is deterministic, so it {e is} the object the parent
+   would construct), and re-executed parent-side under fork, where the
+   reply could not carry it. Worker tallies are replayed into the
    parent's sinks only for the attempts the sequential scan would have
    made (the whole top-k, and the widened prefix up to the winner); the
-   winner's own counters come from the parent's local re-execution, at
-   the same position in the stream, and later speculation is discarded
-   and accounted as [synth.pool.speculative_waste]. *)
+   winner's own counters come from its replayed tally (zero-copy) or
+   from the parent's re-execution (fork) — identical streams, at the
+   same position — and later speculation is discarded and accounted as
+   [synth.pool.speculative_waste]. *)
 let pool_step params ~budget ~sp ~pool ~iteration state =
   let candidates = score_candidates params ~sp state in
   journal_iter_begin ~iteration ~pool:(List.length candidates);
@@ -285,6 +300,17 @@ let pool_step params ~budget ~sp ~pool ~iteration state =
     | Some o -> o
     | None ->
       invalid_arg "Synth.pool_step: worker and parent disagree on feasibility"
+  in
+  (* The winning attempt's outcome: by reference from the reply when
+     the transport shipped it (replaying its tally — the emissions the
+     parent's re-execution would have made), rebuilt locally when it
+     could not (fork). *)
+  let claim_outcome pair o_opt tally =
+    match o_opt with
+    | Some o ->
+      Pool.replay tally;
+      o
+    | None -> materialize pair
   in
   (* Evaluate [pairs] as contiguous slices of at most [slice] candidates
      per task, all in flight at once; flattening the slice replies in
@@ -302,7 +328,9 @@ let pool_step params ~budget ~sp ~pool ~iteration state =
     List.concat_map
       (fun (s, t) ->
         let (replies : wreply), _task_tally = Pool.await pool t in
-        List.map2 (fun pair (reply, tally) -> (pair, reply, tally)) s replies)
+        List.map2
+          (fun pair (slim, o_opt, tally) -> (pair, slim, o_opt, tally))
+          s replies)
       tickets
   in
   let top, rest = Hlts_util.Listx.split_at params.k candidates in
@@ -310,9 +338,9 @@ let pool_step params ~budget ~sp ~pool ~iteration state =
     (* one candidate per task: the top-k are few and spread widest *)
     let replies = eval_batch ~slice:1 top in
     let acceptable_replies =
-      List.mapi (fun i (_, reply, _) -> (i, reply)) replies
-      |> List.filter_map (fun (i, reply) ->
-             match reply with
+      List.mapi (fun i (_, slim, _, _) -> (i, slim)) replies
+      |> List.filter_map (fun (i, slim) ->
+             match slim with
              | Some d when acceptable_d d -> Some (i, d)
              | Some _ | None -> None)
     in
@@ -321,13 +349,14 @@ let pool_step params ~budget ~sp ~pool ~iteration state =
     in
     let outcome = ref None in
     List.iteri
-      (fun i (pair, _, tally) ->
+      (fun i (pair, _, o_opt, tally) ->
         match winner with
-        | Some (wi, _) when wi = i -> outcome := Some (materialize pair)
+        | Some (wi, _) when wi = i ->
+          outcome := Some (claim_outcome pair o_opt tally)
         | Some _ | None -> Pool.replay tally)
       replies;
     ( Option.map fst winner,
-      List.map (fun (pair, reply, _) -> (pair, reply)) replies,
+      List.map (fun (pair, slim, _, _) -> (pair, slim)) replies,
       !outcome )
   in
   match best_of_top with
@@ -339,7 +368,12 @@ let pool_step params ~budget ~sp ~pool ~iteration state =
     Some (o, c)
   | None ->
     journal_verdicts params ~budget top_slims ~winner:None;
-    let chunk_size = max 1 (Pool.jobs pool * params.k) in
+    (* Speculation width follows the hardware, not the lane count: a
+       sequential pool (parallelism 1) widens one candidate at a time,
+       exactly like the serial scan. *)
+    let par = max 1 (Pool.parallelism pool) in
+    let widen_slice = if par = 1 then 1 else params.k in
+    let chunk_size = if par = 1 then 1 else max 1 (par * params.k) in
     let widened = ref 0 in
     let scanned = ref [] in
     let rec widen_chunks rest =
@@ -347,15 +381,15 @@ let pool_step params ~budget ~sp ~pool ~iteration state =
       | [] -> None
       | _ -> begin
         let chunk, rest' = Hlts_util.Listx.split_at chunk_size rest in
-        let replies = eval_batch ~slice:params.k chunk in
+        let replies = eval_batch ~slice:widen_slice chunk in
         let rec scan = function
           | [] -> None
-          | (pair, reply, tally) :: tl -> begin
+          | (pair, slim, o_opt, tally) :: tl -> begin
             incr widened;
-            scanned := (pair, reply) :: !scanned;
-            match reply with
+            scanned := (pair, slim) :: !scanned;
+            match slim with
             | Some d when acceptable_d d ->
-              let o = materialize pair in
+              let o = claim_outcome pair o_opt tally in
               let waste = List.length tl in
               if waste > 0 then
                 Obs.count ~by:waste "synth.pool.speculative_waste";
@@ -383,7 +417,7 @@ let pool_step params ~budget ~sp ~pool ~iteration state =
       journal_verdicts params ~budget slims_w ~winner:None;
       None)
 
-let run ?(params = default_params) ?jobs dfg =
+let run ?(params = default_params) ?jobs ?backend dfg =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   Obs.span ~cat:"synth" ~res:true "synth.run" @@ fun run_sp ->
   let critical_path = Hlts_dfg.Dfg.longest_chain dfg in
@@ -452,18 +486,60 @@ let run ?(params = default_params) ?jobs dfg =
     loop state0 [] 0
   in
   let final, records, iterations =
-    if jobs > 1 && Pool.available && not (Pool.in_worker ()) then begin
-      (* Force the initial state's derived views before forking so the
-         workers share them copy-on-write for iteration 0 (no counters
-         are emitted by the forcing, so observability is unchanged). *)
+    (* Serial fallback only when parallelism is impossible or nobody
+       asked for a specific backend; an explicit [?backend] or
+       [HLTS_BACKEND] request is handed to [Pool.create] so that an
+       unavailable backend fails loudly instead of silently running
+       serial. *)
+    if
+      jobs > 1
+      && (not (Pool.in_worker ()))
+      && (backend <> None
+         || Sys.getenv_opt "HLTS_BACKEND" <> None
+         || Pool.backend_available (Pool.default_backend ()))
+    then begin
+      (* Force the initial state's derived views before the workers
+         start so they share them already-evaluated — copy-on-write
+         under fork, and race-free under domains: forcing the shared
+         lazies here happens-before every Domain.spawn, so workers only
+         ever read them forced (no counters are emitted by the forcing,
+         so observability is unchanged). *)
       ignore (State.execution_time state0);
       ignore (State.area state0 ~bits:params.bits);
-      let worker_state = ref state0 in
+      (* One base-state slot per sharing group, not per lane and not a
+         single shared ref: a [W_state]-built state carries
+         unsynchronized lazy caches, so it must never be visible to two
+         concurrent workers — but lanes in the same group run
+         sequentially, so they can share one copy. Under fork each lane
+         is its own group (the child copy-on-writes the whole array
+         anyway); under domains the lanes served by one domain share a
+         single re-based state, which also means its closure/memo
+         caches warm once per domain per iteration instead of once per
+         lane. *)
+      let worker_states = Array.make jobs state0 in
       (* Each attempt is evaluated under its own capture sink so its
          counters travel back individually: the parent replays only the
          attempts the sequential scan would have made, at slice
-         granularity that split would otherwise be lost. *)
-      let try_one pair =
+         granularity that split would otherwise be lost. In an
+         uninstrumented run the pool installs no capture sink in the
+         worker, [Obs.enabled ()] is false here, and the per-attempt
+         capture is skipped entirely — every attempt shares one empty
+         tally, which also keeps the fork transport's reply frames
+         slim. *)
+      let empty_tally =
+        { Pool.counts = []; samples = []; gauges = []; decisions = [] }
+      in
+      (* On shared-heap transports the full outcome rides the reply by
+         reference — the parent commits the worker's object instead of
+         re-evaluating the winner; a forked worker must strip it (the
+         reply is marshalled). *)
+      let keep o = if Pool.in_forked_worker () then None else Some o in
+      let try_one base pair =
+        if not (Obs.enabled ()) then (
+          match attempt base ~bits:params.bits pair with
+          | None -> (None, None, empty_tally)
+          | Some o -> (Some (slim_of_outcome o), keep o, empty_tally))
+        else
         let counts = ref [] and samples = ref [] and gauges = ref [] in
         let decisions = ref [] in
         let capture =
@@ -481,13 +557,14 @@ let run ?(params = default_params) ?jobs dfg =
             flush = ignore;
           }
         in
-        let slim =
+        let slim, o_opt =
           Obs.with_sink capture (fun () ->
-              match attempt !worker_state ~bits:params.bits pair with
-              | None -> None
-              | Some o -> Some (slim_of_outcome o))
+              match attempt base ~bits:params.bits pair with
+              | None -> (None, None)
+              | Some o -> (Some (slim_of_outcome o), keep o))
         in
         ( slim,
+          o_opt,
           {
             Pool.counts = List.rev !counts;
             samples = List.rev !samples;
@@ -501,14 +578,16 @@ let run ?(params = default_params) ?jobs dfg =
              come seeded over the wire: without them each worker would
              rebuild the committed design's ETPN once per iteration
              just to recompute two numbers the parent already has. *)
-          worker_state :=
+          worker_states.(Pool.worker_group ()) <-
             State.make ~etime
               ~area:[ (params.bits, area) ]
               ~dfg ~cons ~schedule ~binding ();
           []
-        | W_try pairs -> List.map try_one pairs
+        | W_try pairs ->
+          let base = worker_states.(Pool.worker_group ()) in
+          List.map (try_one base) pairs
       in
-      Pool.with_pool ~name:"synth.pool" ~jobs wf @@ fun pool ->
+      Pool.with_pool ~name:"synth.pool" ?backend ~jobs wf @@ fun pool ->
       loop
         ~step_fn:(fun ~sp ~iteration state ->
           pool_step params ~budget ~sp ~pool ~iteration state)

@@ -27,15 +27,24 @@ type value =
    run) replaces the O(ops) list scan. A short MRU list rather than a
    single entry: evaluation pipelines interleave a handful of designs. *)
 let op_index =
-  let cache : (t * (int, operation) Hashtbl.t) list ref = ref [] in
+  (* Atomic, not a plain ref: domain workers index shared DFGs
+     concurrently, and an unsynchronized read of a half-published
+     Hashtbl has no happens-before edge. CAS publishes a fully built
+     index; a lost race merely rebuilds a duplicate (both are valid). *)
+  let cache : (t * (int, operation) Hashtbl.t) list Atomic.t = Atomic.make [] in
   fun t ->
-    match List.find_opt (fun (key, _) -> key == t) !cache with
+    match List.find_opt (fun (key, _) -> key == t) (Atomic.get cache) with
     | Some (_, index) -> index
     | None ->
       let index = Hashtbl.create (2 * List.length t.ops) in
       List.iter (fun o -> Hashtbl.replace index o.id o) t.ops;
       let keep = function a :: b :: c :: _ -> [ a; b; c ] | l -> l in
-      cache := (t, index) :: keep !cache;
+      let rec publish () =
+        let cur = Atomic.get cache in
+        if not (Atomic.compare_and_set cache cur ((t, index) :: keep cur)) then
+          publish ()
+      in
+      publish ();
       index
 
 let op_by_id t id = Hashtbl.find (op_index t) id

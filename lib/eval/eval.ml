@@ -37,9 +37,9 @@ let params_for_bits bits =
   | 16 -> { base with Synth.alpha = 1.0; beta = 10.0; bits }
   | _ -> { base with Synth.bits }
 
-let outcome ?params ?jobs approach dfg ~bits =
+let outcome ?params ?jobs ?backend approach dfg ~bits =
   let params = Option.value ~default:(params_for_bits bits) params in
-  Flows.synthesize ~params ?jobs approach dfg
+  Flows.synthesize ~params ?jobs ?backend approach dfg
 
 let module_listing binding =
   List.map
@@ -57,14 +57,14 @@ let register_listing dfg binding =
            (List.map (Dfg.value_name dfg) reg.Binding.reg_values)))
     binding.Binding.registers
 
-let evaluate_outcome ?(atpg = Atpg.default_config) ?engine ?jobs
+let evaluate_outcome ?(atpg = Atpg.default_config) ?engine ?jobs ?backend
     (o : Flows.outcome) ~bits =
   let etpn = o.Flows.etpn in
   let dfg = o.Flows.state.State.dfg in
   let stats = Etpn.stats etpn in
   let analysis = Testability.analyze etpn in
   let circuit = Hlts_netlist.Expand.circuit etpn ~bits in
-  let r = Atpg.run ~config:atpg ?engine ?jobs circuit in
+  let r = Atpg.run ~config:atpg ?engine ?jobs ?backend circuit in
   {
     approach = o.Flows.approach;
     bits;
@@ -86,6 +86,7 @@ let evaluate_outcome ?(atpg = Atpg.default_config) ?engine ?jobs
     detect_digest = r.Atpg.detect_digest;
   }
 
-let evaluate ?params ?atpg ?engine ?jobs approach dfg ~bits =
-  evaluate_outcome ?atpg ?engine ?jobs (outcome ?params approach dfg ~bits)
+let evaluate ?params ?atpg ?engine ?jobs ?backend approach dfg ~bits =
+  evaluate_outcome ?atpg ?engine ?jobs ?backend
+    (outcome ?params ?backend approach dfg ~bits)
     ~bits

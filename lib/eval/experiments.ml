@@ -16,7 +16,7 @@ let widths = [ 4; 8; 16 ]
    over [Par.map], which with [jobs <= 1] is exactly [List.map] — the
    serial path — and otherwise forks workers and merges in the same
    cell order, so the rows are identical for every job count. *)
-let table_rows ?atpg ?jobs dfg =
+let table_rows ?atpg ?jobs ?backend dfg =
   let params = { Synth.default_params with Synth.bits = 8 } in
   let cells =
     List.concat_map
@@ -25,15 +25,17 @@ let table_rows ?atpg ?jobs dfg =
         List.map (fun bits -> (o, bits)) widths)
       approaches
   in
-  Par.map ?jobs (fun (o, bits) -> Eval.evaluate_outcome ?atpg o ~bits) cells
+  Par.map ?jobs ?backend
+    (fun (o, bits) -> Eval.evaluate_outcome ?atpg o ~bits)
+    cells
 
-let table1 ?atpg ?jobs () = table_rows ?atpg ?jobs B.ex
-let table2 ?atpg ?jobs () = table_rows ?atpg ?jobs B.dct
-let table3 ?atpg ?jobs () = table_rows ?atpg ?jobs B.diffeq
+let table1 ?atpg ?jobs ?backend () = table_rows ?atpg ?jobs ?backend B.ex
+let table2 ?atpg ?jobs ?backend () = table_rows ?atpg ?jobs ?backend B.dct
+let table3 ?atpg ?jobs ?backend () = table_rows ?atpg ?jobs ?backend B.diffeq
 
 let extra_benches = [ ("ewf", B.ewf); ("paulin", B.paulin); ("tseng", B.tseng) ]
 
-let extra_rows ?atpg ?jobs () =
+let extra_rows ?atpg ?jobs ?backend () =
   let params = { Synth.default_params with Synth.bits = 8 } in
   let cells =
     List.concat_map
@@ -41,7 +43,8 @@ let extra_rows ?atpg ?jobs () =
       extra_benches
   in
   let rows =
-    Par.map ?jobs (fun (dfg, a) -> Eval.evaluate ~params ?atpg a dfg ~bits:8)
+    Par.map ?jobs ?backend
+      (fun (dfg, a) -> Eval.evaluate ~params ?atpg a dfg ~bits:8)
       cells
   in
   (* regroup the flat cell list: one row per approach, benchmark-major *)

@@ -8,26 +8,34 @@ val widths : int list
 (** 4, 8, 16 — the paper's implementations. *)
 
 val table_rows :
-  ?atpg:Hlts_atpg.Atpg.config -> ?jobs:int -> Hlts_dfg.Dfg.t -> Eval.row list
+  ?atpg:Hlts_atpg.Atpg.config -> ?jobs:int ->
+  ?backend:Hlts_pool.Pool.backend -> Hlts_dfg.Dfg.t -> Eval.row list
 (** All approaches at all widths for one benchmark: the body of
     Tables 1, 2, 3. Rows are grouped by approach, widths ascending.
     [jobs] fans the (approach, width) ATPG cells out over that many
-    forked workers ({!Par.map}); the default is [Par.default_jobs ()]
-    ([HLTS_JOBS], else 1 = the exact in-process serial path). The rows
-    are identical for every job count. *)
+    pool workers on [backend] ({!Par.map}); the default is
+    [Par.default_jobs ()] ([HLTS_JOBS], else 1 = the exact in-process
+    serial path). The rows are identical for every job count and
+    backend. *)
 
-val table1 : ?atpg:Hlts_atpg.Atpg.config -> ?jobs:int -> unit -> Eval.row list
+val table1 :
+  ?atpg:Hlts_atpg.Atpg.config -> ?jobs:int ->
+  ?backend:Hlts_pool.Pool.backend -> unit -> Eval.row list
 (** Ex benchmark (Table 1). *)
 
-val table2 : ?atpg:Hlts_atpg.Atpg.config -> ?jobs:int -> unit -> Eval.row list
+val table2 :
+  ?atpg:Hlts_atpg.Atpg.config -> ?jobs:int ->
+  ?backend:Hlts_pool.Pool.backend -> unit -> Eval.row list
 (** Dct benchmark (Table 2). *)
 
-val table3 : ?atpg:Hlts_atpg.Atpg.config -> ?jobs:int -> unit -> Eval.row list
+val table3 :
+  ?atpg:Hlts_atpg.Atpg.config -> ?jobs:int ->
+  ?backend:Hlts_pool.Pool.backend -> unit -> Eval.row list
 (** Diffeq benchmark (Table 3). *)
 
 val extra_rows :
-  ?atpg:Hlts_atpg.Atpg.config -> ?jobs:int -> unit ->
-  (string * Eval.row list) list
+  ?atpg:Hlts_atpg.Atpg.config -> ?jobs:int ->
+  ?backend:Hlts_pool.Pool.backend -> unit -> (string * Eval.row list) list
 (** EWF, Paulin and Tseng at 8 bits (experiment X1: the benchmarks the
     paper ran but omitted for space). [jobs] as in {!table_rows}. *)
 

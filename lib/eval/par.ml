@@ -4,15 +4,21 @@ let available = Pool.available
 
 let default_jobs = Pool.default_jobs
 
-let map ?jobs f xs =
+let map ?jobs ?backend f xs =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
-  if jobs <= 1 || not available || Pool.in_worker () || List.length xs <= 1
+  let usable =
+    backend <> None
+    || Sys.getenv_opt "HLTS_BACKEND" <> None
+    || Pool.backend_available (Pool.default_backend ())
+  in
+  if jobs <= 1 || not usable || Pool.in_worker () || List.length xs <= 1
   then List.map f xs
   else
-    (* Ship indices, not items: the items are inherited copy-on-write by
-       the forked workers, so they may contain closures and unforced lazies
-       (e.g. [Eval.outcome]) that [Marshal] would reject. *)
+    (* Ship indices, not items: the items may contain closures and
+       unforced lazies (e.g. [Eval.outcome]) that [Marshal] would
+       reject — forked workers inherit them copy-on-write, domains see
+       them directly through the shared array. *)
     let arr = Array.of_list xs in
-    Pool.with_pool ~name:"par.pool" ~jobs:(min jobs (Array.length arr))
+    Pool.with_pool ~name:"par.pool" ?backend ~jobs:(min jobs (Array.length arr))
       (fun i -> f arr.(i))
       (fun pool -> Pool.map pool (List.init (Array.length arr) Fun.id))

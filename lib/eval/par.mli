@@ -1,14 +1,14 @@
-(** Fork-based parallel map for experiment cells — a thin veneer over
-    the shared persistent worker pool ({!Pool}).
+(** Parallel map for experiment cells — a thin veneer over the shared
+    persistent worker pool ({!Pool}).
 
-    Works on every OCaml the repo targets (4.14 and 5.x) without
-    Domains: workers are [Unix.fork] children that stream marshalled
-    [(index, result)] pairs back over a pipe, and the parent merges
-    them in input order — so the output is deterministic and
-    byte-identical to the serial path regardless of worker scheduling.
+    Runs on whichever pool backend is selected (fork + pipe + Marshal
+    everywhere; shared-memory domains on OCaml 5): workers stream
+    [(index, result)] pairs back and the parent merges them in input
+    order — so the output is deterministic and byte-identical to the
+    serial path regardless of worker scheduling or backend.
 
     With [jobs <= 1] (the default unless [HLTS_JOBS] says otherwise)
-    no process is ever forked: {!map} is exactly [List.map], the
+    no worker is ever started: {!map} is exactly [List.map], the
     in-process serial path. The same serial fallback applies when the
     caller is itself a pool worker, so parallelism never nests. Worker
     counters and samples are captured per task and replayed into the
@@ -20,9 +20,13 @@ val available : bool
 val default_jobs : unit -> int
 (** The [HLTS_JOBS] environment variable as an int, else 1. *)
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map :
+  ?jobs:int -> ?backend:Hlts_pool.Pool.backend -> ('a -> 'b) -> 'a list ->
+  'b list
 (** [map ~jobs f xs] is [List.map f xs], computed by up to [jobs]
-    pool workers (item [i] goes to worker [i mod jobs]); results are
-    returned in input order. A worker exception or death fails the
-    whole map with [Failure]. [f]'s results must be marshallable
-    (no closures). *)
+    pool workers (item [i] goes to worker [i mod jobs]) on [backend]
+    (default: [Pool.default_backend ()]); results are returned in input
+    order. A worker exception or death fails the whole map with
+    [Failure]. Under the fork backend [f]'s results must be
+    marshallable (no closures).
+    @raise Invalid_argument as {!Hlts_pool.Pool.create}. *)

@@ -1,6 +1,6 @@
 module Obs = Hlts_obs
 
-let available = Sys.os_type = "Unix"
+let available = Pool_fork.available
 
 let default_jobs () =
   match Sys.getenv_opt "HLTS_JOBS" with
@@ -10,37 +10,63 @@ let default_jobs () =
     | Some n when n > 1 -> n
     | Some _ | None -> 1)
 
-let worker_flag = ref false
+(* --- backend selection -------------------------------------------------- *)
 
-let in_worker () = !worker_flag
+type backend = Fork | Domains
 
-(* Parent-side pipe ends of every live pool in this process. A freshly
-   forked worker closes them all: a child holding another pool's write
-   end open would keep that pool's workers from ever seeing EOF. *)
-let live_fds : (Unix.file_descr, unit) Hashtbl.t = Hashtbl.create 16
+let backend_name = function Fork -> "fork" | Domains -> "domains"
 
-(* --- wire protocol ------------------------------------------------------ *)
+let backend_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "fork" -> Ok Fork
+  | "domains" -> Ok Domains
+  | other -> Error (Printf.sprintf "unknown pool backend %S (expected fork or domains)" other)
 
-(* Parent -> worker, one marshalled message per task; worker -> parent,
-   one marshalled [(id, result, tally, spans, wres)] quintuple per
-   [Job]. [Ctl] tasks (broadcasts) produce no reply; [Quit] ends the
-   worker loop. *)
-type 'task down =
-  | Job of int * 'task
-  | Ctl of 'task
-  | Quit
+let backend_available = function
+  | Fork -> Pool_fork.available
+  | Domains -> Pool_domains.available
 
-type tally = {
+let domains_unavailable =
+  "Pool.create: domains backend unavailable (OCaml < 5.0 runtime has no Domains; use --backend fork)"
+
+(* HLTS_BACKEND overrides the automatic choice; an explicit (even
+   unavailable) request is honoured so that asking for domains on a
+   4.14 runtime fails loudly in [create] instead of silently forking.
+   Unparseable values fall back to the automatic choice. *)
+let default_backend () =
+  match Sys.getenv_opt "HLTS_BACKEND" with
+  | Some s when String.trim s <> "" -> (
+    match backend_of_string s with
+    | Ok b -> b
+    | Error _ -> if Pool_domains.available then Domains else Fork)
+  | Some _ | None -> if Pool_domains.available then Domains else Fork
+
+let in_worker () = Pool_fork.in_worker () || Pool_domains.in_worker ()
+
+let worker_index () =
+  match Pool_fork.self_index () with
+  | Some i -> i
+  | None -> ( match Pool_domains.self_index () with Some i -> i | None -> 0)
+
+(* Under fork every lane is its own process, so the sharing group is
+   the lane; under domains it is the serving domain's index. *)
+let worker_group () =
+  match Pool_fork.self_index () with
+  | Some i -> i
+  | None -> ( match Pool_domains.self_group () with Some g -> g | None -> 0)
+
+let in_forked_worker () = Pool_fork.self_index () <> None
+
+(* --- the pool ----------------------------------------------------------- *)
+
+type tally = Pool_tally.tally = {
   counts : (string * int) list;
   samples : (string * float) list;
   gauges : (string * float) list;
   decisions : Obs.Journal.event list;
 }
 
-(* Cumulative resource usage of one worker process, riding back with
-   each instrumented reply so parent-side accounting never needs to
-   poke at other pids. *)
-type wres = {
+type wres = Pool_tally.wres = {
   wr_tasks : int;
   wr_utime_s : float;
   wr_stime_s : float;
@@ -53,394 +79,63 @@ type wres = {
 
 type ticket = int
 
-(* --- worker side -------------------------------------------------------- *)
+type ('task, 'res) t =
+  | F of ('task, 'res) Pool_fork.t
+  | D of ('task, 'res) Pool_domains.t
 
-(* Counter deltas summed by name, names in first-emission order. *)
-let aggregate_counts entries =
-  let tbl = Hashtbl.create 8 and order = ref [] in
-  List.iter
-    (fun (name, by) ->
-      match Hashtbl.find_opt tbl name with
-      | None ->
-        order := name :: !order;
-        Hashtbl.add tbl name by
-      | Some n -> Hashtbl.replace tbl name (n + by))
-    entries;
-  List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
-
-(* Last value per gauge name, names in first-emission order. *)
-let aggregate_gauges entries =
-  let tbl = Hashtbl.create 8 and order = ref [] in
-  List.iter
-    (fun (name, v) ->
-      if not (Hashtbl.mem tbl name) then order := name :: !order;
-      Hashtbl.replace tbl name v)
-    entries;
-  List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
-
-let is_res_gauge name = String.length name >= 4 && String.sub name 0 4 = "res."
-
-let child_loop f task_rd res_wr : unit =
-  worker_flag := true;
-  Hashtbl.iter
-    (fun fd () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    live_fds;
-  Hashtbl.reset live_fds;
-  (* The parent keeps the sinks; the worker only captures its own
-     counters, samples, gauges and journal decisions, shipping them back
-     with each reply. Full span records and a resource snapshot travel
-     too, but only when the parent had a sink installed at fork time —
-     an uninstrumented run must not pay for span marshalling or procfs
-     reads. *)
-  let instrumented = Obs.enabled () in
-  Obs.clear_sinks ();
-  let counts = ref [] and samples = ref [] and gauges = ref [] in
-  let decisions = ref [] and spans = ref [] in
-  let capture =
-    {
-      Obs.emit =
-        (function
-          | Obs.Count { name; delta; _ } -> counts := (name, delta) :: !counts
-          | Obs.Sample { name; v; _ } -> samples := (name, v) :: !samples
-          | Obs.Gauge { name; v; _ } ->
-            (* "res." gauges are host-dependent readings; the worker's
-               own resources travel via [wres] instead, so the replayed
-               tally stays deterministic. *)
-            if not (is_res_gauge name) then gauges := (name, v) :: !gauges
-          | Obs.Decision { d; _ } -> decisions := d :: !decisions
-          | Obs.Span_end { name; cat; ts_ns; dur_ns; depth; args } ->
-            if instrumented then
-              spans :=
-                {
-                  Obs.w_name = name;
-                  w_cat = cat;
-                  w_ts_ns = ts_ns;
-                  w_dur_ns = dur_ns;
-                  w_depth = depth;
-                  w_args = args;
-                }
-                :: !spans
-          | _ -> ());
-      flush = ignore;
-    }
-  in
-  Obs.add_sink capture;
-  let ic = Unix.in_channel_of_descr task_rd in
-  let oc = Unix.out_channel_of_descr res_wr in
-  let poisoned = ref None in
-  let served = ref 0 in
-  let reset () =
-    counts := [];
-    samples := [];
-    gauges := [];
-    decisions := [];
-    spans := []
-  in
-  let resources () =
-    if not instrumented then None
-    else begin
-      let s = Obs.Res.snapshot () in
-      Some
-        {
-          wr_tasks = !served;
-          wr_utime_s = s.utime_s;
-          wr_stime_s = s.stime_s;
-          wr_rss_kb = s.rss_kb;
-          wr_max_rss_kb = s.max_rss_kb;
-          wr_minor_words = s.minor_words;
-          wr_major_words = s.major_words;
-          wr_major_collections = s.major_collections;
-        }
-    end
-  in
-  let rec loop () =
-    match (Marshal.from_channel ic : _ down) with
-    | exception End_of_file -> ()
-    | Quit -> ()
-    | Ctl x ->
-      reset ();
-      (match !poisoned with
-      | Some _ -> ()
-      | None -> (
-        try ignore (f x)
-        with e -> poisoned := Some (Printexc.to_string e)));
-      loop ()
-    | Job (id, x) ->
-      reset ();
-      let r =
-        match !poisoned with
-        | Some msg -> Error ("control task failed: " ^ msg)
-        | None -> ( try Ok (f x) with e -> Error (Printexc.to_string e))
-      in
-      incr served;
-      let tally =
-        { counts = aggregate_counts (List.rev !counts);
-          samples = List.rev !samples;
-          gauges = aggregate_gauges (List.rev !gauges);
-          decisions = List.rev !decisions }
-      in
-      Marshal.to_channel oc (id, r, tally, List.rev !spans, resources ()) [];
-      flush oc;
-      loop ()
-  in
-  (try loop () with _ -> ());
-  (try flush oc with _ -> ());
-  Unix._exit 0
-
-(* --- parent side -------------------------------------------------------- *)
-
-type worker = {
-  index : int;  (** 0-based lane for re-stamped spans *)
-  pid : int;
-  task_fd : Unix.file_descr;  (** write end, non-blocking *)
-  res_fd : Unix.file_descr;  (** read end, blocking (read only after select) *)
-  outq : Bytes.t Queue.t;
-  mutable out_off : int;  (** progress into the front of [outq] *)
-  mutable ibuf : Bytes.t;
-  mutable ilen : int;
-  mutable inflight : int;
-  mutable alive : bool;
-  mutable fail : string option;
-  mutable res : wres option;  (** latest resource snapshot, if shipped *)
-}
-
-type ('task, 'res) t = {
-  name : string;
-  workers : worker array;
-  mutable next : int;
-  results : (int, ('res, string) result * tally) Hashtbl.t;
-  mutable open_ : bool;
-}
-
-let jobs t = Array.length t.workers
-
-let mark_dead w reason =
-  if w.alive then begin
-    w.alive <- false;
-    w.fail <- Some reason
-  end
-
-(* One non-blocking write pass over a worker's outbound queue. *)
-let rec push_out w =
-  if w.alive && not (Queue.is_empty w.outq) then begin
-    let front = Queue.peek w.outq in
-    let len = Bytes.length front - w.out_off in
-    match Unix.write w.task_fd front w.out_off len with
-    | n ->
-      if n = len then begin
-        w.out_off <- 0;
-        ignore (Queue.pop w.outq);
-        push_out w
-      end
-      else w.out_off <- w.out_off + n
-    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
-    | exception Unix.Unix_error (EPIPE, _, _) ->
-      mark_dead w (Printf.sprintf "worker %d hung up" w.pid)
-  end
-
-let ensure_capacity w extra =
-  let need = w.ilen + extra in
-  if Bytes.length w.ibuf < need then begin
-    let cap = ref (max 1 (Bytes.length w.ibuf)) in
-    while !cap < need do
-      cap := !cap * 2
-    done;
-    let b = Bytes.create !cap in
-    Bytes.blit w.ibuf 0 b 0 w.ilen;
-    w.ibuf <- b
-  end
-
-let total_inflight t =
-  Array.fold_left (fun acc w -> acc + w.inflight) 0 t.workers
-
-let gauge_depth t =
-  if Obs.enabled () then
-    Obs.gauge (t.name ^ ".queue_depth") (float_of_int (total_inflight t))
-
-(* Fleet-wide resource gauges from the latest per-worker snapshots.
-   These are readings, not algorithm state: useful for [hlts top] and
-   the metrics snapshot, excluded (like everything host-dependent) from
-   determinism digests. *)
-let gauge_resources t =
-  if Obs.enabled () then begin
-    let rss = ref 0 and cpu = ref 0.0 and tasks = ref 0 and any = ref false in
-    Array.iter
-      (fun w ->
-        match w.res with
-        | None -> ()
-        | Some r ->
-          any := true;
-          rss := !rss + r.wr_rss_kb;
-          cpu := !cpu +. r.wr_utime_s +. r.wr_stime_s;
-          tasks := !tasks + r.wr_tasks)
-      t.workers;
-    if !any then begin
-      Obs.gauge (t.name ^ ".workers_rss_kb") (float_of_int !rss);
-      Obs.gauge (t.name ^ ".workers_cpu_s") !cpu;
-      Obs.gauge (t.name ^ ".workers_tasks") (float_of_int !tasks)
-    end
-  end
-
-let worker_resources t =
-  Array.to_list t.workers
-  |> List.filter_map (fun w -> Option.map (fun r -> (w.index, r)) w.res)
-
-(* Extract every complete marshalled reply from the worker's input
-   accumulator into the results table. Spans the worker shipped are
-   re-stamped into the parent's live sinks here, attributed to the
-   worker's lane and the reply's ticket; they are not stored. *)
-let parse_replies t w =
-  let pos = ref 0 in
-  let continue = ref true in
-  let parsed = ref false in
-  while !continue do
-    let avail = w.ilen - !pos in
-    if avail < Marshal.header_size then continue := false
-    else begin
-      let total = Marshal.total_size w.ibuf !pos in
-      if avail < total then continue := false
-      else begin
-        let id, r, tally, spans, wres = Marshal.from_bytes w.ibuf !pos in
-        pos := !pos + total;
-        w.inflight <- w.inflight - 1;
-        parsed := true;
-        (match (wres : wres option) with
-        | Some _ -> w.res <- wres
-        | None -> ());
-        if Obs.enabled () then
-          List.iter (Obs.worker_span ~worker:w.index ~ticket:id) spans;
-        Hashtbl.replace t.results id (r, tally)
-      end
-    end
-  done;
-  if !parsed then begin
-    gauge_depth t;
-    gauge_resources t
-  end;
-  if !pos > 0 then begin
-    Bytes.blit w.ibuf !pos w.ibuf 0 (w.ilen - !pos);
-    w.ilen <- w.ilen - !pos
-  end
-
-let pull_in t w =
-  ensure_capacity w 65536;
-  match Unix.read w.res_fd w.ibuf w.ilen (Bytes.length w.ibuf - w.ilen) with
-  | 0 -> mark_dead w (Printf.sprintf "worker %d died" w.pid)
-  | n ->
-    w.ilen <- w.ilen + n;
-    parse_replies t w
-  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
-
-(* One IO round: flush what fits of every outbound queue, then select on
-   (readable replies, writable task pipes); [block] waits for the first
-   event, otherwise the round only picks up whatever is ready now. *)
-let pump t ~block =
-  Array.iter push_out t.workers;
-  let readers =
-    Array.to_list t.workers
-    |> List.filter_map (fun w -> if w.alive then Some (w.res_fd, w) else None)
-  in
-  let writers =
-    Array.to_list t.workers
-    |> List.filter_map (fun w ->
-           if w.alive && not (Queue.is_empty w.outq) then Some (w.task_fd, w)
-           else None)
-  in
-  if readers <> [] || writers <> [] then begin
-    let timeout = if block then -1.0 else 0.0 in
-    match Unix.select (List.map fst readers) (List.map fst writers) [] timeout with
-    | exception Unix.Unix_error (EINTR, _, _) -> ()
-    | rs, ws, _ ->
-      List.iter (fun fd -> pull_in t (List.assq fd readers)) rs;
-      List.iter (fun fd -> push_out (List.assq fd writers)) ws
-  end
-
-let check_open t =
-  if not t.open_ then invalid_arg (t.name ^ ": pool is shut down")
-
-let create ?(name = "pool") ~jobs f =
-  if not available then invalid_arg "Pool.create: fork unavailable";
+let create ?(name = "pool") ?backend ~jobs f =
+  let backend = match backend with Some b -> b | None -> default_backend () in
   if in_worker () then invalid_arg "Pool.create: nested pool in a worker";
   let jobs = max 1 jobs in
-  (* A worker dying mid-write must surface as EPIPE on the pipe, not
-     kill the parent process. *)
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-   with Invalid_argument _ -> ());
-  Obs.span ~cat:"pool" (name ^ ".create") @@ fun sp ->
-  Obs.set sp "jobs" (Obs.Int jobs);
-  let workers =
-    Array.init jobs (fun index ->
-        let task_rd, task_wr = Unix.pipe ~cloexec:false () in
-        let res_rd, res_wr = Unix.pipe ~cloexec:false () in
-        match Unix.fork () with
-        | 0 ->
-          Unix.close task_wr;
-          Unix.close res_rd;
-          child_loop f task_rd res_wr;
-          assert false
-        | pid ->
-          Unix.close task_rd;
-          Unix.close res_wr;
-          Unix.set_nonblock task_wr;
-          Hashtbl.replace live_fds task_wr ();
-          Hashtbl.replace live_fds res_rd ();
-          {
-            index;
-            pid;
-            task_fd = task_wr;
-            res_fd = res_rd;
-            outq = Queue.create ();
-            out_off = 0;
-            ibuf = Bytes.create 65536;
-            ilen = 0;
-            inflight = 0;
-            alive = true;
-            fail = None;
-            res = None;
-          })
-  in
-  { name; workers; next = 0; results = Hashtbl.create 64; open_ = true }
+  match backend with
+  | Fork ->
+    if not Pool_fork.available then invalid_arg "Pool.create: fork unavailable";
+    (* The OCaml 5 runtime permanently refuses Unix.fork once any
+       domain has been spawned in this process; fail before leaking
+       half a pool's pipes. *)
+    if Pool_domains.ever_spawned () then
+      invalid_arg
+        "Pool.create: fork backend unavailable after a domains pool ran in \
+         this process (OCaml 5 forbids fork once domains exist); create fork \
+         pools first or use --backend domains";
+    F (Pool_fork.create ~name ~jobs f)
+  | Domains ->
+    if not Pool_domains.available then invalid_arg domains_unavailable;
+    D (Pool_domains.create ~name ~jobs f)
 
-let broadcast t task =
-  check_open t;
-  let msg = Marshal.to_bytes (Ctl task) [] in
-  Array.iter (fun w -> if w.alive then Queue.push msg w.outq) t.workers;
-  pump t ~block:false
+let backend = function F _ -> Fork | D _ -> Domains
+let jobs = function F t -> Pool_fork.jobs t | D t -> Pool_domains.jobs t
 
-let submit t task =
-  check_open t;
-  let id = t.next in
-  t.next <- id + 1;
-  let w = t.workers.(id mod Array.length t.workers) in
-  w.inflight <- w.inflight + 1;
-  Queue.push (Marshal.to_bytes (Job (id, task)) []) w.outq;
-  Obs.count (t.name ^ ".tasks");
-  gauge_depth t;
-  pump t ~block:false;
-  id
+let parallelism = function
+  | F t -> Pool_fork.parallelism t
+  | D t -> Pool_domains.parallelism t
 
-let rec await t id =
-  check_open t;
-  if id < 0 || id >= t.next then
-    invalid_arg (Printf.sprintf "%s: unknown ticket %d" t.name id);
-  match Hashtbl.find_opt t.results id with
-  | Some (r, tally) ->
-    Hashtbl.remove t.results id;
-    (match r with
-    | Ok v -> (v, tally)
-    | Error msg ->
-      failwith (Printf.sprintf "%s: task %d failed: %s" t.name id msg))
-  | None ->
-    let w = t.workers.(id mod Array.length t.workers) in
-    if not w.alive then
-      failwith
-        (Printf.sprintf "%s: %s before replying to task %d" t.name
-           (Option.value ~default:"worker died" w.fail)
-           id)
-    else begin
-      pump t ~block:true;
-      await t id
-    end
+let broadcast p task =
+  match p with
+  | F t -> Pool_fork.broadcast t task
+  | D t -> Pool_domains.broadcast t task
+
+let submit p task =
+  match p with
+  | F t -> Pool_fork.submit t task
+  | D t -> Pool_domains.submit t task
+
+let await p id =
+  match p with F t -> Pool_fork.await t id | D t -> Pool_domains.await t id
+
+let worker_resources = function
+  | F t -> Pool_fork.worker_resources t
+  | D t -> Pool_domains.worker_resources t
+
+let io_bytes = function
+  | F t -> Pool_fork.io_bytes t
+  | D t -> Pool_domains.io_bytes t
+
+let shutdown = function
+  | F t -> Pool_fork.shutdown t
+  | D t -> Pool_domains.shutdown t
+
+(* --- tally replay (transport-independent) ------------------------------- *)
 
 let replay { counts; samples; gauges; decisions } =
   List.iter (fun (name, by) -> Obs.count ~by name) counts;
@@ -490,30 +185,6 @@ let map t xs =
     (merge_gauges (List.rev !tallies));
   results
 
-let shutdown t =
-  if t.open_ then begin
-    t.open_ <- false;
-    Obs.span ~cat:"pool" (t.name ^ ".shutdown") @@ fun _ ->
-    let quit = Marshal.to_bytes Quit [] in
-    Array.iter (fun w -> if w.alive then Queue.push quit w.outq) t.workers;
-    (* Drain until every worker hangs up: replies still in the pipes
-       are parsed (and discarded with the pool), then EOF flips the
-       worker dead and the loop converges. *)
-    (try
-       while Array.exists (fun w -> w.alive) t.workers do
-         pump t ~block:true
-       done
-     with _ -> ());
-    Array.iter
-      (fun w ->
-        (try Unix.close w.task_fd with Unix.Unix_error _ -> ());
-        (try Unix.close w.res_fd with Unix.Unix_error _ -> ());
-        Hashtbl.remove live_fds w.task_fd;
-        Hashtbl.remove live_fds w.res_fd;
-        try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ())
-      t.workers
-  end
-
-let with_pool ?name ~jobs f k =
-  let t = create ?name ~jobs f in
+let with_pool ?name ?backend ~jobs f k =
+  let t = create ?name ?backend ~jobs f in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> k t)

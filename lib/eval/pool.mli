@@ -1,34 +1,47 @@
-(** Persistent fork-based worker pool.
+(** Persistent worker pool with two transports behind one interface.
 
-    A pool forks [jobs] workers once; each worker inherits the parent's
-    heap copy-on-write (the task closure and everything it captures are
-    shared for free) and then serves tasks streamed to it over a pipe:
-    one marshalled message per task, one marshalled reply per result.
-    The parent never blocks on a write — outbound messages are queued
-    and pumped through non-blocking descriptors while replies are
-    drained — so arbitrarily large task and result payloads cannot
-    deadlock the pipe pair.
+    A pool starts [jobs] workers once and streams tasks to them;
+    tickets, tally replay, {!map} and the determinism contract are
+    identical across backends:
+
+    - {b Fork} ([Pool_fork]): each worker is a [Unix.fork] child that
+      inherits the parent's heap copy-on-write and exchanges one
+      marshalled message per task / one marshalled reply per result
+      over a pipe pair. The parent never blocks on a write — outbound
+      messages are queued and pumped through non-blocking descriptors
+      while replies are drained. Works on OCaml 4.14 and 5.x.
+    - {b Domains} ([Pool_domains], OCaml >= 5.0 only): each worker is a
+      [Domain] sharing the parent's heap; tasks and results are passed
+      as ordinary values through Mutex+Condition queues — no Marshal
+      anywhere on the path, so large compiled structures (bitsets, Sim
+      CSRs, PPSFP plans) are shared, not serialized. On 4.14 the
+      backend reports itself unavailable with a one-line
+      [Invalid_argument].
 
     Determinism: tasks are assigned round-robin by ticket
     ([id mod jobs]), each worker processes its queue in FIFO order, and
     {!await}/{!map} hand results back keyed by ticket, so the caller
-    observes results in a schedule-independent order. A worker is a
-    plain [Unix.fork] child — no Domains — which keeps the pool working
-    identically on OCaml 4.14 and 5.x.
+    observes results in a schedule-independent order — the same order
+    under both backends and every job count.
 
-    Observability: workers clear the parent's sinks on startup and
-    instead capture their own counter increments, histogram samples and
-    decision-journal events per task; the captured {!tally} travels
-    back with each result so the parent can {!replay} it into its own
-    sinks — selectively, which is what lets speculative callers account
-    only the work a sequential run would have performed. When the
-    parent had a sink installed at fork time, completed span records
-    also travel back with each reply and are re-stamped into the live
-    sinks as [Worker_span] events (lane = worker index, ticket = the
-    reply's ticket) as replies are parsed, so a single trace shows the
-    parent pump and every worker. The pool also reports a
-    ["<name>.queue_depth"] gauge (total in-flight tasks) on every
-    submit and reply. *)
+    Observability: workers start with no sinks of their own (forked
+    children clear the inherited list; domains get a fresh domain-local
+    list) and, when the parent had a sink installed at creation time,
+    capture their own counter increments, histogram samples, gauge
+    settings and decision-journal events per task; the captured
+    {!tally} travels back with each result so the parent can {!replay}
+    it into its own sinks — selectively, which is what lets speculative
+    callers account only the work a sequential run would have
+    performed. Completed span records also travel back and are
+    re-stamped into the live sinks as [Worker_span] events (lane =
+    worker index, ticket = the reply's ticket), so a single trace shows
+    the parent pump and every worker or domain. The pool also reports a
+    ["<name>.queue_depth"] gauge (total in-flight tasks) on submits and
+    replies. When the parent had {e no} sink installed, workers skip
+    capture entirely: [Hlts_obs.enabled ()] is false inside a worker,
+    so task code can skip its own capture paths and (on the fork
+    backend) replies marshal one shared empty tally instead of
+    per-attempt buffers. *)
 
 val available : bool
 (** [true] on Unix-like systems where [Unix.fork] works. *)
@@ -36,14 +49,70 @@ val available : bool
 val default_jobs : unit -> int
 (** The [HLTS_JOBS] environment variable as an int, else 1. *)
 
+(** {1 Backends} *)
+
+type backend =
+  | Fork  (** fork + pipe + Marshal; OCaml 4.14 and 5.x *)
+  | Domains  (** shared-memory domains, zero-copy; OCaml >= 5.0 only *)
+
+val backend_name : backend -> string
+(** ["fork"] / ["domains"]. *)
+
+val backend_of_string : string -> (backend, string) result
+(** Parses ["fork"] / ["domains"] (case-insensitive, trimmed). *)
+
+val backend_available : backend -> bool
+(** Whether this runtime can construct the backend: [Fork] needs
+    [Unix.fork], [Domains] needs an OCaml 5 runtime. *)
+
+val default_backend : unit -> backend
+(** The [HLTS_BACKEND] environment variable if it parses ([fork] /
+    [domains]) — honoured even when unavailable, so an explicit request
+    fails loudly in {!create} rather than silently switching — else
+    [Domains] when the runtime supports it, else [Fork]. *)
+
 val in_worker : unit -> bool
-(** [true] inside a pool worker process. Used to keep workers from
-    forking pools of their own (nested parallelism would oversubscribe
-    the machine; callers fall back to their serial path instead). *)
+(** [true] inside a pool worker (forked child or worker domain). Used
+    to keep workers from starting pools of their own (nested
+    parallelism would oversubscribe the machine; callers fall back to
+    their serial path instead). *)
+
+val worker_index : unit -> int
+(** The 0-based lane of the calling worker ([0] outside any worker).
+    Tasks needing per-worker mutable slots (scratch buffers, re-based
+    states) index a [jobs]-sized array with this: slot [i] is only ever
+    touched by lane [i], whatever the backend. *)
+
+val worker_group : unit -> int
+(** The calling worker's {e sharing group} ([0] outside any worker):
+    the set of lanes guaranteed to execute sequentially, never
+    concurrently. Under fork every lane is its own process, so the
+    group is the lane; under domains the group is the serving domain —
+    the backend multiplexes [jobs] lanes onto at most
+    [Domain.recommended_domain_count ()] domains (override with
+    [HLTS_DOMAINS]), so several lanes may share a group. Tasks whose
+    per-worker slots hold {e redundant} copies of the same data (a
+    re-based state, a memo cache) should index them by group instead of
+    lane: same isolation guarantee, and under domains the copies —
+    and the lazy recomputation inside them — collapse to one per
+    domain. Keep per-{e lane} indexing for anything that must differ
+    per lane. Group indices stay within [0 .. jobs-1] on every
+    backend. *)
+
+val in_forked_worker : unit -> bool
+(** [true] only inside a {e forked} (process-isolated) worker, [false]
+    in a worker domain, inline execution, and outside any pool. Tasks
+    use this to decide whether their reply can carry heavy or
+    unmarshalable values by reference: on the shared-heap transports a
+    reply is handed to the parent untouched, so including (say) a full
+    result object costs one pointer, while a forked reply must survive
+    Marshal — such tasks ship the value when [not (in_forked_worker
+    ())] and let the parent recompute it otherwise. *)
 
 type ('task, 'res) t
-(** A pool computing ['task -> 'res]. Both types must be marshallable
-    (no closures, no custom blocks). *)
+(** A pool computing ['task -> 'res]. Under the fork backend both types
+    must be marshallable (no closures, no custom blocks); the domains
+    backend passes values untouched. *)
 
 type ticket
 (** Handle for one submitted task. *)
@@ -54,17 +123,19 @@ type ticket
     last-value-per-name). ["res."]-prefixed gauges are host-dependent
     readings and are never captured — worker resources travel as
     {!wres} instead — so a tally is deterministic content. *)
-type tally = {
+type tally = Pool_tally.tally = {
   counts : (string * int) list;
   samples : (string * float) list;
   gauges : (string * float) list;
   decisions : Hlts_obs.Journal.event list;
 }
 
-(** Cumulative resource usage of one worker process, snapshotted in the
-    worker as each reply is sent (only when the pool was created with a
-    sink installed — uninstrumented runs skip the sampling). *)
-type wres = {
+(** Cumulative resource usage of one worker, snapshotted as each
+    instrumented reply is sent (uninstrumented runs skip the sampling).
+    For forked workers every field is process-accurate; for domains the
+    GC fields are domain-local while CPU and RSS are process-wide
+    readings. *)
+type wres = Pool_tally.wres = {
   wr_tasks : int;              (** tasks served so far *)
   wr_utime_s : float;          (** user CPU seconds *)
   wr_stime_s : float;          (** system CPU seconds *)
@@ -75,14 +146,41 @@ type wres = {
   wr_major_collections : int;
 }
 
-val create : ?name:string -> jobs:int -> ('task -> 'res) -> ('task, 'res) t
-(** [create ~jobs f] forks [max jobs 1] workers evaluating [f].
-    [name] labels the pool's observability spans (default ["pool"]).
-    @raise Invalid_argument if forking is unavailable or the caller is
-    itself a pool worker. *)
+val create :
+  ?name:string -> ?backend:backend -> jobs:int -> ('task -> 'res) ->
+  ('task, 'res) t
+(** [create ~jobs f] starts [max jobs 1] workers evaluating [f] on the
+    given backend (default {!default_backend}). [name] labels the
+    pool's observability spans (default ["pool"]).
+
+    Ordering rule when mixing backends in one process: the OCaml 5
+    runtime permanently refuses [Unix.fork] once any domain has been
+    spawned (even after [Domain.join]), so every fork pool must be
+    created before the first domains pool that actually spawns; a later
+    fork request is refused cleanly here rather than failing inside the
+    transport. Domains pools whose domain budget is 1 (single-core
+    hosts, [HLTS_DOMAINS=1]) execute inline without spawning and do not
+    trigger the refusal.
+    @raise Invalid_argument if the backend is unavailable on this
+    runtime, a fork pool is requested after a domains pool has run, or
+    the caller is itself a pool worker. *)
+
+val backend : _ t -> backend
+(** The transport this pool was created with. *)
 
 val jobs : _ t -> int
-(** Number of workers actually forked. *)
+(** Number of workers actually started. *)
+
+val parallelism : _ t -> int
+(** How many of this pool's lanes can execute at the same instant:
+    [jobs] under fork (every lane is a preemptively-scheduled process),
+    the spawned domain count under domains (at most
+    [Domain.recommended_domain_count ()], override with
+    [HLTS_DOMAINS]), and [1] when the domains backend executes inline.
+    Callers sizing {e speculative} work — batches evaluated eagerly in
+    the hope that parallel hardware makes them free — should scale by
+    this, not by {!jobs}: lanes beyond it are deterministic bookkeeping
+    that run sequentially, where speculation is pure cost. *)
 
 val broadcast : ('task, _) t -> 'task -> unit
 (** [broadcast t x] queues [x] to every worker as a control task: each
@@ -97,7 +195,8 @@ val submit : ('task, 'res) t -> 'task -> ticket
 
 val await : ('task, 'res) t -> ticket -> 'res * tally
 (** Block until the task's reply arrives (pumping the whole pool
-    meanwhile). Each ticket may be awaited once.
+    meanwhile under fork; sleeping on the reply condition under
+    domains). Each ticket may be awaited once.
     @raise Failure if the task raised in the worker or its worker died
     before replying. *)
 
@@ -110,14 +209,21 @@ val merge_gauges : tally list -> (string * float) list
 (** Deterministic cross-worker gauge merge: the maximum value recorded
     per gauge name over all tallies, names in first-seen order. Because
     the multiset of per-task (name, value) pairs is independent of the
-    job count, the merged list is byte-identical at every [-j N]. *)
+    job count and the backend, the merged list is byte-identical at
+    every [-j N] on both transports. *)
 
 val worker_resources : _ t -> (int * wres) list
 (** Latest resource snapshot per worker (workers that have not yet
     replied to an instrumented task are absent), ascending by worker
     index. The pool also folds these into ["<name>.workers_rss_kb"],
     ["<name>.workers_cpu_s"] and ["<name>.workers_tasks"] gauges as
-    replies are parsed. *)
+    replies arrive — summed across forked processes, max'd across
+    domains (whose CPU/RSS readings are process-wide). *)
+
+val io_bytes : _ t -> int * int
+(** [(bytes_out, bytes_in)] framed so far: Marshal bytes queued to /
+    parsed from workers under fork, [(0, 0)] under domains (zero-copy).
+    Host-dependent diagnostics, never part of determinism digests. *)
 
 val map : ('task, 'res) t -> 'task list -> 'res list
 (** [map t xs] submits every element, awaits them in order, replays
@@ -127,12 +233,12 @@ val map : ('task, 'res) t -> 'task list -> 'res list
     @raise Failure as {!await}. *)
 
 val shutdown : _ t -> unit
-(** Ask every worker to exit, reap them, and close every descriptor.
-    Idempotent; safe after worker deaths. Outstanding tickets are
-    abandoned. *)
+(** Stop every worker (reaping children / joining domains) and release
+    transport resources. Idempotent; safe after worker deaths.
+    Outstanding tickets are abandoned. *)
 
 val with_pool :
-  ?name:string -> jobs:int -> ('task -> 'res) ->
+  ?name:string -> ?backend:backend -> jobs:int -> ('task -> 'res) ->
   (('task, 'res) t -> 'a) -> 'a
 (** [with_pool ~jobs f k] runs [k pool] and guarantees {!shutdown} on
     the way out, exception or not. *)

@@ -1,0 +1,27 @@
+(* OCaml < 5.0 stub: the runtime has no Domains. Copied to
+   pool_domains.ml by the dune rule in this directory. The front
+   (Pool) refuses to construct this backend before any of these can be
+   reached; they raise the same documented one-liner for defense in
+   depth. *)
+
+let unavailable = "Pool.create: domains backend unavailable (OCaml < 5.0 runtime has no Domains; use --backend fork)"
+
+let available = false
+let ever_spawned () = false
+let in_worker () = false
+let self_index () = None
+let self_group () = None
+
+type ('task, 'res) t = { never : ('task * 'res) option }
+
+let fail () = invalid_arg unavailable
+let create ~name:_ ~jobs:_ _f = fail ()
+let jobs _t = fail ()
+let parallelism _t = fail ()
+let broadcast _t _task = fail ()
+let submit _t _task = fail ()
+let await _t _id = fail ()
+let worker_resources _t = fail ()
+let next_ticket _t = fail ()
+let io_bytes _t = fail ()
+let shutdown _t = fail ()

@@ -1,0 +1,401 @@
+(* Fork + pipe + Marshal transport.
+
+   Forks [jobs] workers once; each worker inherits the parent's heap
+   copy-on-write and serves tasks streamed to it over a pipe: one
+   marshalled message per task, one marshalled
+   [(id, result, tally, spans, wres)] quintuple per reply. The parent
+   never blocks on a write — outbound messages are queued and pumped
+   through non-blocking descriptors while replies are drained — so
+   arbitrarily large task and result payloads cannot deadlock the pipe
+   pair. Works identically on OCaml 4.14 and 5.x.
+
+   The front (Pool) owns tickets, replay, map and backend selection;
+   this module is only the transport. *)
+
+module Obs = Hlts_obs
+module T = Pool_tally
+
+let available = Sys.os_type = "Unix"
+
+let worker_flag = ref false
+let worker_index = ref 0
+
+let in_worker () = !worker_flag
+let self_index () = if !worker_flag then Some !worker_index else None
+
+(* Parent-side pipe ends of every live pool in this process. A freshly
+   forked worker closes them all: a child holding another pool's write
+   end open would keep that pool's workers from ever seeing EOF. *)
+let live_fds : (Unix.file_descr, unit) Hashtbl.t = Hashtbl.create 16
+
+(* --- wire protocol ------------------------------------------------------ *)
+
+(* Parent -> worker, one marshalled message per task; worker -> parent,
+   one marshalled quintuple per [Job]. [Ctl] tasks (broadcasts) produce
+   no reply; [Quit] ends the worker loop. *)
+type 'task down =
+  | Job of int * 'task
+  | Ctl of 'task
+  | Quit
+
+(* --- worker side -------------------------------------------------------- *)
+
+let child_loop ~index f task_rd res_wr : unit =
+  worker_flag := true;
+  worker_index := index;
+  Hashtbl.iter
+    (fun fd () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    live_fds;
+  Hashtbl.reset live_fds;
+  (* The parent keeps the sinks; the worker only captures its own
+     counters, samples, gauges and journal decisions, shipping them back
+     with each reply. The capture sink is installed only when the parent
+     had a sink at fork time: an uninstrumented run leaves the worker
+     with no sinks at all, so [Obs.enabled ()] is false inside the
+     worker, task code skips its own capture paths, every reply carries
+     one shared empty tally, and the Marshal frames stay slim. *)
+  let instrumented = Obs.enabled () in
+  Obs.clear_sinks ();
+  let cap = T.make_capture () in
+  if instrumented then Obs.add_sink (T.capture_sink cap);
+  let ic = Unix.in_channel_of_descr task_rd in
+  let oc = Unix.out_channel_of_descr res_wr in
+  let poisoned = ref None in
+  let resources () =
+    if not instrumented then None
+    else Some (T.resources cap ~served:cap.T.served)
+  in
+  let rec loop () =
+    match (Marshal.from_channel ic : _ down) with
+    | exception End_of_file -> ()
+    | Quit -> ()
+    | Ctl x ->
+      T.reset cap;
+      (match !poisoned with
+      | Some _ -> ()
+      | None -> (
+        try ignore (f x)
+        with e -> poisoned := Some (Printexc.to_string e)));
+      loop ()
+    | Job (id, x) ->
+      T.reset cap;
+      let r =
+        match !poisoned with
+        | Some msg -> Error ("control task failed: " ^ msg)
+        | None -> ( try Ok (f x) with e -> Error (Printexc.to_string e))
+      in
+      cap.T.served <- cap.T.served + 1;
+      let tally, spans =
+        if instrumented then T.harvest cap else (T.empty_tally, [])
+      in
+      Marshal.to_channel oc (id, r, tally, spans, resources ()) [];
+      flush oc;
+      loop ()
+  in
+  (try loop () with _ -> ());
+  (try flush oc with _ -> ());
+  Unix._exit 0
+
+(* --- parent side -------------------------------------------------------- *)
+
+type worker = {
+  index : int;  (** 0-based lane for re-stamped spans *)
+  pid : int;
+  task_fd : Unix.file_descr;  (** write end, non-blocking *)
+  res_fd : Unix.file_descr;  (** read end, blocking (read only after select) *)
+  outq : Bytes.t Queue.t;
+  mutable out_off : int;  (** progress into the front of [outq] *)
+  mutable ibuf : Bytes.t;
+  mutable ilen : int;
+  mutable inflight : int;
+  mutable alive : bool;
+  mutable fail : string option;
+  mutable res : T.wres option;  (** latest resource snapshot, if shipped *)
+}
+
+type ('task, 'res) t = {
+  name : string;
+  workers : worker array;
+  mutable next : int;
+  results : (int, ('res, string) result * T.tally) Hashtbl.t;
+  mutable open_ : bool;
+  mutable bytes_out : int;  (** Marshal bytes framed parent -> workers *)
+  mutable bytes_in : int;  (** Marshal bytes framed workers -> parent *)
+}
+
+let jobs t = Array.length t.workers
+
+(* Every forked lane is its own OS process, preemptively scheduled, so
+   the whole pool can genuinely run at once. *)
+let parallelism t = jobs t
+
+let mark_dead w reason =
+  if w.alive then begin
+    w.alive <- false;
+    w.fail <- Some reason
+  end
+
+(* One non-blocking write pass over a worker's outbound queue. *)
+let rec push_out w =
+  if w.alive && not (Queue.is_empty w.outq) then begin
+    let front = Queue.peek w.outq in
+    let len = Bytes.length front - w.out_off in
+    match Unix.write w.task_fd front w.out_off len with
+    | n ->
+      if n = len then begin
+        w.out_off <- 0;
+        ignore (Queue.pop w.outq);
+        push_out w
+      end
+      else w.out_off <- w.out_off + n
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error (EPIPE, _, _) ->
+      mark_dead w (Printf.sprintf "worker %d hung up" w.pid)
+  end
+
+let ensure_capacity w extra =
+  let need = w.ilen + extra in
+  if Bytes.length w.ibuf < need then begin
+    let cap = ref (max 1 (Bytes.length w.ibuf)) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let b = Bytes.create !cap in
+    Bytes.blit w.ibuf 0 b 0 w.ilen;
+    w.ibuf <- b
+  end
+
+let total_inflight t =
+  Array.fold_left (fun acc w -> acc + w.inflight) 0 t.workers
+
+let gauge_depth t =
+  if Obs.enabled () then
+    Obs.gauge (t.name ^ ".queue_depth") (float_of_int (total_inflight t))
+
+(* Fleet-wide resource gauges from the latest per-worker snapshots.
+   These are readings, not algorithm state: useful for [hlts top] and
+   the metrics snapshot, excluded (like everything host-dependent) from
+   determinism digests. Forked workers are separate processes, so the
+   per-worker readings sum. *)
+let gauge_resources t =
+  if Obs.enabled () then begin
+    let rss = ref 0 and cpu = ref 0.0 and tasks = ref 0 and any = ref false in
+    Array.iter
+      (fun w ->
+        match w.res with
+        | None -> ()
+        | Some r ->
+          any := true;
+          rss := !rss + r.T.wr_rss_kb;
+          cpu := !cpu +. r.T.wr_utime_s +. r.T.wr_stime_s;
+          tasks := !tasks + r.T.wr_tasks)
+      t.workers;
+    if !any then begin
+      Obs.gauge (t.name ^ ".workers_rss_kb") (float_of_int !rss);
+      Obs.gauge (t.name ^ ".workers_cpu_s") !cpu;
+      Obs.gauge (t.name ^ ".workers_tasks") (float_of_int !tasks)
+    end
+  end
+
+let worker_resources t =
+  Array.to_list t.workers
+  |> List.filter_map (fun w -> Option.map (fun r -> (w.index, r)) w.res)
+
+(* Extract every complete marshalled reply from the worker's input
+   accumulator into the results table. Spans the worker shipped are
+   re-stamped into the parent's live sinks here, attributed to the
+   worker's lane and the reply's ticket; they are not stored. *)
+let parse_replies t w =
+  let pos = ref 0 in
+  let continue = ref true in
+  let parsed = ref false in
+  while !continue do
+    let avail = w.ilen - !pos in
+    if avail < Marshal.header_size then continue := false
+    else begin
+      let total = Marshal.total_size w.ibuf !pos in
+      if avail < total then continue := false
+      else begin
+        let id, r, tally, spans, wres = Marshal.from_bytes w.ibuf !pos in
+        pos := !pos + total;
+        t.bytes_in <- t.bytes_in + total;
+        w.inflight <- w.inflight - 1;
+        parsed := true;
+        (match (wres : T.wres option) with
+        | Some _ -> w.res <- wres
+        | None -> ());
+        if Obs.enabled () then
+          List.iter (Obs.worker_span ~worker:w.index ~ticket:id) spans;
+        Hashtbl.replace t.results id (r, tally)
+      end
+    end
+  done;
+  if !parsed then begin
+    gauge_depth t;
+    gauge_resources t
+  end;
+  if !pos > 0 then begin
+    Bytes.blit w.ibuf !pos w.ibuf 0 (w.ilen - !pos);
+    w.ilen <- w.ilen - !pos
+  end
+
+let pull_in t w =
+  ensure_capacity w 65536;
+  match Unix.read w.res_fd w.ibuf w.ilen (Bytes.length w.ibuf - w.ilen) with
+  | 0 -> mark_dead w (Printf.sprintf "worker %d died" w.pid)
+  | n ->
+    w.ilen <- w.ilen + n;
+    parse_replies t w
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+
+(* One IO round: flush what fits of every outbound queue, then select on
+   (readable replies, writable task pipes); [block] waits for the first
+   event, otherwise the round only picks up whatever is ready now. *)
+let pump t ~block =
+  Array.iter push_out t.workers;
+  let readers =
+    Array.to_list t.workers
+    |> List.filter_map (fun w -> if w.alive then Some (w.res_fd, w) else None)
+  in
+  let writers =
+    Array.to_list t.workers
+    |> List.filter_map (fun w ->
+           if w.alive && not (Queue.is_empty w.outq) then Some (w.task_fd, w)
+           else None)
+  in
+  if readers <> [] || writers <> [] then begin
+    let timeout = if block then -1.0 else 0.0 in
+    match Unix.select (List.map fst readers) (List.map fst writers) [] timeout with
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | rs, ws, _ ->
+      List.iter (fun fd -> pull_in t (List.assq fd readers)) rs;
+      List.iter (fun fd -> push_out (List.assq fd writers)) ws
+  end
+
+let create ~name ~jobs f =
+  (* A worker dying mid-write must surface as EPIPE on the pipe, not
+     kill the parent process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  Obs.span ~cat:"pool" (name ^ ".create") @@ fun sp ->
+  Obs.set sp "jobs" (Obs.Int jobs);
+  Obs.set sp "backend" (Obs.Str "fork");
+  let workers =
+    Array.init jobs (fun index ->
+        let task_rd, task_wr = Unix.pipe ~cloexec:false () in
+        let res_rd, res_wr = Unix.pipe ~cloexec:false () in
+        match Unix.fork () with
+        | 0 ->
+          Unix.close task_wr;
+          Unix.close res_rd;
+          child_loop ~index f task_rd res_wr;
+          assert false
+        | pid ->
+          Unix.close task_rd;
+          Unix.close res_wr;
+          Unix.set_nonblock task_wr;
+          Hashtbl.replace live_fds task_wr ();
+          Hashtbl.replace live_fds res_rd ();
+          {
+            index;
+            pid;
+            task_fd = task_wr;
+            res_fd = res_rd;
+            outq = Queue.create ();
+            out_off = 0;
+            ibuf = Bytes.create 65536;
+            ilen = 0;
+            inflight = 0;
+            alive = true;
+            fail = None;
+            res = None;
+          })
+  in
+  {
+    name;
+    workers;
+    next = 0;
+    results = Hashtbl.create 64;
+    open_ = true;
+    bytes_out = 0;
+    bytes_in = 0;
+  }
+
+let check_open t =
+  if not t.open_ then invalid_arg (t.name ^ ": pool is shut down")
+
+let broadcast t task =
+  check_open t;
+  let msg = Marshal.to_bytes (Ctl task) [] in
+  Array.iter
+    (fun w ->
+      if w.alive then begin
+        Queue.push msg w.outq;
+        t.bytes_out <- t.bytes_out + Bytes.length msg
+      end)
+    t.workers;
+  pump t ~block:false
+
+let submit t task =
+  check_open t;
+  let id = t.next in
+  t.next <- id + 1;
+  let w = t.workers.(id mod Array.length t.workers) in
+  w.inflight <- w.inflight + 1;
+  let msg = Marshal.to_bytes (Job (id, task)) [] in
+  t.bytes_out <- t.bytes_out + Bytes.length msg;
+  Queue.push msg w.outq;
+  Obs.count (t.name ^ ".tasks");
+  gauge_depth t;
+  pump t ~block:false;
+  id
+
+let rec await t id =
+  check_open t;
+  if id < 0 || id >= t.next then
+    invalid_arg (Printf.sprintf "%s: unknown ticket %d" t.name id);
+  match Hashtbl.find_opt t.results id with
+  | Some (r, tally) ->
+    Hashtbl.remove t.results id;
+    (match r with
+    | Ok v -> (v, tally)
+    | Error msg ->
+      failwith (Printf.sprintf "%s: task %d failed: %s" t.name id msg))
+  | None ->
+    let w = t.workers.(id mod Array.length t.workers) in
+    if not w.alive then
+      failwith
+        (Printf.sprintf "%s: %s before replying to task %d" t.name
+           (Option.value ~default:"worker died" w.fail)
+           id)
+    else begin
+      pump t ~block:true;
+      await t id
+    end
+
+let next_ticket t = t.next
+let io_bytes t = (t.bytes_out, t.bytes_in)
+
+let shutdown t =
+  if t.open_ then begin
+    t.open_ <- false;
+    Obs.span ~cat:"pool" (t.name ^ ".shutdown") @@ fun _ ->
+    let quit = Marshal.to_bytes Quit [] in
+    Array.iter (fun w -> if w.alive then Queue.push quit w.outq) t.workers;
+    (* Drain until every worker hangs up: replies still in the pipes
+       are parsed (and discarded with the pool), then EOF flips the
+       worker dead and the loop converges. *)
+    (try
+       while Array.exists (fun w -> w.alive) t.workers do
+         pump t ~block:true
+       done
+     with _ -> ());
+    Array.iter
+      (fun w ->
+        (try Unix.close w.task_fd with Unix.Unix_error _ -> ());
+        (try Unix.close w.res_fd with Unix.Unix_error _ -> ());
+        Hashtbl.remove live_fds w.task_fd;
+        Hashtbl.remove live_fds w.res_fd;
+        try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ())
+      t.workers
+  end

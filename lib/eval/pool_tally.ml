@@ -1,0 +1,174 @@
+(* Tally capture shared by both pool transports (fork and domains).
+
+   A worker — forked process or spawned domain — captures its own
+   counter increments, histogram samples, gauge settings and
+   decision-journal events per task into a [capture] buffer through an
+   observability sink, and the transport ships the harvested {!tally}
+   back with each reply for the parent to replay. Keeping the capture
+   logic here guarantees the two transports produce byte-identical
+   tallies for the same task stream, which is what the cross-backend
+   digest gates lean on. *)
+
+module Obs = Hlts_obs
+
+type tally = {
+  counts : (string * int) list;
+  samples : (string * float) list;
+  gauges : (string * float) list;
+  decisions : Obs.Journal.event list;
+}
+
+(* Cumulative resource usage of one worker, riding back with each
+   instrumented reply so parent-side accounting never needs to poke at
+   other pids. For a forked worker every field is process-accurate; for
+   a domain the GC fields are domain-local but CPU and RSS are
+   process-wide readings (the OS does not split them per domain). *)
+type wres = {
+  wr_tasks : int;
+  wr_utime_s : float;
+  wr_stime_s : float;
+  wr_rss_kb : int;
+  wr_max_rss_kb : int;
+  wr_minor_words : float;
+  wr_major_words : float;
+  wr_major_collections : int;
+}
+
+let empty_tally = { counts = []; samples = []; gauges = []; decisions = [] }
+
+(* Counter deltas summed by name, names in first-emission order. *)
+let aggregate_counts entries =
+  let tbl = Hashtbl.create 8 and order = ref [] in
+  List.iter
+    (fun (name, by) ->
+      match Hashtbl.find_opt tbl name with
+      | None ->
+        order := name :: !order;
+        Hashtbl.add tbl name by
+      | Some n -> Hashtbl.replace tbl name (n + by))
+    entries;
+  List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
+
+(* Last value per gauge name, names in first-emission order. *)
+let aggregate_gauges entries =
+  let tbl = Hashtbl.create 8 and order = ref [] in
+  List.iter
+    (fun (name, v) ->
+      if not (Hashtbl.mem tbl name) then order := name :: !order;
+      Hashtbl.replace tbl name v)
+    entries;
+  List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
+
+let is_res_gauge name = String.length name >= 4 && String.sub name 0 4 = "res."
+
+type capture = {
+  mutable counts : (string * int) list;
+  mutable samples : (string * float) list;
+  mutable gauges : (string * float) list;
+  mutable decisions : Obs.Journal.event list;
+  mutable spans : Obs.span_rec list;
+  mutable served : int;
+  mutable rs_tick : int;  (** calls to {!resources} so far *)
+  mutable rs_rss_kb : int;  (** cached VmRSS from the last procfs scan *)
+  mutable rs_max_rss_kb : int;  (** cached VmHWM from the last procfs scan *)
+}
+
+let make_capture () =
+  {
+    counts = [];
+    samples = [];
+    gauges = [];
+    decisions = [];
+    spans = [];
+    served = 0;
+    rs_tick = 0;
+    rs_rss_kb = 0;
+    rs_max_rss_kb = 0;
+  }
+
+(* The sink a worker installs into its own (domain-local) sink list.
+   "res." gauges are host-dependent readings; the worker's own
+   resources travel via [wres] instead, so the replayed tally stays
+   deterministic. *)
+let capture_sink c =
+  {
+    Obs.emit =
+      (function
+        | Obs.Count { name; delta; _ } -> c.counts <- (name, delta) :: c.counts
+        | Obs.Sample { name; v; _ } -> c.samples <- (name, v) :: c.samples
+        | Obs.Gauge { name; v; _ } ->
+          if not (is_res_gauge name) then c.gauges <- (name, v) :: c.gauges
+        | Obs.Decision { d; _ } -> c.decisions <- d :: c.decisions
+        | Obs.Span_end { name; cat; ts_ns; dur_ns; depth; args } ->
+          c.spans <-
+            {
+              Obs.w_name = name;
+              w_cat = cat;
+              w_ts_ns = ts_ns;
+              w_dur_ns = dur_ns;
+              w_depth = depth;
+              w_args = args;
+            }
+            :: c.spans
+        | _ -> ());
+    flush = ignore;
+  }
+
+let reset c =
+  c.counts <- [];
+  c.samples <- [];
+  c.gauges <- [];
+  c.decisions <- [];
+  c.spans <- []
+
+let harvest c =
+  let tally =
+    {
+      counts = aggregate_counts (List.rev c.counts);
+      samples = List.rev c.samples;
+      gauges = aggregate_gauges (List.rev c.gauges);
+      decisions = List.rev c.decisions;
+    }
+  in
+  (tally, List.rev c.spans)
+
+(* Called once per instrumented reply, so it must stay cheap at tens of
+   thousands of tasks per second. GC counters and CPU times are single
+   syscalls / runtime reads and taken fresh every call; the RSS reading
+   is a procfs scan (tens of microseconds) and host-dependent anyway,
+   so it is refreshed only on the first call and every 64th after that,
+   with the cached values reused in between. [wr_tasks] is always
+   exact — it carries the lane's served count, never a sampled one. *)
+let rss_refresh_period = 64
+
+let resources cap ~served =
+  cap.rs_tick <- cap.rs_tick + 1;
+  if cap.rs_tick mod rss_refresh_period = 1 || rss_refresh_period = 1 then begin
+    let s = Obs.Res.snapshot () in
+    cap.rs_rss_kb <- s.rss_kb;
+    cap.rs_max_rss_kb <- s.max_rss_kb;
+    {
+      wr_tasks = served;
+      wr_utime_s = s.utime_s;
+      wr_stime_s = s.stime_s;
+      wr_rss_kb = s.rss_kb;
+      wr_max_rss_kb = s.max_rss_kb;
+      wr_minor_words = s.minor_words;
+      wr_major_words = s.major_words;
+      wr_major_collections = s.major_collections;
+    }
+  end
+  else begin
+    let tm = Unix.times () in
+    let g = Gc.quick_stat () in
+    {
+      wr_tasks = served;
+      wr_utime_s = tm.Unix.tms_utime;
+      wr_stime_s = tm.Unix.tms_stime;
+      wr_rss_kb = cap.rs_rss_kb;
+      wr_max_rss_kb = cap.rs_max_rss_kb;
+      wr_minor_words = g.Gc.minor_words;
+      wr_major_words = g.Gc.major_words;
+      wr_major_collections = g.Gc.major_collections;
+    }
+  end

@@ -484,15 +484,19 @@ type event =
 
 type sink = { emit : event -> unit; flush : unit -> unit }
 
-let sinks : sink list ref = ref []
-let depth = ref 0
+(* Both of these are domain-local (Tls is Domain.DLS on OCaml 5): a
+   worker domain installing its tally-capture sink must not flip
+   [enabled ()] in sibling domains, and concurrent spans must not share
+   a depth counter. On 4.14 Tls degenerates to a plain ref. *)
+let sinks : sink list Tls.t = Tls.make (fun () -> [])
+let depth : int Tls.t = Tls.make (fun () -> 0)
 
-let enabled () = !sinks <> []
-let add_sink s = sinks := !sinks @ [ s ]
-let remove_sink s = sinks := List.filter (fun s' -> s' != s) !sinks
-let clear_sinks () = sinks := []
+let enabled () = Tls.get sinks <> []
+let add_sink s = Tls.set sinks (Tls.get sinks @ [ s ])
+let remove_sink s = Tls.set sinks (List.filter (fun s' -> s' != s) (Tls.get sinks))
+let clear_sinks () = Tls.set sinks []
 
-let broadcast ev = List.iter (fun s -> s.emit ev) !sinks
+let broadcast ev = List.iter (fun s -> s.emit ev) (Tls.get sinks)
 
 let with_sink s f =
   add_sink s;
@@ -500,6 +504,21 @@ let with_sink s f =
     ~finally:(fun () ->
       remove_sink s;
       s.flush ())
+    f
+
+(* Run [f] exactly as a freshly spawned worker would: the caller's sink
+   list is replaced by [ss] and the span depth restarts at zero, both
+   restored on the way out. The inline pool executor uses this to give
+   tasks worker-identical observability (capture sink only, or none)
+   while running on the caller's own domain. *)
+let in_fresh_context ss f =
+  let outer_sinks = Tls.get sinks and outer_depth = Tls.get depth in
+  Tls.set sinks ss;
+  Tls.set depth 0;
+  Fun.protect
+    ~finally:(fun () ->
+      Tls.set sinks outer_sinks;
+      Tls.set depth outer_depth)
     f
 
 type span = { mutable args : (string * value) list; live : bool }
@@ -521,13 +540,13 @@ let span ?(cat = "") ?(res = false) name f =
       if res then Some (Gc.counters (), Gc.quick_stat ()) else None
     in
     let t0 = Clock.now_ns () in
-    let d = !depth in
-    depth := d + 1;
+    let d = Tls.get depth in
+    Tls.set depth (d + 1);
     broadcast (Span_begin { name; cat; ts_ns = t0; depth = d });
     let sp = { args = []; live = true } in
     Fun.protect
       ~finally:(fun () ->
-        depth := d;
+        Tls.set depth d;
         let t1 = Clock.now_ns () in
         (match g0 with
         | None -> ()

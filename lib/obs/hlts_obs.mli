@@ -208,6 +208,13 @@ val with_sink : sink -> (unit -> 'a) -> 'a
 (** [with_sink s f] installs [s], runs [f], then flushes and removes
     [s] — exception-safe. *)
 
+val in_fresh_context : sink list -> (unit -> 'a) -> 'a
+(** [in_fresh_context ss f] runs [f] with the caller's sinks replaced
+    by [ss] and the span depth restarted at zero — the observability
+    environment a freshly spawned worker domain sees — restoring both
+    on the way out, exception or not. Lets a pool execute tasks inline
+    on the caller's domain with worker-identical capture semantics. *)
+
 type span
 (** A live span handle, used to attach arguments. When no sink is
     installed a shared dummy handle is passed and {!set} is a no-op. *)

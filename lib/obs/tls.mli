@@ -1,0 +1,23 @@
+(** Domain-local storage behind a version-neutral face.
+
+    The observability globals (the installed sink list, the live span
+    depth) must be per-domain on OCaml 5: a worker domain installing its
+    capture sink must not make [enabled ()] flip true in every other
+    domain, and concurrent spans must not interleave their depth
+    counters. On 4.14 there is exactly one domain, so a plain [ref] is
+    the whole implementation.
+
+    Selected at build time by dune copy rules: [tls_dls.ml]
+    (Domain.DLS) on OCaml >= 5.0, [tls_ref.ml] (plain ref) below. The
+    [get] path must stay allocation-free and a few nanoseconds at most:
+    it sits under every [Obs.enabled ()] check, which the no-sink
+    overhead budget test holds under 1 us/call. *)
+
+type 'a t
+
+val make : (unit -> 'a) -> 'a t
+(** [make init] allocates a slot; [init] runs once per domain on first
+    access (immediately, on 4.14). [init] must not raise. *)
+
+val get : 'a t -> 'a
+val set : 'a t -> 'a -> unit

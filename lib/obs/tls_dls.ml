@@ -1,0 +1,8 @@
+(* OCaml >= 5.0: real domain-local storage. Copied to tls.ml by the
+   dune rule in this directory. *)
+
+type 'a t = 'a Domain.DLS.key
+
+let make init = Domain.DLS.new_key init
+let get k = Domain.DLS.get k
+let set k v = Domain.DLS.set k v

@@ -1,0 +1,8 @@
+(* OCaml < 5.0: single-domain runtime, a ref is domain-local by
+   definition. Copied to tls.ml by the dune rule in this directory. *)
+
+type 'a t = 'a ref
+
+let make init = ref (init ())
+let get = ( ! )
+let set r v = r := v

@@ -1,0 +1,412 @@
+(* Tests for the shared-memory Domains pool backend (OCaml >= 5.0).
+
+   Everything here must respect the process-wide ordering rule the
+   OCaml 5 runtime imposes: [Unix.fork] is refused permanently once any
+   domain has been spawned. So the seq/fork/domains parity property
+   runs its fork pass first and is declared first; every other test
+   uses only the domains backend; and the test asserting the clean
+   fork-after-domains error runs last. On OCaml 4.14 the backend is a
+   stub: the parity and behaviour tests skip, and the stub test checks
+   the documented one-line error instead. *)
+
+module Pool = Hlts_pool.Pool
+module Synth = Hlts_synth.Synth
+module B = Hlts_dfg.Benchmarks
+module Obs = Hlts_obs
+
+let domains_ok = Pool.backend_available Pool.Domains
+
+let skip_unless_domains () = if not domains_ok then Alcotest.skip ()
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  n = 0 || at 0
+
+let check_fails ?(exn = "Failure") ~substring f =
+  let got msg =
+    if not (contains ~sub:substring msg) then
+      Alcotest.failf "%s %S does not mention %S" exn msg substring
+  in
+  match f () with
+  | _ -> Alcotest.failf "expected %s mentioning %S" exn substring
+  | exception Failure msg when exn = "Failure" -> got msg
+  | exception Invalid_argument msg when exn = "Invalid_argument" -> got msg
+
+(* --- determinism: seq vs fork vs domains --------------------------------- *)
+
+let records_digest records =
+  let line r =
+    Printf.sprintf "%d|%s|%d|%h|%h|%h" r.Synth.iteration r.Synth.description
+      r.Synth.delta_e r.Synth.delta_h r.Synth.cost r.Synth.seq_depth
+  in
+  Digest.to_hex (Digest.string (String.concat "\n" (List.map line records)))
+
+(* Property: on 200 seeded random DFGs, the domains backend lands on
+   exactly the serial and fork digests. The fork pass runs first (see
+   header); its digests double as the fork-vs-seq cross-check. *)
+let test_three_way_digests () =
+  skip_unless_domains ();
+  let seeds = List.init 200 (fun i -> i + 1) in
+  let dfgs =
+    List.map (fun seed -> (seed, B.random ~seed ~ops:(4 + (seed mod 17)))) seeds
+  in
+  (* pass 1: serial + fork, before any domain exists *)
+  let reference =
+    List.map
+      (fun (seed, dfg) ->
+        let r1 = Synth.run ~jobs:1 dfg in
+        let rf = Synth.run ~jobs:4 ~backend:Pool.Fork dfg in
+        let d1 = records_digest r1.Synth.records in
+        Alcotest.(check string)
+          (Printf.sprintf "seed %d: fork digest" seed)
+          d1
+          (records_digest rf.Synth.records);
+        (seed, dfg, d1))
+      dfgs
+  in
+  (* pass 2: domains, compared against the same digests *)
+  List.iter
+    (fun (seed, dfg, d1) ->
+      let rd = Synth.run ~jobs:4 ~backend:Pool.Domains dfg in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: domains digest" seed)
+        d1
+        (records_digest rd.Synth.records))
+    reference
+
+let test_tseng_golden () =
+  skip_unless_domains ();
+  let r = Synth.run ~jobs:4 ~backend:Pool.Domains B.tseng in
+  Alcotest.(check string)
+    "tseng domains -j 4 hits the serial golden digest"
+    "e7d29eb3d02b6a2b3332583109dbb378"
+    (records_digest r.Synth.records)
+
+(* --- basic pool behaviour on the domains transport ----------------------- *)
+
+let test_map_roundtrip () =
+  skip_unless_domains ();
+  Pool.with_pool ~backend:Pool.Domains ~name:"d.map" ~jobs:3 (fun n -> n * n)
+  @@ fun pool ->
+  Alcotest.(check string) "backend reports domains" "domains"
+    (Pool.backend_name (Pool.backend pool));
+  let xs = List.init 20 Fun.id in
+  Alcotest.(check (list int))
+    "squares in order"
+    (List.map (fun n -> n * n) xs)
+    (Pool.map pool xs);
+  Alcotest.(check (list int)) "second batch" [ 100; 121 ]
+    (Pool.map pool [ 10; 11 ])
+
+let test_out_of_order_await () =
+  skip_unless_domains ();
+  Pool.with_pool ~backend:Pool.Domains ~name:"d.ooo" ~jobs:2 (fun n -> n + 1)
+  @@ fun pool ->
+  let a = Pool.submit pool 10 in
+  let b = Pool.submit pool 20 in
+  let c = Pool.submit pool 30 in
+  Alcotest.(check int) "last first" 31 (fst (Pool.await pool c));
+  Alcotest.(check int) "then first" 11 (fst (Pool.await pool a));
+  Alcotest.(check int) "then middle" 21 (fst (Pool.await pool b))
+
+(* Shared memory is the whole point: a task may return closures and
+   lazies that Marshal would reject, and mutations to a shared array are
+   visible to the parent after await's happens-before edge. *)
+let test_zero_copy () =
+  skip_unless_domains ();
+  let shared = Array.make 8 0 in
+  Pool.with_pool ~backend:Pool.Domains ~name:"d.zc" ~jobs:2
+    (fun i ->
+      shared.(i) <- i * 10;
+      fun () -> i)
+  @@ fun pool ->
+  let thunks = Pool.map pool [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+  Alcotest.(check (list int))
+    "closures returned through the pool"
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (List.map (fun f -> f ()) thunks);
+  Alcotest.(check (list int))
+    "worker writes visible to parent"
+    [ 0; 10; 20; 30; 40; 50; 60; 70 ]
+    (Array.to_list shared);
+  Alcotest.(check (pair int int)) "nothing framed" (0, 0) (Pool.io_bytes pool)
+
+let test_worker_index_lanes () =
+  skip_unless_domains ();
+  let jobs = 3 in
+  Alcotest.(check int) "parent is lane 0" 0 (Pool.worker_index ());
+  Alcotest.(check bool) "parent is not a worker" false (Pool.in_worker ());
+  Pool.with_pool ~backend:Pool.Domains ~name:"d.lane" ~jobs (fun _ ->
+      (Pool.worker_index (), Pool.in_worker ()))
+  @@ fun pool ->
+  List.iteri
+    (fun ticket (lane, inside) ->
+      Alcotest.(check int)
+        (Printf.sprintf "ticket %d on its round-robin lane" ticket)
+        (ticket mod jobs) lane;
+      Alcotest.(check bool) "in_worker inside the domain" true inside)
+    (Pool.map pool (List.init 9 Fun.id))
+
+(* --- failure handling ----------------------------------------------------- *)
+
+let test_task_exception () =
+  skip_unless_domains ();
+  Pool.with_pool ~backend:Pool.Domains ~name:"d.exn" ~jobs:2
+    (fun n -> if n < 0 then failwith "negative input" else n)
+  @@ fun pool ->
+  let bad = Pool.submit pool (-1) in
+  let good = Pool.submit pool 7 in
+  check_fails ~substring:"negative input" (fun () -> Pool.await pool bad);
+  (* an ordinary task exception does not kill the domain *)
+  Alcotest.(check int) "worker still serves" 7 (fst (Pool.await pool good));
+  Alcotest.(check (list int)) "both workers fine" [ 1; 2; 3; 4 ]
+    (Pool.map pool [ 1; 2; 3; 4 ])
+
+let test_broadcast_poisoning () =
+  skip_unless_domains ();
+  let f = function
+    | `Set n -> if n < 0 then failwith "bad control" else n
+    | `Get -> 0
+  in
+  Pool.with_pool ~backend:Pool.Domains ~name:"d.ctl" ~jobs:2 f @@ fun pool ->
+  Pool.broadcast pool (`Set 5);
+  Alcotest.(check int) "after good ctl" 0
+    (fst (Pool.await pool (Pool.submit pool `Get)));
+  Pool.broadcast pool (`Set (-1));
+  (* a failed broadcast poisons the domain: every later job on it
+     reports the control failure instead of silently diverging *)
+  check_fails ~substring:"control task failed" (fun () ->
+      Pool.await pool (Pool.submit pool `Get))
+
+let test_shutdown_rejects () =
+  skip_unless_domains ();
+  let pool = Pool.create ~backend:Pool.Domains ~name:"d.closed" ~jobs:2 Fun.id in
+  let t = Pool.submit pool 1 in
+  Alcotest.(check int) "works before" 1 (fst (Pool.await pool t));
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  (match Pool.submit pool 2 with
+  | _ -> Alcotest.fail "submit after shutdown accepted"
+  | exception Invalid_argument _ -> ());
+  match Pool.await pool t with
+  | _ -> Alcotest.fail "await after shutdown accepted"
+  | exception Invalid_argument _ -> ()
+
+(* --- observability and resources ----------------------------------------- *)
+
+let recording () =
+  let events = ref [] in
+  let sink = { Obs.emit = (fun e -> events := e :: !events); flush = ignore } in
+  (sink, fun () -> List.rev !events)
+
+let spanning_task n =
+  Obs.span ~cat:"work" "task.outer" (fun _ ->
+      Obs.span ~cat:"work" "task.inner" (fun _ -> ());
+      Obs.journal (Obs.Journal.Iter_begin { iteration = n; pool = 0 });
+      n + 1)
+
+let test_worker_span_restamp () =
+  skip_unless_domains ();
+  let sink, events = recording () in
+  let jobs = 2 in
+  let results =
+    Obs.with_sink sink (fun () ->
+        Pool.with_pool ~backend:Pool.Domains ~name:"d.obs" ~jobs spanning_task
+        @@ fun pool -> Pool.map pool [ 0; 1; 2; 3; 4; 5 ])
+  in
+  Alcotest.(check (list int)) "results" [ 1; 2; 3; 4; 5; 6 ] results;
+  let wspans =
+    List.filter_map
+      (function
+        | Obs.Worker_span { worker; ticket; span } -> Some (worker, ticket, span)
+        | _ -> None)
+      (events ())
+  in
+  Alcotest.(check int) "wspan count" 12 (List.length wspans);
+  List.iter
+    (fun (worker, ticket, span) ->
+      Alcotest.(check int) "round-robin lane" (ticket mod jobs) worker;
+      Alcotest.(check bool) "positive duration" true
+        (span.Obs.w_dur_ns >= 0L))
+    wspans;
+  let iters =
+    List.filter_map
+      (function
+        | Obs.Decision { d = Obs.Journal.Iter_begin { iteration; _ }; _ } ->
+          Some iteration
+        | _ -> None)
+      (events ())
+  in
+  Alcotest.(check (list int)) "decisions replayed in order" [ 0; 1; 2; 3; 4; 5 ]
+    iters
+
+let gauging_task n =
+  Obs.gauge "g.depth" (float_of_int (n mod 5));
+  Obs.gauge (Printf.sprintf "g.item.%d" (n mod 3)) (float_of_int n);
+  n
+
+let merged_gauges ~jobs items =
+  let sink, events = recording () in
+  ignore
+    (Obs.with_sink sink (fun () ->
+         Pool.with_pool ~backend:Pool.Domains ~name:"d.gauge" ~jobs gauging_task
+         @@ fun pool -> Pool.map pool items));
+  List.filter_map
+    (function
+      | Obs.Gauge { name; v; _ }
+        when String.length name >= 2 && String.sub name 0 2 = "g." ->
+        Some (name, v)
+      | _ -> None)
+    (events ())
+
+let test_gauge_merge_deterministic () =
+  skip_unless_domains ();
+  let items = List.init 23 Fun.id in
+  let g1 = merged_gauges ~jobs:1 items in
+  let g4 = merged_gauges ~jobs:4 items in
+  Alcotest.(check bool) "gauges observed" true (g1 <> []);
+  Alcotest.(check (list (pair string (float 0.0))))
+    "merged gauges identical at -j1 and -j4" g1 g4
+
+let test_worker_resources () =
+  skip_unless_domains ();
+  let sink, events = recording () in
+  let resources =
+    Obs.with_sink sink (fun () ->
+        Pool.with_pool ~backend:Pool.Domains ~name:"d.res" ~jobs:2 succ
+        @@ fun pool ->
+        ignore (Pool.map pool (List.init 10 Fun.id));
+        Pool.worker_resources pool)
+  in
+  Alcotest.(check int) "both workers reported" 2 (List.length resources);
+  let tasks =
+    List.fold_left (fun acc (_, r) -> acc + r.Pool.wr_tasks) 0 resources
+  in
+  Alcotest.(check int) "tasks served sum to batch size" 10 tasks;
+  (* GC words are domain-local and must be credible *)
+  List.iter
+    (fun (_, r) ->
+      Alcotest.(check bool) "minor words non-negative" true
+        (r.Pool.wr_minor_words >= 0.0))
+    resources;
+  let gauge_names =
+    List.filter_map
+      (function Obs.Gauge { name; _ } -> Some name | _ -> None)
+      (events ())
+  in
+  List.iter
+    (fun n -> Alcotest.(check bool) n true (List.mem n gauge_names))
+    [ "d.res.workers_rss_kb"; "d.res.workers_cpu_s"; "d.res.workers_tasks" ]
+
+let test_worker_resources_passive () =
+  skip_unless_domains ();
+  Obs.clear_sinks ();
+  Pool.with_pool ~backend:Pool.Domains ~name:"d.res.off" ~jobs:2 succ
+  @@ fun pool ->
+  ignore (Pool.map pool [ 1; 2; 3; 4 ]);
+  Alcotest.(check int) "no snapshots when passive" 0
+    (List.length (Pool.worker_resources pool))
+
+(* --- parallelism and the inline tier -------------------------------------- *)
+
+(* On a 1-core box every domains pool above runs inline (zero spawned
+   domains, [parallelism] 1); on a multicore box they spawn. Either
+   way the invariants hold: parallelism never exceeds the lane count,
+   and a 1-lane pool is always inline. *)
+let test_parallelism_bounds () =
+  skip_unless_domains ();
+  Pool.with_pool ~backend:Pool.Domains ~name:"d.par" ~jobs:4 Fun.id
+  @@ fun pool ->
+  let par = Pool.parallelism pool in
+  Alcotest.(check bool) "1 <= parallelism <= jobs" true
+    (1 <= par && par <= Pool.jobs pool);
+  Pool.with_pool ~backend:Pool.Domains ~name:"d.par1" ~jobs:1 Fun.id
+  @@ fun p1 -> Alcotest.(check int) "single lane is inline" 1 (Pool.parallelism p1)
+
+(* --- backend selection and the ordering rule ------------------------------ *)
+
+(* On a 4.14 runtime the domains backend must refuse with the exact
+   documented one-liner (CI greps the CLI for the same text). *)
+let test_stub_refusal () =
+  if domains_ok then Alcotest.skip ();
+  check_fails ~exn:"Invalid_argument" ~substring:"domains backend unavailable"
+    (fun () -> Pool.create ~backend:Pool.Domains ~name:"d.stub" ~jobs:2 Fun.id)
+
+(* Force the spawned-transport tier even on a 1-core box: with
+   HLTS_DOMAINS=2 the pool multiplexes its lanes onto two real
+   domains. The map round-trip exercises the queues and the tseng
+   synthesis pins the digest — 4 lanes on 2 domains must land on the
+   serial golden. Runs late by design: from here on the process has
+   spawned domains and can never fork again. *)
+let test_forced_spawned_transport () =
+  skip_unless_domains ();
+  Unix.putenv "HLTS_DOMAINS" "2";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "HLTS_DOMAINS" "" (* empty = unset *))
+    (fun () ->
+      (Pool.with_pool ~backend:Pool.Domains ~name:"d.spawn" ~jobs:4
+         (fun n -> n * n)
+       @@ fun pool ->
+       Alcotest.(check int) "two real domains" 2 (Pool.parallelism pool);
+       let xs = List.init 10 Fun.id in
+       Alcotest.(check (list int))
+         "squares through spawned domains"
+         (List.map (fun n -> n * n) xs)
+         (Pool.map pool xs));
+      let r = Synth.run ~jobs:4 ~backend:Pool.Domains B.tseng in
+      Alcotest.(check string)
+        "tseng digest, 4 lanes on 2 spawned domains"
+        "e7d29eb3d02b6a2b3332583109dbb378"
+        (records_digest r.Synth.records))
+
+(* Declared last: the forced-spawn test above has spawned real domains,
+   so the runtime will never fork again — the front must say so clearly
+   instead of letting Pool_fork explode mid-create. (Inline pools never
+   spawn, so only this tail of the suite is fork-poisoned.) *)
+let test_fork_refused_after_domains () =
+  skip_unless_domains ();
+  check_fails ~exn:"Invalid_argument" ~substring:"after a domains pool"
+    (fun () -> Pool.create ~backend:Pool.Fork ~name:"d.fork" ~jobs:2 Fun.id)
+
+let () =
+  Alcotest.run "hlts_domains"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "200 random DFGs: seq = fork = domains" `Quick
+            test_three_way_digests;
+          Alcotest.test_case "tseng golden digest" `Quick test_tseng_golden;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map round-trip" `Quick test_map_roundtrip;
+          Alcotest.test_case "out-of-order await" `Quick test_out_of_order_await;
+          Alcotest.test_case "zero-copy sharing" `Quick test_zero_copy;
+          Alcotest.test_case "worker_index lanes" `Quick test_worker_index_lanes;
+          Alcotest.test_case "task exception" `Quick test_task_exception;
+          Alcotest.test_case "broadcast poisoning" `Quick
+            test_broadcast_poisoning;
+          Alcotest.test_case "shutdown rejects" `Quick test_shutdown_rejects;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "worker span re-stamp" `Quick
+            test_worker_span_restamp;
+          Alcotest.test_case "gauge merge deterministic" `Quick
+            test_gauge_merge_deterministic;
+          Alcotest.test_case "worker resources" `Quick test_worker_resources;
+          Alcotest.test_case "passive pool skips snapshots" `Quick
+            test_worker_resources_passive;
+        ] );
+      ( "backend",
+        [
+          Alcotest.test_case "parallelism bounds" `Quick test_parallelism_bounds;
+          Alcotest.test_case "stub refuses with documented error" `Quick
+            test_stub_refusal;
+          Alcotest.test_case "forced spawned transport (HLTS_DOMAINS=2)" `Quick
+            test_forced_spawned_transport;
+          Alcotest.test_case "fork refused after domains" `Quick
+            test_fork_refused_after_domains;
+        ] );
+    ]

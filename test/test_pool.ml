@@ -17,7 +17,7 @@ let skip_unless_unix () =
 
 let test_map_roundtrip () =
   skip_unless_unix ();
-  Pool.with_pool ~name:"t.map" ~jobs:3 (fun n -> n * n) @@ fun pool ->
+  Pool.with_pool ~backend:Pool.Fork ~name:"t.map" ~jobs:3 (fun n -> n * n) @@ fun pool ->
   let xs = List.init 20 Fun.id in
   Alcotest.(check (list int))
     "squares in order"
@@ -28,7 +28,7 @@ let test_map_roundtrip () =
 
 let test_out_of_order_await () =
   skip_unless_unix ();
-  Pool.with_pool ~name:"t.ooo" ~jobs:2 (fun n -> n + 1) @@ fun pool ->
+  Pool.with_pool ~backend:Pool.Fork ~name:"t.ooo" ~jobs:2 (fun n -> n + 1) @@ fun pool ->
   let a = Pool.submit pool 10 in
   let b = Pool.submit pool 20 in
   let c = Pool.submit pool 30 in
@@ -43,7 +43,7 @@ let test_out_of_order_await () =
    partial writes with incremental reply parsing without deadlocking. *)
 let test_oversized_payloads () =
   skip_unless_unix ();
-  Pool.with_pool ~name:"t.big" ~jobs:2 String.uppercase_ascii @@ fun pool ->
+  Pool.with_pool ~backend:Pool.Fork ~name:"t.big" ~jobs:2 String.uppercase_ascii @@ fun pool ->
   let sizes = [ 1 lsl 20; 3 lsl 20; 6 lsl 20 ] in
   let tickets =
     List.map (fun n -> (n, Pool.submit pool (String.make n 'x'))) sizes
@@ -74,7 +74,7 @@ let check_fails ~substring f =
 
 let test_task_exception () =
   skip_unless_unix ();
-  Pool.with_pool ~name:"t.exn" ~jobs:2
+  Pool.with_pool ~backend:Pool.Fork ~name:"t.exn" ~jobs:2
     (fun n -> if n < 0 then failwith "negative input" else n)
   @@ fun pool ->
   let bad = Pool.submit pool (-1) in
@@ -87,7 +87,7 @@ let test_task_exception () =
 
 let test_worker_death_mid_task () =
   skip_unless_unix ();
-  Pool.with_pool ~name:"t.death" ~jobs:2
+  Pool.with_pool ~backend:Pool.Fork ~name:"t.death" ~jobs:2
     (fun n -> if n = 0 then Unix._exit 3 else n * 2)
   @@ fun pool ->
   let dead = Pool.submit pool 0 in (* worker 0 exits without replying *)
@@ -107,7 +107,7 @@ let test_broadcast_poisoning () =
     | `Set n -> if n < 0 then failwith "bad control" else n
     | `Get -> 0
   in
-  Pool.with_pool ~name:"t.ctl" ~jobs:2 f @@ fun pool ->
+  Pool.with_pool ~backend:Pool.Fork ~name:"t.ctl" ~jobs:2 f @@ fun pool ->
   Pool.broadcast pool (`Set 5);
   Alcotest.(check int) "after good ctl" 0 (fst (Pool.await pool (Pool.submit pool `Get)));
   Pool.broadcast pool (`Set (-1));
@@ -118,7 +118,7 @@ let test_broadcast_poisoning () =
 
 let test_shutdown_rejects () =
   skip_unless_unix ();
-  let pool = Pool.create ~name:"t.closed" ~jobs:2 Fun.id in
+  let pool = Pool.create ~backend:Pool.Fork ~name:"t.closed" ~jobs:2 Fun.id in
   let t = Pool.submit pool 1 in
   Alcotest.(check int) "works before" 1 (fst (Pool.await pool t));
   Pool.shutdown pool;
@@ -139,12 +139,12 @@ let test_no_fd_leaks () =
   if not (Sys.file_exists "/proc/self/fd") then Alcotest.skip ();
   let before = count_fds () in
   for _ = 1 to 3 do
-    Pool.with_pool ~name:"t.fds" ~jobs:4 succ @@ fun pool ->
+    Pool.with_pool ~backend:Pool.Fork ~name:"t.fds" ~jobs:4 succ @@ fun pool ->
     ignore (Pool.map pool [ 1; 2; 3; 4; 5; 6; 7; 8 ])
   done;
   (* the exception path of with_pool must also tear down *)
   (try
-     Pool.with_pool ~name:"t.fds.exn" ~jobs:2 succ @@ fun pool ->
+     Pool.with_pool ~backend:Pool.Fork ~name:"t.fds.exn" ~jobs:2 succ @@ fun pool ->
      ignore (Pool.map pool [ 1 ]);
      raise Exit
    with Exit -> ());
@@ -173,7 +173,7 @@ let test_worker_span_restamp () =
   let jobs = 2 in
   let results =
     Obs.with_sink sink (fun () ->
-        Pool.with_pool ~name:"t.obs" ~jobs spanning_task @@ fun pool ->
+        Pool.with_pool ~backend:Pool.Fork ~name:"t.obs" ~jobs spanning_task @@ fun pool ->
         Pool.map pool [ 0; 1; 2; 3; 4; 5 ])
   in
   Alcotest.(check (list int)) "results" [ 1; 2; 3; 4; 5; 6 ] results;
@@ -235,7 +235,7 @@ let test_chrome_worker_lanes () =
     (Obs.with_sink
        (Obs.chrome_sink (Buffer.add_string buf))
        (fun () ->
-         Pool.with_pool ~name:"t.lanes" ~jobs:2 spanning_task @@ fun pool ->
+         Pool.with_pool ~backend:Pool.Fork ~name:"t.lanes" ~jobs:2 spanning_task @@ fun pool ->
          Pool.map pool [ 0; 1; 2; 3 ]));
   match Obs.Json.of_string (Buffer.contents buf) with
   | Error e -> Alcotest.failf "trace does not parse: %s" e
@@ -308,7 +308,7 @@ let merged_gauges ~jobs items =
   let sink, events = recording () in
   ignore
     (Obs.with_sink sink (fun () ->
-         Pool.with_pool ~name:"t.gauge" ~jobs gauging_task @@ fun pool ->
+         Pool.with_pool ~backend:Pool.Fork ~name:"t.gauge" ~jobs gauging_task @@ fun pool ->
          Pool.map pool items));
   List.filter_map
     (function
@@ -332,7 +332,7 @@ let test_worker_resources () =
   let sink, events = recording () in
   let resources =
     Obs.with_sink sink (fun () ->
-        Pool.with_pool ~name:"t.res" ~jobs:2 succ @@ fun pool ->
+        Pool.with_pool ~backend:Pool.Fork ~name:"t.res" ~jobs:2 succ @@ fun pool ->
         ignore (Pool.map pool (List.init 10 Fun.id));
         Pool.worker_resources pool)
   in
@@ -366,7 +366,7 @@ let test_worker_resources () =
 let test_worker_resources_passive () =
   skip_unless_unix ();
   Obs.clear_sinks ();
-  Pool.with_pool ~name:"t.res.off" ~jobs:2 succ @@ fun pool ->
+  Pool.with_pool ~backend:Pool.Fork ~name:"t.res.off" ~jobs:2 succ @@ fun pool ->
   ignore (Pool.map pool [ 1; 2; 3; 4 ]);
   Alcotest.(check int) "no snapshots when passive" 0
     (List.length (Pool.worker_resources pool))
@@ -382,7 +382,7 @@ let test_chrome_span_nesting () =
        (Obs.chrome_sink (Buffer.add_string buf))
        (fun () ->
          Obs.span ~cat:"t" "parent.outer" (fun _ ->
-             Pool.with_pool ~name:"t.nest" ~jobs:2 spanning_task @@ fun pool ->
+             Pool.with_pool ~backend:Pool.Fork ~name:"t.nest" ~jobs:2 spanning_task @@ fun pool ->
              Pool.map pool [ 0; 1; 2; 3; 4; 5 ])));
   match Obs.Json.of_string (Buffer.contents buf) with
   | Error e -> Alcotest.failf "trace does not parse: %s" e
@@ -453,7 +453,7 @@ let test_parallel_matches_serial_random () =
     let dfg = B.random ~seed ~ops in
     let ctx = Printf.sprintf "seed %d ops %d" seed ops in
     let r1 = Synth.run ~jobs:1 dfg in
-    let r4 = Synth.run ~jobs:4 dfg in
+    let r4 = Synth.run ~jobs:4 ~backend:Pool.Fork dfg in
     Alcotest.(check string)
       (ctx ^ ": records digest")
       (records_digest r1.Synth.records)
@@ -475,13 +475,13 @@ let test_par_closure_items () =
   Alcotest.(check (list int))
     "closure-bearing items"
     (List.map eval items)
-    (Hlts_eval.Par.map ~jobs:3 eval items)
+    (Hlts_eval.Par.map ~jobs:3 ~backend:Pool.Fork eval items)
 
 (* And on a paper benchmark with its committed golden digest: the
    pooled path must land exactly on the serial golden. *)
 let test_parallel_matches_golden () =
   skip_unless_unix ();
-  let r = Synth.run ~jobs:4 B.tseng in
+  let r = Synth.run ~jobs:4 ~backend:Pool.Fork B.tseng in
   Alcotest.(check string)
     "tseng -j 4 hits the serial golden digest"
     "e7d29eb3d02b6a2b3332583109dbb378"
