@@ -16,7 +16,7 @@ let usage =
   "bench/main.exe [--table 1|2|3|extra] [-j N] [--backend fork|domains] \
    [--figure 1|2|3] [--ablation params|balance] [--bechamel] [--trace FILE] \
    [--seed N] [--json FILE] [--json-bench NAMES] [--json-pool FILE] \
-   [--json-atpg FILE] [--json-atpg-oracle] [--all]"
+   [--json-atpg FILE] [--json-atpg-oracle] [--json-serve FILE] [--all]"
 
 let atpg_config seed = { Hlts_atpg.Atpg.default_config with Hlts_atpg.Atpg.seed }
 
@@ -655,6 +655,145 @@ let run_json_atpg ~only ~oracle ~widths seed file =
   close_out oc;
   Printf.printf "wrote %s (%d entries)\n%!" file (List.length entries)
 
+(* --- JSON serve-cache benchmark (BENCH_serve.json) ------------------ *)
+
+(* Cold-versus-warm proof of the content-addressed cache: the full
+   bench sweep (Tables 1-3 plus the extra benchmarks) is issued twice
+   through the {!Engine} against one disk cache directory — first cold
+   (fresh directory), then warm (a fresh engine over the same
+   directory, so every hit comes from disk, as a restarted [hlts serve]
+   daemon would see it). The request, response and journal digests must
+   be byte-identical between the passes and the warm pass must report
+   every sweep fully cached; a violation aborts the benchmark rather
+   than committing an invalid file. The wall times and speedup are
+   machine facts recorded for the drift gate (which asserts the >= 5x
+   floor in CI). *)
+
+module Engine = Hlts_eval.Engine
+module Cache = Hlts_eval.Cache
+
+let serve_sweeps seed =
+  let atpg = atpg_config seed in
+  let params = { Synth.default_params with Synth.bits = 8 } in
+  let spec ~bench ~approach ~bits =
+    match Engine.spec ~params ~atpg ~bench ~approach ~bits () with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let table bench =
+    List.concat_map
+      (fun approach ->
+        List.map
+          (fun bits -> spec ~bench ~approach ~bits)
+          Experiments.widths)
+      Experiments.approaches
+  in
+  let extra bench =
+    List.map (fun approach -> spec ~bench ~approach ~bits:8)
+      Experiments.approaches
+  in
+  [
+    ("table1-ex", table "ex");
+    ("table2-dct", table "dct");
+    ("table3-diffeq", table "diffeq");
+    ("extra-ewf", extra "ewf");
+    ("extra-paulin", extra "paulin");
+    ("extra-tseng", extra "tseng");
+  ]
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let run_json_serve seed file =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hlts-serve-bench.%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then rm_rf dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> try rm_rf dir with Sys_error _ -> ())
+  @@ fun () ->
+  let sweeps = serve_sweeps seed in
+  let pass label =
+    (* fresh engine per pass: the warm pass holds no memory-tier state,
+       so every hit is a disk hit — the daemon-restart scenario *)
+    let engine = Engine.create ~cache:(Cache.create ~dir:(Some dir) ()) () in
+    List.map
+      (fun (name, cells) ->
+        Printf.printf "json-serve: %s %s...%!" label name;
+        let t0 = Hlts_obs.Clock.now_ns () in
+        let r = Engine.run engine (Engine.Sweep cells) in
+        let wall = Hlts_obs.Clock.seconds_since t0 in
+        Printf.printf " done [%.2fs]%s\n%!" wall
+          (if r.Engine.cached then " (cached)" else "");
+        (name, cells, r, wall))
+      sweeps
+  in
+  let cold = pass "cold" in
+  let warm = pass "warm" in
+  let total walls =
+    List.fold_left (fun acc (_, _, _, w) -> acc +. w) 0.0 walls
+  in
+  let entries =
+    List.map2
+      (fun (name, cells, (rc : Engine.result), wall_cold)
+           (_, _, (rw : Engine.result), wall_warm) ->
+        let dig (r : Engine.result) =
+          ( r.Engine.digest,
+            Engine.response_digest r.Engine.response,
+            Engine.journal_digest r.Engine.journal )
+        in
+        if dig rc <> dig rw then
+          failwith
+            (Printf.sprintf "%s: warm digests differ from cold digests" name);
+        if not rw.Engine.cached then
+          failwith (Printf.sprintf "%s: warm pass was not fully cached" name);
+        let req_d, resp_d, journal_d = dig rc in
+        let open Hlts_obs.Json in
+        Obj
+          [
+            ("name", Str name);
+            ("cells", Int (List.length cells));
+            ("wall_cold_s", Float wall_cold);
+            ("wall_warm_s", Float wall_warm);
+            ( "speedup",
+              Float (if wall_warm > 0.0 then wall_cold /. wall_warm else 0.0)
+            );
+            ("request_digest", Str req_d);
+            ("response_digest", Str resp_d);
+            ("journal_digest", Str journal_d);
+          ])
+      cold warm
+  in
+  let cold_s = total cold and warm_s = total warm in
+  let speedup = if warm_s > 0.0 then cold_s /. warm_s else 0.0 in
+  Printf.printf "json-serve: cold %.2fs, warm %.4fs, speedup %.0fx\n%!" cold_s
+    warm_s speedup;
+  let doc =
+    Hlts_obs.Json.(
+      Obj
+        [
+          ("schema", Str "hlts-bench-serve/1");
+          ("host", host_json ~jobs:[]);
+          ("res", res_json ());
+          ("seed", Int seed);
+          ("wall_cold_s", Float cold_s);
+          ("wall_warm_s", Float warm_s);
+          ("speedup", Float speedup);
+          ("sweeps", List entries);
+        ])
+  in
+  let oc = open_out file in
+  output_string oc (Hlts_obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d sweeps)\n%!" file (List.length entries)
+
 (* --- Bechamel timing: one Test.make per table ----------------------- *)
 
 let bechamel_tests =
@@ -770,6 +909,10 @@ let () =
         "       re-run each --json-atpg cell on both scalar replay engines \
          (cone and full), assert bit-identical results, and report the \
          speedups" );
+      ( "--json-serve",
+        Arg.String (fun f -> add (fun () -> run_json_serve !seed f)),
+        "FILE   write the cold-vs-warm serve-cache benchmark \
+         (BENCH_serve.json); asserts byte-identical digests" );
       ( "--json-atpg-widths",
         Arg.String
           (fun s ->

@@ -7,13 +7,7 @@ module Render = Hlts_eval.Render
 module Experiments = Hlts_eval.Experiments
 module Obs = Hlts_obs
 
-let find_bench name =
-  match Hlts_dfg.Benchmarks.find name with
-  | Some d -> Ok d
-  | None ->
-    Error
-      (Printf.sprintf "unknown benchmark %S (try: %s)" name
-         (String.concat ", " (List.map fst Hlts_dfg.Benchmarks.all)))
+let find_bench = Hlts_dfg.Benchmarks.find_result
 
 let find_approach name =
   match Flows.approach_of_string name with
@@ -687,6 +681,317 @@ let top_cmd =
           following a still-running job.")
     Term.(const run $ hb_file $ follow_arg $ frames_arg $ interval_arg)
 
+(* --- serve / submit / cache ---------------------------------------- *)
+
+module Cache = Hlts_eval.Cache
+module Serve = Hlts_eval.Serve
+module Client = Hlts_eval.Client
+module Wire = Hlts_eval.Wire
+module Engine = Hlts_eval.Engine
+module Json = Obs.Json
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let cache_dir_arg =
+  let doc =
+    "Cache directory (default: the HLTS_CACHE_DIR environment variable, \
+     else ~/.cache/hlts)."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let resolve_cache_dir = function
+  | Some d -> d
+  | None -> Cache.default_dir ()
+
+let tcp_arg =
+  let doc = "Listen on (or connect to) TCP $(docv) instead of the Unix socket." in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let socket_arg =
+  let doc =
+    "Unix-domain socket path (default: $(b,serve.sock) in the cache \
+     directory)."
+  in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let resolve_addr ~tcp ~socket ~cache_dir =
+  match (tcp, socket) with
+  | Some _, Some _ -> Error "--tcp and --socket are mutually exclusive"
+  | Some hp, None -> Wire.parse_tcp hp
+  | None, Some p -> Ok (Wire.Unix_path p)
+  | None, None -> Ok (Wire.Unix_path (Serve.default_socket_path cache_dir))
+
+let serve_cmd =
+  let jobs_arg =
+    let doc =
+      "Worker-pool size for sweep fan-out and PPSFP word batches \
+       (default: the HLTS_JOBS environment variable, else 1)."
+    in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc =
+      "Async jobs held before the daemon busy-rejects new submissions \
+       (backpressure, not buffering)."
+    in
+    Arg.(value & opt int 64 & info [ "queue-limit" ] ~docv:"N" ~doc)
+  in
+  let mem_arg =
+    let doc = "In-memory cache capacity (entries, all kinds)." in
+    Arg.(value & opt int 512 & info [ "mem-entries" ] ~docv:"N" ~doc)
+  in
+  let no_disk_arg =
+    let doc = "Keep the cache in memory only; do not touch the cache directory." in
+    Arg.(value & flag & info [ "no-disk" ] ~doc)
+  in
+  let run tcp socket cache_dir jobs backend queue_limit mem_entries no_disk =
+    with_errors (fun () ->
+        let dir = resolve_cache_dir cache_dir in
+        let* addr = resolve_addr ~tcp ~socket ~cache_dir:dir in
+        if not no_disk then mkdir_p dir;
+        (match addr with
+        | Wire.Unix_path p -> mkdir_p (Filename.dirname p)
+        | Wire.Tcp _ -> ());
+        let cache =
+          Cache.create ~dir:(if no_disk then None else Some dir) ~mem_entries ()
+        in
+        let log line =
+          Printf.eprintf "hlts serve: %s\n%!" line
+        in
+        match
+          Serve.run
+            { Serve.addr; cache; jobs; backend; queue_limit; log }
+        with
+        | () -> Ok ()
+        | exception Failure msg -> Error msg
+        | exception Unix.Unix_error (e, fn, arg) ->
+          Error
+            (Printf.sprintf "%s: %s (%s %s)"
+               (Wire.addr_to_string addr) (Unix.error_message e) fn arg))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the batch-synthesis daemon: length-prefixed JSON requests \
+          over a Unix-domain socket (or --tcp), answered from the \
+          content-addressed result cache. SIGTERM drains gracefully.")
+    Term.(const run $ tcp_arg $ socket_arg $ cache_dir_arg $ jobs_arg
+          $ backend_arg $ queue_arg $ mem_arg $ no_disk_arg)
+
+let submit_cmd =
+  let op_arg =
+    let doc =
+      "Operation: $(b,ping), $(b,stats), $(b,shutdown), $(b,synth), \
+       $(b,testability), $(b,atpg) or $(b,sweep) (all approaches x 4/8/16 \
+       bits for each benchmark, i.e. one paper table per benchmark)."
+    in
+    Arg.(value & pos 0 string "ping" & info [] ~docv:"OP" ~doc)
+  in
+  let benches_arg =
+    let doc = "Benchmark name(s), comma-separated for sweep." in
+    Arg.(value & opt string "diffeq" & info [ "b"; "bench" ] ~docv:"NAMES" ~doc)
+  in
+  let engine_arg =
+    let doc = "Fault-grading engine: ppsfp, cone or full." in
+    Arg.(value & opt (enum [ ("ppsfp", `Ppsfp); ("cone", `Cone); ("full", `Full) ])
+           `Ppsfp & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let async_arg =
+    let doc =
+      "Do not wait: the daemon queues the work and replies immediately \
+       with the request digest; resubmit later to collect the cached \
+       result. A full queue is a busy rejection (exit 2)."
+    in
+    Arg.(value & flag & info [ "async" ] ~doc)
+  in
+  let wait_arg =
+    let doc = "Wait for the result (the default; negates a habit of --async)." in
+    Arg.(value & flag & info [ "wait" ] ~doc)
+  in
+  let journal_arg =
+    let doc = "Include the decision journal in the reply (printed with --raw)." in
+    Arg.(value & flag & info [ "journal" ] ~doc)
+  in
+  let raw_arg =
+    let doc = "Print the raw JSON reply instead of the summary lines." in
+    Arg.(value & flag & info [ "raw" ] ~doc)
+  in
+  let summarize reply =
+    let str name =
+      match Json.member name reply with Some (Json.Str s) -> Some s | _ -> None
+    in
+    (match Json.member "accepted" reply with
+    | Some (Json.Bool true) ->
+      Printf.printf "accepted digest=%s\n"
+        (Option.value ~default:"?" (str "digest"))
+    | _ -> (
+      match str "digest" with
+      | Some digest ->
+        let cached =
+          match Json.member "cached" reply with
+          | Some (Json.Bool true) -> "hit"
+          | _ -> "miss"
+        in
+        Printf.printf "digest=%s cache=%s response_digest=%s journal_digest=%s\n"
+          digest cached
+          (Option.value ~default:"?" (str "response_digest"))
+          (Option.value ~default:"?" (str "journal_digest"));
+        (match Json.member "response" reply with
+        | Some (Json.Obj _ as resp) -> (
+          let rows =
+            match Json.member "rows" resp with
+            | Some (Json.List rows) -> rows
+            | _ -> (
+              match Json.member "row" resp with Some r -> [ r ] | None -> [])
+          in
+          List.iter
+            (fun row ->
+              match
+                ( Json.member "approach" row,
+                  Json.member "bits" row,
+                  Json.member "fault_coverage_pct" row )
+              with
+              | Some (Json.Str a), Some (Json.Int b), Some cov ->
+                let cov =
+                  match cov with
+                  | Json.Float f -> f
+                  | Json.Int i -> float_of_int i
+                  | _ -> nan
+                in
+                Printf.printf "  %-12s %2d bit  cov %6.2f%%\n" a b cov
+              | _ -> ())
+            rows)
+        | _ -> ())
+      | None -> print_string (Json.to_string reply); print_newline ()));
+    Ok ()
+  in
+  let run op benches approach bits seed engine tcp socket cache_dir async wait
+      journal raw =
+    with_errors (fun () ->
+        ignore wait;
+        let dir = resolve_cache_dir cache_dir in
+        let* addr = resolve_addr ~tcp ~socket ~cache_dir:dir in
+        let* envelope =
+          match op with
+          | "ping" | "stats" | "shutdown" ->
+            Ok (Json.Obj [ ("op", Json.Str op) ])
+          | "synth" | "testability" | "atpg" | "sweep" ->
+            let* a = find_approach approach in
+            let atpg = atpg_config seed in
+            let names = String.split_on_char ',' benches in
+            let* req =
+              match op with
+              | "sweep" ->
+                let* cells =
+                  List.fold_left
+                    (fun acc bench ->
+                      let* acc = acc in
+                      let* per_bench =
+                        List.fold_left
+                          (fun acc approach ->
+                            let* acc = acc in
+                            let* s =
+                              Engine.spec ~atpg ~engine ~bench ~approach
+                                ~bits ()
+                            in
+                            Ok (s :: acc))
+                          (Ok []) Experiments.approaches
+                      in
+                      Ok (List.rev_append per_bench acc))
+                    (Ok []) names
+                in
+                Ok (Engine.Sweep (List.rev cells))
+              | single -> (
+                let* bench =
+                  match names with
+                  | [ b ] -> Ok b
+                  | _ -> Error "one benchmark per non-sweep request"
+                in
+                let* s = Engine.spec ~atpg ~engine ~bench ~approach:a ~bits () in
+                Ok
+                  (match single with
+                  | "synth" -> Engine.Synth s
+                  | "testability" -> Engine.Testability s
+                  | _ -> Engine.Atpg s))
+            in
+            let extra =
+              (if async then [ ("wait", Json.Bool false) ] else [])
+              @ if journal then [ ("journal", Json.Bool true) ] else []
+            in
+            (match Engine.request_to_json req with
+            | Json.Obj fields -> Ok (Json.Obj (fields @ extra))
+            | j -> Ok j)
+          | other -> Error (Printf.sprintf "unknown op %S" other)
+        in
+        let* reply =
+          Client.with_connection addr (fun c -> Client.rpc c envelope)
+        in
+        match Client.ok reply with
+        | Error msg -> Error msg
+        | Ok reply ->
+          if raw then begin
+            print_string (Json.to_string reply);
+            print_newline ();
+            Ok ()
+          end
+          else summarize reply)
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a request to a running $(b,hlts serve) daemon.")
+    Term.(const run $ op_arg $ benches_arg $ approach_arg $ bits_arg
+          $ seed_arg $ engine_arg $ tcp_arg $ socket_arg $ cache_dir_arg
+          $ async_arg $ wait_arg $ journal_arg $ raw_arg)
+
+let cache_cmd =
+  let action_arg =
+    let doc = "$(b,stats) (scan, report, evict corrupt) or $(b,clear)." in
+    Arg.(value & pos 0 string "stats" & info [] ~docv:"ACTION" ~doc)
+  in
+  let run action cache_dir =
+    with_errors (fun () ->
+        let dir = resolve_cache_dir cache_dir in
+        match action with
+        | "stats" ->
+          if not (Sys.file_exists dir) then begin
+            Printf.printf "%s: empty (directory does not exist)\n" dir;
+            Ok ()
+          end
+          else begin
+            let s = Cache.scan_dir dir in
+            Printf.printf "%s: %d entries, %d bytes\n" dir s.Cache.entries
+              s.Cache.bytes;
+            List.iter
+              (fun (kind, n) -> Printf.printf "  %-12s %d\n" kind n)
+              s.Cache.kinds;
+            (match s.Cache.corrupt with
+            | [] -> ()
+            | paths ->
+              Printf.printf "evicted %d corrupt entr%s:\n" (List.length paths)
+                (if List.length paths = 1 then "y" else "ies");
+              List.iter (fun p -> Printf.printf "  %s\n" p) paths);
+            Ok ()
+          end
+        | "clear" ->
+          let n = if Sys.file_exists dir then Cache.clear_dir dir else 0 in
+          Printf.printf "%s: removed %d entr%s\n" dir n
+            (if n = 1 then "y" else "ies");
+          Ok ()
+        | other -> Error (Printf.sprintf "unknown cache action %S" other))
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect or clear the content-addressed result cache. \
+          $(b,stats) validates every entry (magic, version, checksum, \
+          length) and evicts the corrupt ones.")
+    Term.(const run $ action_arg $ cache_dir_arg)
+
 let () =
   let info =
     Cmd.info "hlts" ~version:"1.0.0"
@@ -701,5 +1006,6 @@ let () =
           [
             list_cmd; synth_cmd; testability_cmd; atpg_cmd; profile_cmd;
             report_cmd; top_cmd; table_cmd; figure_cmd; ablation_cmd;
-            verify_cmd; dot_cmd; compile_cmd;
+            verify_cmd; dot_cmd; compile_cmd; serve_cmd; submit_cmd;
+            cache_cmd;
           ]))

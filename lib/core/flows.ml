@@ -18,8 +18,10 @@ let approach_name = function
 let approach_of_string s =
   match String.lowercase_ascii s with
   | "camad" -> Some Camad
-  | "approach1" | "approach-1" | "approach_1" | "a1" | "fds" -> Some Approach1
-  | "approach2" | "approach-2" | "approach_2" | "a2" | "lee" -> Some Approach2
+  | "approach1" | "approach-1" | "approach_1" | "approach 1" | "a1" | "fds" ->
+    Some Approach1
+  | "approach2" | "approach-2" | "approach_2" | "approach 2" | "a2" | "lee" ->
+    Some Approach2
   | "ours" | "yang-peng" | "integrated" -> Some Ours
   | _ -> None
 

@@ -311,3 +311,26 @@ let find name =
       Scanf.sscanf name "rnd-s%d-n%d%!" (fun seed ops ->
           if ops < 1 then None else Some (random ~seed ~ops))
     with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)
+
+let names = List.map fst all
+
+let find_result name =
+  match find name with
+  | Some dfg -> Ok dfg
+  | None ->
+    let is_rnd =
+      String.length name >= 4
+      && String.lowercase_ascii (String.sub name 0 4) = "rnd-"
+    in
+    Error
+      (if is_rnd then
+         Printf.sprintf
+           "unknown benchmark %S: synthetic names are rnd-s<seed>-n<ops> \
+            with ops >= 1 (e.g. rnd-s11-n100)"
+           name
+       else
+         Printf.sprintf
+           "unknown benchmark %S (available: %s; or a seeded synthetic \
+            rnd-s<seed>-n<ops>, e.g. rnd-s11-n100)"
+           name
+           (String.concat ", " names))

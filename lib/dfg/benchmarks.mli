@@ -52,4 +52,14 @@ val all : (string * Dfg.t) list
 (** All benchmarks keyed by lowercase name, paper benchmarks first. *)
 
 val find : string -> Dfg.t option
-(** Case-insensitive lookup in {!all}. *)
+(** Case-insensitive lookup in {!all}; also resolves the seeded
+    synthetic family by name ([rnd-s<seed>-n<ops>]). *)
+
+val names : string list
+(** The names {!find} resolves directly (the keys of {!all}), in listing
+    order — not including the open-ended [rnd-s<seed>-n<ops>] family. *)
+
+val find_result : string -> (Dfg.t, string) result
+(** {!find} with a diagnosable failure: the error message lists every
+    available name and describes the [rnd-s<seed>-n<ops>] scheme (and
+    pinpoints a malformed [rnd-] request, e.g. [ops < 1]). *)

@@ -255,6 +255,41 @@ let pp_operand ppf = function
   | Const c -> Format.pp_print_int ppf c
   | Op id -> Format.fprintf ppf "@@N%d" id
 
+(* Content digest. The canonical form sorts operations by id, so any
+   permutation of [ops] that denotes the same DAG — in particular any
+   topological re-ordering — digests identically. The [name] is
+   excluded: a digest identifies the computation, not what a benchmark
+   table happens to call it. Input and output order stay significant
+   (they are the design's port ordering). *)
+let digest t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "dfg/1;in:";
+  List.iter
+    (fun i ->
+      Buffer.add_string buf i;
+      Buffer.add_char buf ',')
+    t.inputs;
+  Buffer.add_string buf ";ops:";
+  let operand = function
+    | Input name -> "i" ^ name
+    | Const c -> "c" ^ string_of_int c
+    | Op id -> "r" ^ string_of_int id
+  in
+  List.iter
+    (fun o ->
+      let a, b = o.args in
+      Buffer.add_string buf
+        (Printf.sprintf "%d:%s:%s:%s:%s;" o.id (Op.symbol o.kind) (operand a)
+           (operand b) o.result))
+    (List.sort (fun a b -> compare a.id b.id) t.ops);
+  Buffer.add_string buf ";out:";
+  List.iter
+    (fun o ->
+      Buffer.add_string buf o;
+      Buffer.add_char buf ',')
+    t.outputs;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>design %s@,inputs: %s@,outputs: %s@,"
     t.name

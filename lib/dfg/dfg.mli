@@ -89,3 +89,12 @@ val eval : t -> bits:int -> (string * int) list -> (string * int) list
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable listing, one operation per line. *)
+
+val digest : t -> string
+(** MD5 hex over a canonical rendering of the graph: inputs and outputs
+    in port order, operations sorted by id. Invariant under any
+    re-ordering of [ops] that denotes the same DAG (e.g. a different
+    topological sort); sensitive to every structural fact — ids, kinds,
+    operands, result names, port lists. The [name] field is excluded, so
+    structurally identical designs share a digest. This is the
+    content-address the {!Hlts_eval} cache keys synthesis work by. *)

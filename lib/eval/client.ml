@@ -1,0 +1,70 @@
+module Json = Hlts_obs.Json
+
+type t = { fd : Unix.file_descr }
+
+let connect addr =
+  match
+    let sa = Wire.sockaddr addr in
+    let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sa with
+    | () -> Ok { fd }
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  with
+  | r -> r
+  | exception Unix.Unix_error (e, _, _) ->
+    Error
+      (Printf.sprintf "cannot connect to %s: %s (is the daemon running?)"
+         (Wire.addr_to_string addr) (Unix.error_message e))
+  | exception Failure m -> Error m
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let read_reply t =
+  match Wire.read_frame t.fd with
+  | Some j -> Ok j
+  | None -> Error "daemon closed the connection"
+  | exception Failure m -> Error m
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let rpc t envelope =
+  match Wire.write_frame t.fd envelope with
+  | () -> read_reply t
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let rpc_many t envelopes =
+  match List.iter (Wire.write_frame t.fd) envelopes with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | () ->
+    List.fold_left
+      (fun acc _ ->
+        match acc with
+        | Error _ as e -> e
+        | Ok replies -> (
+          match read_reply t with
+          | Ok r -> Ok (r :: replies)
+          | Error _ as e -> e))
+      (Ok []) envelopes
+    |> Result.map List.rev
+
+let with_connection addr f =
+  match connect addr with
+  | Error _ as e -> e
+  | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let ok reply =
+  match Json.member "ok" reply with
+  | Some (Json.Bool true) -> Ok reply
+  | _ ->
+    let msg =
+      match Json.member "error" reply with
+      | Some (Json.Str m) -> m
+      | _ -> "daemon error"
+    in
+    let busy =
+      match Json.member "busy" reply with
+      | Some (Json.Bool true) -> true
+      | _ -> false
+    in
+    Error (if busy then "busy: " ^ msg else msg)

@@ -1,0 +1,28 @@
+(** Thin client for the [hlts serve] daemon ([hlts submit]). *)
+
+type t
+
+val connect : Wire.addr -> (t, string) result
+(** One connection; requests may be pipelined on it. *)
+
+val close : t -> unit
+
+val rpc : t -> Hlts_obs.Json.t -> (Hlts_obs.Json.t, string) result
+(** Sends one envelope, waits for its reply frame. [Error] covers
+    connection loss and protocol violations; a daemon-side failure is a
+    well-formed reply with [ok:false] — inspect it with {!ok}. *)
+
+val rpc_many :
+  t -> Hlts_obs.Json.t list -> (Hlts_obs.Json.t list, string) result
+(** Writes every envelope before reading any reply (the pipelined
+    async-submit path: the daemon decodes all frames, then answers in
+    order — this is what makes queue-full backpressure deterministic).
+    Replies come back in request order. *)
+
+val with_connection :
+  Wire.addr -> (t -> ('a, string) result) -> ('a, string) result
+
+val ok : Hlts_obs.Json.t -> (Hlts_obs.Json.t, string) result
+(** Resolves a reply envelope: [ok:true] passes it through, [ok:false]
+    extracts the error message (prefixed ["busy: "] when the daemon
+    rejected for backpressure). *)

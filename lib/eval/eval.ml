@@ -57,14 +57,11 @@ let register_listing dfg binding =
            (List.map (Dfg.value_name dfg) reg.Binding.reg_values)))
     binding.Binding.registers
 
-let evaluate_outcome ?(atpg = Atpg.default_config) ?engine ?jobs ?backend
-    (o : Flows.outcome) ~bits =
+let row_of_atpg (o : Flows.outcome) ~bits (r : Atpg.result) =
   let etpn = o.Flows.etpn in
   let dfg = o.Flows.state.State.dfg in
   let stats = Etpn.stats etpn in
   let analysis = Testability.analyze etpn in
-  let circuit = Hlts_netlist.Expand.circuit etpn ~bits in
-  let r = Atpg.run ~config:atpg ?engine ?jobs ?backend circuit in
   {
     approach = o.Flows.approach;
     bits;
@@ -85,6 +82,11 @@ let evaluate_outcome ?(atpg = Atpg.default_config) ?engine ?jobs ?backend
     gate_count = r.Atpg.gate_count;
     detect_digest = r.Atpg.detect_digest;
   }
+
+let evaluate_outcome ?(atpg = Atpg.default_config) ?engine ?jobs ?backend
+    (o : Flows.outcome) ~bits =
+  let circuit = Hlts_netlist.Expand.circuit o.Flows.etpn ~bits in
+  row_of_atpg o ~bits (Atpg.run ~config:atpg ?engine ?jobs ?backend circuit)
 
 let evaluate ?params ?atpg ?engine ?jobs ?backend approach dfg ~bits =
   evaluate_outcome ?atpg ?engine ?jobs ?backend

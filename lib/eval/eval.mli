@@ -48,6 +48,14 @@ val evaluate :
     transport); the row is bit-identical for every combination except
     the timing fields. *)
 
+val row_of_atpg :
+  Hlts_synth.Flows.outcome -> bits:int -> Hlts_atpg.Atpg.result -> row
+(** Assembles a table row from an already-run ATPG result (the
+    structural metrics and testability analysis are recomputed from the
+    outcome). {!evaluate_outcome} is [row_of_atpg] after expanding the
+    ETPN and running the ATPG stack; the {!Engine} uses this directly so
+    a cached fault-simulation result skips that work. *)
+
 val evaluate_outcome :
   ?atpg:Hlts_atpg.Atpg.config ->
   ?engine:Hlts_atpg.Atpg.engine ->

@@ -6,47 +6,80 @@ let approaches = Flows.[ Camad; Approach1; Approach2; Ours ]
 
 let widths = [ 4; 8; 16 ]
 
+(* Every table-like experiment goes through the one {!Engine}
+   orchestration path — the same one [hlts serve] answers from — so a
+   row computed here, by the CLI, by the bench harness or by the daemon
+   is byte-identical. Callers without an engine get a fresh memory-only
+   one: behavior is then exactly the historical single-shot run. *)
+let engine_for ?engine ?jobs ?backend () =
+  match engine with
+  | Some e -> e
+  | None -> Engine.create ?jobs ?backend ()
+
+let spec_exn ?params ?atpg ~bench ~dfg ~approach ~bits () =
+  match Engine.spec ?params ?atpg ~dfg ~bench ~approach ~bits () with
+  | Ok s -> s
+  | Error e -> invalid_arg e
+
+let rows_exn (r : Engine.result) =
+  match r.Engine.response with
+  | Engine.Rows rows -> rows
+  | _ -> invalid_arg "sweep did not return rows"
+
+let row_exn (r : Engine.result) =
+  match r.Engine.response with
+  | Engine.Row row -> row
+  | _ -> invalid_arg "request did not return a row"
+
 (* One synthesis per approach with the baseline parameters (the paper's
    per-width triples were chosen to reach the same allocation at every
    width, so one canonical structure per approach is the faithful
    reading); the structure is then measured at 4, 8 and 16 bits.
 
-   Synthesis runs in-process (it is cheap and its outcome is shared by
-   the three widths); the (approach, width) ATPG cells then fan out
-   over [Par.map], which with [jobs <= 1] is exactly [List.map] — the
-   serial path — and otherwise forks workers and merges in the same
-   cell order, so the rows are identical for every job count. *)
-let table_rows ?atpg ?jobs ?backend dfg =
+   The engine shares the synthesized outcome across the three widths of
+   an approach (its outcome tier is keyed without the width) and fans
+   the (approach, width) ATPG cells out over [Par.map], which with
+   [jobs <= 1] is exactly [List.map] — the serial path — and otherwise
+   forks workers and merges in the same cell order, so the rows are
+   identical for every job count. *)
+let table_rows ?engine ?atpg ?jobs ?backend ?(bench = "") dfg =
+  let eng = engine_for ?engine ?jobs ?backend () in
   let params = { Synth.default_params with Synth.bits = 8 } in
   let cells =
     List.concat_map
       (fun approach ->
-        let o = Eval.outcome ~params approach dfg ~bits:8 in
-        List.map (fun bits -> (o, bits)) widths)
+        List.map
+          (fun bits ->
+            spec_exn ~params ?atpg ~bench ~dfg ~approach ~bits ())
+          widths)
       approaches
   in
-  Par.map ?jobs ?backend
-    (fun (o, bits) -> Eval.evaluate_outcome ?atpg o ~bits)
-    cells
+  rows_exn (Engine.run eng (Engine.Sweep cells))
 
-let table1 ?atpg ?jobs ?backend () = table_rows ?atpg ?jobs ?backend B.ex
-let table2 ?atpg ?jobs ?backend () = table_rows ?atpg ?jobs ?backend B.dct
-let table3 ?atpg ?jobs ?backend () = table_rows ?atpg ?jobs ?backend B.diffeq
+let table1 ?engine ?atpg ?jobs ?backend () =
+  table_rows ?engine ?atpg ?jobs ?backend ~bench:"ex" B.ex
+
+let table2 ?engine ?atpg ?jobs ?backend () =
+  table_rows ?engine ?atpg ?jobs ?backend ~bench:"dct" B.dct
+
+let table3 ?engine ?atpg ?jobs ?backend () =
+  table_rows ?engine ?atpg ?jobs ?backend ~bench:"diffeq" B.diffeq
 
 let extra_benches = [ ("ewf", B.ewf); ("paulin", B.paulin); ("tseng", B.tseng) ]
 
-let extra_rows ?atpg ?jobs ?backend () =
+let extra_rows ?engine ?atpg ?jobs ?backend () =
+  let eng = engine_for ?engine ?jobs ?backend () in
   let params = { Synth.default_params with Synth.bits = 8 } in
   let cells =
     List.concat_map
-      (fun (_, dfg) -> List.map (fun a -> (dfg, a)) approaches)
+      (fun (bench, dfg) ->
+        List.map
+          (fun approach ->
+            spec_exn ~params ?atpg ~bench ~dfg ~approach ~bits:8 ())
+          approaches)
       extra_benches
   in
-  let rows =
-    Par.map ?jobs ?backend
-      (fun (dfg, a) -> Eval.evaluate ~params ?atpg a dfg ~bits:8)
-      cells
-  in
+  let rows = rows_exn (Engine.run eng (Engine.Sweep cells)) in
   (* regroup the flat cell list: one row per approach, benchmark-major *)
   let per = List.length approaches in
   List.mapi
@@ -54,7 +87,8 @@ let extra_rows ?atpg ?jobs ?backend () =
       (name, List.filteri (fun i _ -> i / per = b) rows))
     extra_benches
 
-let ablation_params ?atpg () =
+let ablation_params ?engine ?atpg () =
+  let eng = engine_for ?engine () in
   let triples = [ (1, 2.0, 1.0); (3, 2.0, 1.0); (5, 2.0, 1.0);
                   (3, 10.0, 1.0); (3, 1.0, 10.0) ] in
   List.map
@@ -62,19 +96,30 @@ let ablation_params ?atpg () =
       let params =
         { Synth.default_params with Synth.k; alpha; beta; bits = 8 }
       in
-      ((k, alpha, beta), Eval.evaluate ?atpg ~params Flows.Ours B.ex ~bits:8))
+      let s =
+        spec_exn ~params ?atpg ~bench:"ex" ~dfg:B.ex ~approach:Flows.Ours
+          ~bits:8 ()
+      in
+      ((k, alpha, beta), row_exn (Engine.run eng (Engine.Atpg s))))
     triples
 
-let ablation_balance ?atpg () =
+let ablation_balance ?engine ?atpg () =
+  let eng = engine_for ?engine () in
+  let row approach bench dfg =
+    row_exn
+      (Engine.run eng
+         (Engine.Atpg (spec_exn ?atpg ~bench ~dfg ~approach ~bits:8 ())))
+  in
   List.concat_map
     (fun (name, dfg) ->
       [
-        (name ^ " balance", Eval.evaluate ?atpg Flows.Ours dfg ~bits:8);
-        (name ^ " connectivity", Eval.evaluate ?atpg Flows.Camad dfg ~bits:8);
+        (name ^ " balance", row Flows.Ours name dfg);
+        (name ^ " connectivity", row Flows.Camad name dfg);
       ])
     [ ("ex", B.ex); ("dct", B.dct); ("diffeq", B.diffeq) ]
 
-let ablation_latency ?atpg () =
+let ablation_latency ?engine ?atpg () =
+  let eng = engine_for ?engine () in
   List.concat_map
     (fun (name, dfg) ->
       List.map
@@ -83,7 +128,11 @@ let ablation_latency ?atpg () =
             { Synth.default_params with Synth.bits = 8;
               latency_factor = factor }
           in
-          ((name, factor), Eval.evaluate ?atpg ~params Flows.Ours dfg ~bits:8))
+          let s =
+            spec_exn ~params ?atpg ~bench:name ~dfg ~approach:Flows.Ours
+              ~bits:8 ()
+          in
+          ((name, factor), row_exn (Engine.run eng (Engine.Atpg s))))
         [ 1.0; 1.25; 1.5; 2.0 ])
     [ ("ex", B.ex); ("diffeq", B.diffeq) ]
 

@@ -8,51 +8,59 @@ val widths : int list
 (** 4, 8, 16 — the paper's implementations. *)
 
 val table_rows :
-  ?atpg:Hlts_atpg.Atpg.config -> ?jobs:int ->
-  ?backend:Hlts_pool.Pool.backend -> Hlts_dfg.Dfg.t -> Eval.row list
+  ?engine:Engine.t -> ?atpg:Hlts_atpg.Atpg.config -> ?jobs:int ->
+  ?backend:Hlts_pool.Pool.backend -> ?bench:string -> Hlts_dfg.Dfg.t ->
+  Eval.row list
 (** All approaches at all widths for one benchmark: the body of
-    Tables 1, 2, 3. Rows are grouped by approach, widths ascending.
-    [jobs] fans the (approach, width) ATPG cells out over that many
-    pool workers on [backend] ({!Par.map}); the default is
-    [Par.default_jobs ()] ([HLTS_JOBS], else 1 = the exact in-process
-    serial path). The rows are identical for every job count and
-    backend. *)
+    Tables 1, 2, 3, issued as one {!Engine.Sweep}. Rows are grouped by
+    approach, widths ascending. [engine] carries the cache (and its
+    jobs/backend settings) across calls — [hlts serve] and the bench
+    harness pass one; without it a fresh memory-only engine reproduces
+    the historical single-shot behavior, where [jobs] fans the
+    (approach, width) ATPG cells out over that many pool workers on
+    [backend] ({!Par.map}); the default is [Par.default_jobs ()]
+    ([HLTS_JOBS], else 1 = the exact in-process serial path). The rows
+    are identical for every job count, backend and cache state. *)
 
 val table1 :
-  ?atpg:Hlts_atpg.Atpg.config -> ?jobs:int ->
+  ?engine:Engine.t -> ?atpg:Hlts_atpg.Atpg.config -> ?jobs:int ->
   ?backend:Hlts_pool.Pool.backend -> unit -> Eval.row list
 (** Ex benchmark (Table 1). *)
 
 val table2 :
-  ?atpg:Hlts_atpg.Atpg.config -> ?jobs:int ->
+  ?engine:Engine.t -> ?atpg:Hlts_atpg.Atpg.config -> ?jobs:int ->
   ?backend:Hlts_pool.Pool.backend -> unit -> Eval.row list
 (** Dct benchmark (Table 2). *)
 
 val table3 :
-  ?atpg:Hlts_atpg.Atpg.config -> ?jobs:int ->
+  ?engine:Engine.t -> ?atpg:Hlts_atpg.Atpg.config -> ?jobs:int ->
   ?backend:Hlts_pool.Pool.backend -> unit -> Eval.row list
 (** Diffeq benchmark (Table 3). *)
 
 val extra_rows :
-  ?atpg:Hlts_atpg.Atpg.config -> ?jobs:int ->
+  ?engine:Engine.t -> ?atpg:Hlts_atpg.Atpg.config -> ?jobs:int ->
   ?backend:Hlts_pool.Pool.backend -> unit -> (string * Eval.row list) list
 (** EWF, Paulin and Tseng at 8 bits (experiment X1: the benchmarks the
-    paper ran but omitted for space). [jobs] as in {!table_rows}. *)
+    paper ran but omitted for space). [engine]/[jobs] as in
+    {!table_rows}. *)
 
 val ablation_params :
-  ?atpg:Hlts_atpg.Atpg.config -> unit -> ((int * float * float) * Eval.row) list
+  ?engine:Engine.t -> ?atpg:Hlts_atpg.Atpg.config -> unit ->
+  ((int * float * float) * Eval.row) list
 (** Experiment X2: (k, alpha, beta) sweep of "Ours" on Ex at 8 bits — the
     paper's claim that the parameters "do not influence so much the final
     results". *)
 
 val ablation_balance :
-  ?atpg:Hlts_atpg.Atpg.config -> unit -> (string * Eval.row) list
+  ?engine:Engine.t -> ?atpg:Hlts_atpg.Atpg.config -> unit ->
+  (string * Eval.row) list
 (** Experiment X3: the same iterative engine with Balance vs Connectivity
     selection on Ex/Dct/Diffeq at 8 bits — isolating the contribution of
     the balance principle. *)
 
 val ablation_latency :
-  ?atpg:Hlts_atpg.Atpg.config -> unit -> ((string * float) * Eval.row) list
+  ?engine:Engine.t -> ?atpg:Hlts_atpg.Atpg.config -> unit ->
+  ((string * float) * Eval.row) list
 (** Experiment X5 (extension): time-for-area design-space sweep — "Ours"
     on Ex and Diffeq at 8 bits under latency budgets of 1.0x, 1.25x,
     1.5x and 2.0x the critical path. Shows the schedule-length / area /

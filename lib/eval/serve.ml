@@ -1,0 +1,295 @@
+module Json = Hlts_obs.Json
+module Obs = Hlts_obs
+
+type config = {
+  addr : Wire.addr;
+  cache : Cache.t;
+  jobs : int option;
+  backend : Hlts_pool.Pool.backend option;
+  queue_limit : int;
+  log : string -> unit;
+}
+
+let default_socket_path cache_dir = Filename.concat cache_dir "serve.sock"
+
+type conn = { fd : Unix.file_descr; dec : Wire.decoder }
+
+type state = {
+  cfg : config;
+  engine : Engine.t;
+  listen : Unix.file_descr;
+  conns : (Unix.file_descr, conn) Hashtbl.t;
+  queue : (string * Engine.request) Queue.t;
+  mutable draining : bool;
+  mutable shutdown : bool;
+  mutable served : int;
+  mutable accepted : int;
+  mutable busy_rejects : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+let err msg = Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str msg) ]
+
+let busy st =
+  Json.Obj
+    [
+      ("ok", Json.Bool false);
+      ("busy", Json.Bool true);
+      ( "error",
+        Json.Str
+          (Printf.sprintf "queue full (%d pending)" (Queue.length st.queue))
+      );
+    ]
+
+let queue_gauge st =
+  Obs.gauge "serve.queue_depth" (float_of_int (Queue.length st.queue))
+
+let execute st req =
+  let result = Engine.run st.engine req in
+  st.served <- st.served + 1;
+  if result.Engine.cached then begin
+    st.cache_hits <- st.cache_hits + 1;
+    Obs.count "serve.cache_hits"
+  end
+  else begin
+    st.cache_misses <- st.cache_misses + 1;
+    Obs.count "serve.cache_misses"
+  end;
+  result
+
+let result_reply ~with_journal (r : Engine.result) =
+  Json.Obj
+    ([
+       ("ok", Json.Bool true);
+       ("digest", Json.Str r.Engine.digest);
+       ("cached", Json.Bool r.Engine.cached);
+       ("response", Engine.response_to_json r.Engine.response);
+       ( "response_digest",
+         Json.Str (Engine.response_digest r.Engine.response) );
+       ("journal_digest", Json.Str (Engine.journal_digest r.Engine.journal));
+     ]
+    @
+    if with_journal then
+      [
+        ( "journal",
+          Json.List (List.map Obs.Journal.encode r.Engine.journal) );
+      ]
+    else [])
+
+let stats_reply st =
+  let c = Cache.stats st.cfg.cache in
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("queue_depth", Json.Int (Queue.length st.queue));
+      ("served", Json.Int st.served);
+      ("accepted", Json.Int st.accepted);
+      ("busy_rejects", Json.Int st.busy_rejects);
+      ("cache_hits", Json.Int st.cache_hits);
+      ("cache_misses", Json.Int st.cache_misses);
+      ( "cache",
+        Json.Obj
+          [
+            ("mem_entries", Json.Int c.Cache.mem_entries);
+            ("mem_hits", Json.Int c.Cache.mem_hits);
+            ("mem_misses", Json.Int c.Cache.mem_misses);
+            ("disk_hits", Json.Int c.Cache.disk_hits);
+            ("disk_misses", Json.Int c.Cache.disk_misses);
+            ("disk_errors", Json.Int c.Cache.disk_errors);
+          ] );
+    ]
+
+(* One decoded envelope -> one reply frame (written before the next
+   envelope from the same connection is considered). *)
+let handle st frame =
+  match Json.member "op" frame with
+  | Some (Json.Str "ping") ->
+    Json.Obj [ ("ok", Json.Bool true); ("op", Json.Str "pong") ]
+  | Some (Json.Str "stats") -> stats_reply st
+  | Some (Json.Str "shutdown") ->
+    st.cfg.log "shutdown requested";
+    st.shutdown <- true;
+    st.draining <- true;
+    Json.Obj [ ("ok", Json.Bool true); ("draining", Json.Bool true) ]
+  | Some (Json.Str _) -> (
+    match Engine.request_of_json frame with
+    | Error e -> err e
+    | Ok req ->
+      let wait =
+        match Json.member "wait" frame with
+        | Some (Json.Bool false) -> false
+        | _ -> true
+      in
+      let with_journal =
+        match Json.member "journal" frame with
+        | Some (Json.Bool true) -> true
+        | _ -> false
+      in
+      if wait then result_reply ~with_journal (execute st req)
+      else if Queue.length st.queue >= st.cfg.queue_limit then begin
+        st.busy_rejects <- st.busy_rejects + 1;
+        Obs.count "serve.busy_rejects";
+        busy st
+      end
+      else begin
+        let digest = Engine.request_digest req in
+        Queue.add (digest, req) st.queue;
+        st.accepted <- st.accepted + 1;
+        queue_gauge st;
+        Json.Obj
+          [
+            ("ok", Json.Bool true);
+            ("accepted", Json.Bool true);
+            ("digest", Json.Str digest);
+          ]
+      end)
+  | Some _ -> err "field \"op\" must be a string"
+  | None -> err "missing field \"op\""
+
+let drop st conn =
+  Hashtbl.remove st.conns conn.fd;
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+(* Drains every complete frame already buffered for [conn], replying to
+   each. Returns [false] if the connection died (protocol error or
+   broken pipe). *)
+let rec pump st conn =
+  match Wire.next conn.dec with
+  | `Awaiting -> true
+  | `Error e ->
+    st.cfg.log (Printf.sprintf "protocol error: %s" e);
+    drop st conn;
+    false
+  | `Frame f -> (
+    let reply = try handle st f with
+      | Invalid_argument m -> err (Printf.sprintf "invalid argument: %s" m)
+      | Failure m -> err m
+    in
+    match Wire.write_frame conn.fd reply with
+    | () -> pump st conn
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      drop st conn;
+      false)
+
+let read_buf = Bytes.create 65536
+
+let on_readable st conn =
+  match Unix.read conn.fd read_buf 0 (Bytes.length read_buf) with
+  | 0 -> drop st conn
+  | n ->
+    Wire.feed conn.dec read_buf n;
+    ignore (pump st conn)
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+    drop st conn
+
+let bind_listen cfg =
+  let sa = Wire.sockaddr cfg.addr in
+  let domain = Unix.domain_of_sockaddr sa in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match cfg.addr with
+  | Wire.Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+  | Wire.Unix_path path ->
+    (* Replace the socket file only if nothing is accepting on it. *)
+    if Sys.file_exists path then begin
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let live =
+        match Unix.connect probe sa with
+        | () -> true
+        | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+          ->
+          false
+      in
+      (try Unix.close probe with Unix.Unix_error _ -> ());
+      if live then begin
+        Unix.close fd;
+        failwith (Printf.sprintf "a daemon is already listening on %s" path)
+      end;
+      try Unix.unlink path with Unix.Unix_error _ -> ()
+    end);
+  Unix.bind fd sa;
+  Unix.listen fd 64;
+  fd
+
+let run cfg =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listen = bind_listen cfg in
+  let st =
+    {
+      cfg;
+      engine = Engine.create ~cache:cfg.cache ?jobs:cfg.jobs
+          ?backend:cfg.backend ();
+      listen;
+      conns = Hashtbl.create 16;
+      queue = Queue.create ();
+      draining = false;
+      shutdown = false;
+      served = 0;
+      accepted = 0;
+      busy_rejects = 0;
+      cache_hits = 0;
+      cache_misses = 0;
+    }
+  in
+  let on_term _ = st.draining <- true in
+  let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle on_term) in
+  let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle on_term) in
+  cfg.log (Printf.sprintf "listening on %s" (Wire.addr_to_string cfg.addr));
+  let listening = ref true in
+  let close_listener () =
+    if !listening then begin
+      listening := false;
+      (try Unix.close st.listen with Unix.Unix_error _ -> ());
+      match cfg.addr with
+      | Wire.Unix_path p -> (
+        try Unix.unlink p with Unix.Unix_error _ -> ())
+      | Wire.Tcp _ -> ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      close_listener ();
+      Hashtbl.iter (fun _ c -> try Unix.close c.fd with _ -> ()) st.conns;
+      Sys.set_signal Sys.sigterm prev_term;
+      Sys.set_signal Sys.sigint prev_int)
+    (fun () ->
+      (* drain: stop taking connections but complete every queued job
+         (sync work always completes — the loop is single-threaded). *)
+      let continue () = (not st.draining) || not (Queue.is_empty st.queue) in
+      while continue () do
+        if st.draining then close_listener ();
+        let fds =
+          (if !listening then [ st.listen ] else [])
+          @ Hashtbl.fold (fun fd _ acc -> fd :: acc) st.conns []
+        in
+        let readable =
+          match Unix.select fds [] [] 0.2 with
+          | r, _, _ -> r
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+        in
+        List.iter
+          (fun fd ->
+            if !listening && fd = st.listen then begin
+              match Unix.accept st.listen with
+              | cfd, _ ->
+                Hashtbl.replace st.conns cfd
+                  { fd = cfd; dec = Wire.decoder () }
+              | exception Unix.Unix_error _ -> ()
+            end
+            else
+              match Hashtbl.find_opt st.conns fd with
+              | Some conn -> on_readable st conn
+              | None -> ())
+          readable;
+        (* one queued job per iteration keeps the loop responsive *)
+        (match Queue.take_opt st.queue with
+        | Some (_, req) ->
+          queue_gauge st;
+          ignore (execute st req)
+        | None -> ());
+        queue_gauge st
+      done;
+      cfg.log
+        (Printf.sprintf "%s: drained (%d served, %d async accepted, %d busy)"
+           (if st.shutdown then "shutdown" else "signal")
+           st.served st.accepted st.busy_rejects))

@@ -1,0 +1,48 @@
+(** The [hlts serve] daemon: a single-threaded request loop over the
+    {!Engine}, answering synthesis/ATPG work from the content-addressed
+    {!Cache}.
+
+    Listens on a Unix-domain socket (default [<cache dir>/serve.sock])
+    or TCP. Frames are {!Wire} frames; each carries one JSON envelope:
+
+    - [{"op":"ping"}] -> [{"ok":true,"op":"pong"}]
+    - [{"op":"stats"}] -> queue depth, serve counters, cache stats
+    - [{"op":"shutdown"}] -> acknowledges, drains, exits
+    - [{"op":"synth"|"testability"|"atpg"|"sweep", ...}] (the
+      {!Engine.request_of_json} shape) plus two envelope fields:
+      [{"wait":false}] queues the work and replies
+      [{"ok":true,"accepted":true,"digest":d}] immediately — resubmit
+      with [wait:true] later to collect the cached result —
+      and [{"journal":true}] includes the decision journal in the
+      reply (its digest is always included).
+
+    Synchronous work executes inline (the loop is single-threaded;
+    parallelism comes from the engine's worker pool), so concurrent
+    clients are serialized but never starved: all complete frames are
+    decoded before work starts. Asynchronous work goes on a bounded
+    queue; when full the daemon replies
+    [{"ok":false,"busy":true,"error":...}] instead of queueing —
+    backpressure, not buffering.
+
+    SIGTERM/SIGINT start a graceful drain: the listener closes, queued
+    and already-received work completes (replies included), then the
+    daemon exits and removes its socket file. *)
+
+type config = {
+  addr : Wire.addr;
+  cache : Cache.t;
+  jobs : int option;
+  backend : Hlts_pool.Pool.backend option;
+  queue_limit : int;  (** async jobs held before busy-rejecting *)
+  log : string -> unit;  (** one line per lifecycle event *)
+}
+
+val default_socket_path : string -> string
+(** [default_socket_path cache_dir] is [cache_dir ^ "/serve.sock"] —
+    at the cache-dir top level, outside every entry kind directory. *)
+
+val run : config -> unit
+(** Binds, serves until [shutdown] or SIGTERM, then drains and returns.
+    Replaces a stale socket file (bind target exists but nothing
+    accepts); fails if a live daemon already listens there.
+    @raise Unix.Unix_error on bind/listen failure. *)

@@ -226,6 +226,32 @@ let test_find () =
   Alcotest.(check bool) "finds diffeq" true (Benchmarks.find "DiffEq" <> None);
   Alcotest.(check bool) "unknown" true (Benchmarks.find "nonesuch" = None)
 
+let test_find_result () =
+  (match Benchmarks.find_result "tseng" with
+  | Ok d -> Alcotest.(check string) "named lookup" "tseng" d.Dfg.name
+  | Error e -> Alcotest.fail e);
+  (match Benchmarks.find_result "rnd-s11-n20" with
+  | Ok d ->
+    Alcotest.(check int) "synthetic op count" 20 (List.length d.Dfg.ops)
+  | Error e -> Alcotest.fail e);
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  (match Benchmarks.find_result "nonesuch" with
+  | Ok _ -> Alcotest.fail "nonesuch resolved"
+  | Error e ->
+    List.iter
+      (fun part ->
+        Alcotest.(check bool) ("error mentions " ^ part) true (contains e part))
+      ("rnd-s<seed>-n<ops>" :: Benchmarks.names));
+  match Benchmarks.find_result "rnd-s1-n0" with
+  | Ok _ -> Alcotest.fail "rnd-s1-n0 resolved"
+  | Error e ->
+    Alcotest.(check bool) "malformed rnd diagnosed" true
+      (contains e "ops >= 1")
+
 let prop_value_of_name_roundtrip =
   QCheck.Test.make ~name:"value_of_name inverts value_name" ~count:50
     QCheck.(int_bound (List.length Benchmarks.all - 1))
@@ -276,5 +302,6 @@ let () =
           Alcotest.test_case "ar/fir inventory" `Quick test_ar_fir_inventory;
           Alcotest.test_case "all validate" `Quick test_all_validate;
           Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "find_result" `Quick test_find_result;
         ] );
     ]

@@ -1,0 +1,309 @@
+(* Lifecycle tests for the [hlts serve] daemon: each scenario forks a
+   real daemon on a Unix socket in a temp cache dir and talks to it
+   with the real client — ping, cold/warm byte-identity, concurrent
+   clients, queue-full backpressure, async completion, SIGTERM drain,
+   stale-socket recovery. *)
+
+module Cache = Hlts_eval.Cache
+module Engine = Hlts_eval.Engine
+module Serve = Hlts_eval.Serve
+module Client = Hlts_eval.Client
+module Wire = Hlts_eval.Wire
+module Flows = Hlts_synth.Flows
+module Atpg = Hlts_atpg.Atpg
+module Json = Hlts_obs.Json
+
+let cheap_atpg =
+  { Atpg.default_config with
+    Atpg.random_lanes = 8; random_cycles = 8; max_frames = 3;
+    max_backtracks = 5 }
+
+let temp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "hlts-serve-test.%d.%d" (Unix.getpid ()) !n)
+    in
+    Unix.mkdir d 0o755;
+    d
+
+let spec ?(bits = 4) ?(approach = Flows.Ours) () =
+  match Engine.spec ~atpg:cheap_atpg ~bench:"toy" ~approach ~bits () with
+  | Ok s -> s
+  | Error e -> Alcotest.fail e
+
+(* --- daemon harness ------------------------------------------------- *)
+
+let start_daemon ?(queue_limit = 64) ~dir () =
+  let sock = Serve.default_socket_path dir in
+  let addr = Wire.Unix_path sock in
+  match Unix.fork () with
+  | 0 ->
+    (* the daemon: never returns to Alcotest *)
+    let code =
+      try
+        Serve.run
+          {
+            Serve.addr;
+            cache = Cache.create ~dir:(Some dir) ();
+            jobs = Some 1;
+            backend = None;
+            queue_limit;
+            log = ignore;
+          };
+        0
+      with _ -> 1
+    in
+    Unix._exit code
+  | pid ->
+    (* wait for the listener to come up *)
+    let rec poll tries =
+      match Client.connect addr with
+      | Ok c ->
+        Client.close c
+      | Error e ->
+        if tries = 0 then Alcotest.failf "daemon never came up: %s" e
+        else begin
+          (match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ -> ()
+          | _ -> Alcotest.fail "daemon exited during startup");
+          Unix.sleepf 0.05;
+          poll (tries - 1)
+        end
+    in
+    poll 100;
+    (pid, addr, sock)
+
+let expect_clean_exit pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> Alcotest.failf "daemon exited with %d" n
+  | _, Unix.WSIGNALED s -> Alcotest.failf "daemon killed by signal %d" s
+  | _, Unix.WSTOPPED _ -> Alcotest.fail "daemon stopped"
+
+let with_daemon ?queue_limit f =
+  let dir = temp_dir () in
+  let pid, addr, sock = start_daemon ?queue_limit ~dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    (fun () -> f ~pid ~addr ~sock ~dir)
+
+(* --- envelope helpers ----------------------------------------------- *)
+
+let envelope ?(extra = []) req =
+  match Engine.request_to_json req with
+  | Json.Obj fields -> Json.Obj (fields @ extra)
+  | _ -> Alcotest.fail "request did not encode as an object"
+
+let rpc_exn c env =
+  match Client.rpc c env with
+  | Ok reply -> reply
+  | Error e -> Alcotest.failf "rpc failed: %s" e
+
+let jstr name j =
+  match Json.member name j with
+  | Some (Json.Str s) -> s
+  | _ -> Alcotest.failf "no string %S in %s" name (Json.to_string j)
+
+let jbool name j =
+  match Json.member name j with Some (Json.Bool b) -> b | _ -> false
+
+let jmem name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "no field %S in %s" name (Json.to_string j)
+
+let shutdown c =
+  let reply = rpc_exn c (Json.Obj [ ("op", Json.Str "shutdown") ]) in
+  Alcotest.(check bool) "shutdown acked" true (jbool "ok" reply)
+
+(* find on a fresh cache instance = read the daemon's disk store *)
+let on_disk dir digest =
+  let c = Cache.create ~dir:(Some dir) () in
+  match Cache.find c ~kind:"result" digest with
+  | Some _ -> true
+  | None -> false
+
+(* --- scenarios ------------------------------------------------------ *)
+
+let test_ping_stats_shutdown () =
+  with_daemon (fun ~pid ~addr ~sock ~dir:_ ->
+      let c = Result.get_ok (Client.connect addr) in
+      let pong = rpc_exn c (Json.Obj [ ("op", Json.Str "ping") ]) in
+      Alcotest.(check bool) "pong ok" true (jbool "ok" pong);
+      Alcotest.(check string) "pong op" "pong" (jstr "op" pong);
+      let stats = rpc_exn c (Json.Obj [ ("op", Json.Str "stats") ]) in
+      Alcotest.(check bool) "stats ok" true (jbool "ok" stats);
+      (match jmem "queue_depth" stats with
+      | Json.Int 0 -> ()
+      | j -> Alcotest.failf "queue_depth: %s" (Json.to_string j));
+      ignore (jmem "cache" stats);
+      shutdown c;
+      Client.close c;
+      expect_clean_exit pid;
+      Alcotest.(check bool) "socket removed" false (Sys.file_exists sock))
+
+let test_cold_warm_identity () =
+  with_daemon (fun ~pid:_ ~addr ~sock:_ ~dir:_ ->
+      let env =
+        envelope
+          ~extra:[ ("journal", Json.Bool true) ]
+          (Engine.Atpg (spec ()))
+      in
+      let c = Result.get_ok (Client.connect addr) in
+      let cold = rpc_exn c env in
+      let warm = rpc_exn c env in
+      Alcotest.(check bool) "cold ok" true (jbool "ok" cold);
+      Alcotest.(check bool) "cold computes" false (jbool "cached" cold);
+      Alcotest.(check bool) "warm recalls" true (jbool "cached" warm);
+      List.iter
+        (fun f ->
+          Alcotest.(check string) f (jstr f cold) (jstr f warm))
+        [ "digest"; "response_digest"; "journal_digest" ];
+      Alcotest.(check string) "response bytes"
+        (Json.to_string (jmem "response" cold))
+        (Json.to_string (jmem "response" warm));
+      Alcotest.(check string) "journal bytes"
+        (Json.to_string (jmem "journal" cold))
+        (Json.to_string (jmem "journal" warm));
+      (match jmem "journal" cold with
+      | Json.List (_ :: _) -> ()
+      | j -> Alcotest.failf "journal empty: %s" (Json.to_string j));
+      shutdown c;
+      Client.close c)
+
+let test_concurrent_clients () =
+  with_daemon (fun ~pid:_ ~addr ~sock:_ ~dir:_ ->
+      let clients =
+        List.init 3 (fun _ -> Result.get_ok (Client.connect addr))
+      in
+      let approaches = [ Flows.Camad; Flows.Approach2; Flows.Ours ] in
+      let replies =
+        List.map2
+          (fun c approach ->
+            rpc_exn c (envelope (Engine.Synth (spec ~approach ()))))
+          clients approaches
+      in
+      List.iter
+        (fun r -> Alcotest.(check bool) "ok" true (jbool "ok" r))
+        replies;
+      let digests = List.map (jstr "digest") replies in
+      Alcotest.(check int) "three distinct requests" 3
+        (List.length (List.sort_uniq compare digests));
+      shutdown (List.hd clients);
+      List.iter Client.close clients)
+
+let test_backpressure_busy () =
+  (* queue_limit 0: every async submission is deterministically full *)
+  with_daemon ~queue_limit:0 (fun ~pid:_ ~addr ~sock:_ ~dir:_ ->
+      let env =
+        envelope ~extra:[ ("wait", Json.Bool false) ] (Engine.Atpg (spec ()))
+      in
+      let c = Result.get_ok (Client.connect addr) in
+      let reply = rpc_exn c env in
+      Alcotest.(check bool) "rejected" false (jbool "ok" reply);
+      Alcotest.(check bool) "flagged busy" true (jbool "busy" reply);
+      (match Client.ok reply with
+      | Error e ->
+        Alcotest.(check bool) "busy-prefixed error" true
+          (String.length e >= 5 && String.sub e 0 5 = "busy:")
+      | Ok _ -> Alcotest.fail "busy reply resolved as ok");
+      (* sync still works while async is rejected *)
+      let sync = rpc_exn c (envelope (Engine.Atpg (spec ()))) in
+      Alcotest.(check bool) "sync unaffected" true (jbool "ok" sync);
+      shutdown c;
+      Client.close c)
+
+let test_async_completes () =
+  with_daemon (fun ~pid:_ ~addr ~sock:_ ~dir ->
+      let req = Engine.Atpg (spec ()) in
+      let env = envelope ~extra:[ ("wait", Json.Bool false) ] req in
+      let c = Result.get_ok (Client.connect addr) in
+      let reply = rpc_exn c env in
+      Alcotest.(check bool) "accepted" true (jbool "accepted" reply);
+      let digest = jstr "digest" reply in
+      Alcotest.(check string) "digest is the request digest"
+        (Engine.request_digest req) digest;
+      (* the daemon works the queue between frames; poll its disk store *)
+      let rec poll tries =
+        if on_disk dir digest then ()
+        else if tries = 0 then Alcotest.fail "async job never landed on disk"
+        else begin
+          Unix.sleepf 0.05;
+          poll (tries - 1)
+        end
+      in
+      poll 200;
+      (* collecting the result now is a pure cache hit *)
+      let collected = rpc_exn c (envelope req) in
+      Alcotest.(check bool) "collected from cache" true
+        (jbool "cached" collected);
+      Alcotest.(check string) "same digest" digest (jstr "digest" collected);
+      shutdown c;
+      Client.close c)
+
+let test_sigterm_drains () =
+  with_daemon (fun ~pid ~addr ~sock ~dir ->
+      let req = Engine.Atpg (spec ~bits:8 ()) in
+      let c = Result.get_ok (Client.connect addr) in
+      let reply =
+        rpc_exn c (envelope ~extra:[ ("wait", Json.Bool false) ] req)
+      in
+      Alcotest.(check bool) "accepted before the signal" true
+        (jbool "accepted" reply);
+      Client.close c;
+      Unix.kill pid Sys.sigterm;
+      expect_clean_exit pid;
+      Alcotest.(check bool) "queued work completed during drain" true
+        (on_disk dir (Engine.request_digest req));
+      Alcotest.(check bool) "socket removed" false (Sys.file_exists sock))
+
+let test_stale_socket_replaced () =
+  let dir = temp_dir () in
+  let pid, _, sock = start_daemon ~dir () in
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  Alcotest.(check bool) "socket left behind" true (Sys.file_exists sock);
+  (* a fresh daemon on the same path must detect the dead listener,
+     unlink the stale socket and rebind *)
+  let pid2, addr2, _ = start_daemon ~dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid2 Sys.sigkill with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] pid2) with Unix.Unix_error _ -> ())
+    (fun () ->
+      let c = Result.get_ok (Client.connect addr2) in
+      let pong = rpc_exn c (Json.Obj [ ("op", Json.Str "ping") ]) in
+      Alcotest.(check bool) "rebound over stale socket" true (jbool "ok" pong);
+      shutdown c;
+      Client.close c;
+      expect_clean_exit pid2)
+
+let () =
+  Alcotest.run "hlts_serve"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "ping, stats, shutdown" `Quick
+            test_ping_stats_shutdown;
+          Alcotest.test_case "stale socket replaced" `Quick
+            test_stale_socket_replaced;
+          Alcotest.test_case "sigterm drains" `Quick test_sigterm_drains;
+        ] );
+      ( "requests",
+        [
+          Alcotest.test_case "cold = warm" `Quick test_cold_warm_identity;
+          Alcotest.test_case "concurrent clients" `Quick
+            test_concurrent_clients;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "busy backpressure" `Quick test_backpressure_busy;
+          Alcotest.test_case "async completes" `Quick test_async_completes;
+        ] );
+    ]
