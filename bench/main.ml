@@ -774,17 +774,45 @@ let run_json_serve seed file =
   let speedup = if warm_s > 0.0 then cold_s /. warm_s else 0.0 in
   Printf.printf "json-serve: cold %.2fs, warm %.4fs, speedup %.0fx\n%!" cold_s
     warm_s speedup;
+  (* Warm-hit latency distribution: one representative sweep recalled N
+     times from a fresh engine over the hot disk cache — the per-request
+     hit latency a restarted [hlts serve] daemon answers at, reported as
+     the percentiles [hlts top --serve] shows live. *)
+  let warm_hit_repeats = 100 in
+  let warm_lat =
+    let engine = Engine.create ~cache:(Cache.create ~dir:(Some dir) ()) () in
+    let _, cells = List.hd sweeps in
+    Array.init warm_hit_repeats (fun _ ->
+        let t0 = Hlts_obs.Clock.now_ns () in
+        let r = Engine.run engine (Engine.Sweep cells) in
+        if not r.Engine.cached then failwith "warm-hit pass missed the cache";
+        Hlts_obs.Clock.seconds_since t0)
+  in
+  Array.sort compare warm_lat;
+  let pctl p = Hlts_eval.Top.percentile warm_lat p *. 1000.0 in
+  Printf.printf
+    "json-serve: warm hit p50 %.2f ms, p95 %.2f ms, p99 %.2f ms (n=%d)\n%!"
+    (pctl 0.50) (pctl 0.95) (pctl 0.99) warm_hit_repeats;
   let doc =
     Hlts_obs.Json.(
       Obj
         [
-          ("schema", Str "hlts-bench-serve/1");
+          ("schema", Str "hlts-bench-serve/2");
           ("host", host_json ~jobs:[]);
           ("res", res_json ());
           ("seed", Int seed);
           ("wall_cold_s", Float cold_s);
           ("wall_warm_s", Float warm_s);
           ("speedup", Float speedup);
+          ( "warm_hit",
+            Obj
+              [
+                ("repeats", Int warm_hit_repeats);
+                ("p50_ms", Float (pctl 0.50));
+                ("p95_ms", Float (pctl 0.95));
+                ("p99_ms", Float (pctl 0.99));
+                ("max_ms", Float (pctl 1.0));
+              ] );
           ("sweeps", List entries);
         ])
   in

@@ -591,61 +591,101 @@ let report_cmd =
   let journal_file =
     (* [Arg.string], not [Arg.file]: a missing path must surface as our
        own one-line error with exit code 1, not cmdliner's CLI error. *)
-    let doc = "Decision-journal file written by --journal." in
+    let doc =
+      "Decision-journal file written by --journal (or, with --serve, an \
+       access-log file written by $(b,hlts serve --access-log))."
+    in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"JOURNAL" ~doc)
   in
   let out_arg =
     let doc = "Output HTML file." in
     Arg.(value & opt string "report.html" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run journal out =
+  let serve_arg =
+    let doc =
+      "Treat $(i,JOURNAL) as a $(b,serve --access-log) file and render \
+       the service report: latency timeline, throughput and hit-rate \
+       charts, per-op percentiles."
+    in
+    Arg.(value & flag & info [ "serve" ] ~doc)
+  in
+  let write_html out html =
+    let oc = open_out out in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc html)
+  in
+  let run journal out serve =
     with_errors (fun () ->
-        let* ic =
-          match open_in journal with
-          | ic -> Ok ic
-          | exception Sys_error msg -> Error msg
-        in
-        let lines = ref [] in
-        (try
-           while true do
-             lines := input_line ic :: !lines
-           done
-         with End_of_file -> close_in ic);
-        let report = Hlts_eval.Report.parse (List.rev !lines) in
-        if Hlts_eval.Report.decisions report = 0 then
-          Error
-            (Printf.sprintf
-               "%s contains no journal decisions; was it written with \
-                --journal (not --jsonl)?"
-               journal)
-        else begin
-          let oc = open_out out in
-          Fun.protect
-            ~finally:(fun () -> close_out oc)
-            (fun () -> output_string oc (Hlts_eval.Report.to_html report));
-          Printf.printf
-            "%s: %d decisions over %d iterations%s -> %s\n" journal
-            (Hlts_eval.Report.decisions report)
-            (Hlts_eval.Report.iterations report)
-            (match Hlts_eval.Report.skipped report with
-            | 0 -> ""
-            | n -> Printf.sprintf " (%d lines skipped)" n)
-            out;
-          Ok ()
-        end)
+        if serve then
+          let* accs, final, skipped =
+            Hlts_eval.Top.read_access_file journal
+          in
+          if accs = [] then
+            Error
+              (Printf.sprintf
+                 "%s contains no complete access-log record; was it \
+                  written with serve --access-log?"
+                 journal)
+          else begin
+            write_html out
+              (Hlts_eval.Report.serve_html ~file:journal ~final ~skipped accs);
+            Printf.printf "%s: %d request record(s)%s -> %s\n" journal
+              (List.length accs)
+              (match skipped with
+              | 0 -> ""
+              | n -> Printf.sprintf " (%d lines skipped)" n)
+              out;
+            Ok ()
+          end
+        else
+          let* ic =
+            match open_in journal with
+            | ic -> Ok ic
+            | exception Sys_error msg -> Error msg
+          in
+          let lines = ref [] in
+          (try
+             while true do
+               lines := input_line ic :: !lines
+             done
+           with End_of_file -> close_in ic);
+          let report = Hlts_eval.Report.parse (List.rev !lines) in
+          if Hlts_eval.Report.decisions report = 0 then
+            Error
+              (Printf.sprintf
+                 "%s contains no journal decisions; was it written with \
+                  --journal (not --jsonl)?"
+                 journal)
+          else begin
+            write_html out (Hlts_eval.Report.to_html report);
+            Printf.printf
+              "%s: %d decisions over %d iterations%s -> %s\n" journal
+              (Hlts_eval.Report.decisions report)
+              (Hlts_eval.Report.iterations report)
+              (match Hlts_eval.Report.skipped report with
+              | 0 -> ""
+              | n -> Printf.sprintf " (%d lines skipped)" n)
+              out;
+            Ok ()
+          end)
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:
          "Render a decision-journal file as a self-contained HTML report: \
           per-phase times, merge trajectory, testability-balance evolution \
-          and pool utilization.")
-    Term.(const run $ journal_file $ out_arg)
+          and pool utilization. With --serve, render an access-log file \
+          as a service report instead.")
+    Term.(const run $ journal_file $ out_arg $ serve_arg)
 
 let top_cmd =
   let hb_file =
-    let doc = "Heartbeat file written by --heartbeat." in
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"HEARTBEAT" ~doc)
+    let doc =
+      "Heartbeat file written by --heartbeat (or, with --serve, an \
+       access-log file written by $(b,hlts serve --access-log))."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
   let follow_arg =
     let doc =
@@ -662,13 +702,30 @@ let top_cmd =
     let doc = "With --follow, redraw every $(docv) milliseconds." in
     Arg.(value & opt int 250 & info [ "interval-ms" ] ~docv:"MS" ~doc)
   in
-  let run file follow frames interval_ms =
+  let serve_arg =
+    let doc =
+      "Treat $(i,FILE) as a $(b,serve --access-log) file and render the \
+       service panel: request rate, latency percentiles, cache hit \
+       rate, queue depth and busy rejects."
+    in
+    Arg.(value & flag & info [ "serve" ] ~doc)
+  in
+  let run file follow frames interval_ms serve =
     with_errors (fun () ->
-        if follow then
-          Hlts_eval.Top.follow ~frames ~interval_ms ~file (fun s ->
-              print_string s;
-              flush stdout)
-        else
+        let write s =
+          print_string s;
+          flush stdout
+        in
+        match (serve, follow) with
+        | true, true ->
+          Hlts_eval.Top.follow_serve ~frames ~interval_ms ~file write
+        | true, false ->
+          let* panel = Hlts_eval.Top.once_serve ~file in
+          print_string panel;
+          Ok ()
+        | false, true ->
+          Hlts_eval.Top.follow ~frames ~interval_ms ~file write
+        | false, false ->
           let* panel = Hlts_eval.Top.once ~file in
           print_string panel;
           Ok ())
@@ -677,9 +734,12 @@ let top_cmd =
     (Cmd.info "top"
        ~doc:
          "Render a live dashboard (RSS, CPU, GC rate, queue depth, worker \
-          utilization, counter rates) from a --heartbeat file, optionally \
-          following a still-running job.")
-    Term.(const run $ hb_file $ follow_arg $ frames_arg $ interval_arg)
+          utilization, counter rates) from a --heartbeat file — or, with \
+          --serve, a service panel (RPS, latency percentiles, hit rate) \
+          from an access-log file — optionally following a still-running \
+          producer.")
+    Term.(const run $ hb_file $ follow_arg $ frames_arg $ interval_arg
+          $ serve_arg)
 
 (* --- serve / submit / cache ---------------------------------------- *)
 
@@ -749,7 +809,33 @@ let serve_cmd =
     let doc = "Keep the cache in memory only; do not touch the cache directory." in
     Arg.(value & flag & info [ "no-disk" ] ~doc)
   in
-  let run tcp socket cache_dir jobs backend queue_limit mem_entries no_disk =
+  let access_log_arg =
+    let doc =
+      "Append one JSON record per request to $(docv): trace id, op, \
+       digest, verdict, phase walls (queue/cache/compute/reply) and \
+       reply bytes. Watch it live with $(b,hlts top --serve) or render \
+       it with $(b,hlts report --serve)."
+    in
+    Arg.(value & opt (some string) None & info [ "access-log" ] ~docv:"FILE" ~doc)
+  in
+  let serve_metrics_arg =
+    let doc =
+      "Rewrite a Prometheus text-exposition snapshot (request and phase \
+       latency histograms with $(b,_bucket) series, served/reject \
+       counters) to $(docv) on every $(b,stats) request and at \
+       shutdown."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let slow_k_arg =
+    let doc =
+      "Keep the $(docv) slowest requests (with their decision journals) \
+       for the SIGUSR1 / $(b,stats) slow-request dump."
+    in
+    Arg.(value & opt int 8 & info [ "slow-k" ] ~docv:"K" ~doc)
+  in
+  let run tcp socket cache_dir jobs backend queue_limit mem_entries no_disk
+      access_log metrics slow_k =
     with_errors (fun () ->
         let dir = resolve_cache_dir cache_dir in
         let* addr = resolve_addr ~tcp ~socket ~cache_dir:dir in
@@ -763,9 +849,35 @@ let serve_cmd =
         let log line =
           Printf.eprintf "hlts serve: %s\n%!" line
         in
+        (* Each record is written with one [write] so a concurrent
+           [hlts top --serve] never reads an interleaved line — only,
+           at worst, a torn tail, which the reader tolerates. *)
+        let access_log, close_access =
+          match access_log with
+          | None -> (None, fun () -> ())
+          | Some path ->
+            (* fail fast, exit 1, before the daemon binds anything *)
+            let fd =
+              try
+                Unix.openfile path
+                  [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+              with Unix.Unix_error (e, _, _) ->
+                raise
+                  (Sys_error
+                     (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+            in
+            ( Some
+                (fun line ->
+                  ignore (Unix.write_substring fd line 0 (String.length line))),
+              fun () -> (try Unix.close fd with Unix.Unix_error _ -> ()) )
+        in
         match
-          Serve.run
-            { Serve.addr; cache; jobs; backend; queue_limit; log }
+          Fun.protect
+            ~finally:close_access
+            (fun () ->
+              Serve.run
+                { Serve.addr; cache; jobs; backend; queue_limit; log;
+                  access_log; metrics; slow_k })
         with
         | () -> Ok ()
         | exception Failure msg -> Error msg
@@ -781,7 +893,8 @@ let serve_cmd =
           over a Unix-domain socket (or --tcp), answered from the \
           content-addressed result cache. SIGTERM drains gracefully.")
     Term.(const run $ tcp_arg $ socket_arg $ cache_dir_arg $ jobs_arg
-          $ backend_arg $ queue_arg $ mem_arg $ no_disk_arg)
+          $ backend_arg $ queue_arg $ mem_arg $ no_disk_arg
+          $ access_log_arg $ serve_metrics_arg $ slow_k_arg)
 
 let submit_cmd =
   let op_arg =
@@ -820,6 +933,15 @@ let submit_cmd =
   let raw_arg =
     let doc = "Print the raw JSON reply instead of the summary lines." in
     Arg.(value & flag & info [ "raw" ] ~doc)
+  in
+  let submit_trace_arg =
+    let doc =
+      "Trace the request end to end and write one Chrome trace_event \
+       file to $(docv): the client round-trip plus the daemon's and its \
+       pool workers' spans, all on one timeline. Load it in \
+       chrome://tracing or Perfetto."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
   let summarize reply =
     let str name =
@@ -871,7 +993,7 @@ let submit_cmd =
     Ok ()
   in
   let run op benches approach bits seed engine tcp socket cache_dir async wait
-      journal raw =
+      journal raw trace =
     with_errors (fun () ->
         ignore wait;
         let dir = resolve_cache_dir cache_dir in
@@ -929,7 +1051,27 @@ let submit_cmd =
           | other -> Error (Printf.sprintf "unknown op %S" other)
         in
         let* reply =
-          Client.with_connection addr (fun c -> Client.rpc c envelope)
+          match trace with
+          | None ->
+            Client.with_connection addr (fun c -> Client.rpc c envelope)
+          | Some path ->
+            let ctx = Obs.Trace_ctx.generate () in
+            let* reply, spans =
+              Client.with_connection addr (fun c ->
+                  Client.traced_rpc c ctx envelope)
+            in
+            let doc =
+              Obs.Trace_ctx.chrome_trace
+                ~meta:[ ("traceId", Json.Str ctx.Obs.Trace_ctx.trace_id) ]
+                spans
+            in
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc (Json.to_string doc));
+            Printf.eprintf "hlts submit: trace %s -> %s (%d spans)\n%!"
+              ctx.Obs.Trace_ctx.trace_id path (List.length spans);
+            Ok reply
         in
         match Client.ok reply with
         | Error msg -> Error msg
@@ -946,7 +1088,7 @@ let submit_cmd =
        ~doc:"Submit a request to a running $(b,hlts serve) daemon.")
     Term.(const run $ op_arg $ benches_arg $ approach_arg $ bits_arg
           $ seed_arg $ engine_arg $ tcp_arg $ socket_arg $ cache_dir_arg
-          $ async_arg $ wait_arg $ journal_arg $ raw_arg)
+          $ async_arg $ wait_arg $ journal_arg $ raw_arg $ submit_trace_arg)
 
 let cache_cmd =
   let action_arg =

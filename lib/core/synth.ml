@@ -327,7 +327,13 @@ let pool_step params ~budget ~sp ~pool ~iteration state =
     in
     List.concat_map
       (fun (s, t) ->
-        let (replies : wreply), _task_tally = Pool.await pool t in
+        let (replies : wreply), task_tally = Pool.await pool t in
+        (* Only the samples: the task-level tally carries the pool's own
+           task_seconds probe (metrics-only, order-independent). Counts
+           and decisions stay with the per-attempt tallies below so the
+           replayed journal is exactly the sequential scan's. *)
+        Pool.replay
+          { task_tally with Pool.counts = []; gauges = []; decisions = [] };
         List.map2
           (fun pair (slim, o_opt, tally) -> (pair, slim, o_opt, tally))
           s replies)

@@ -1,4 +1,6 @@
 module Json = Hlts_obs.Json
+module Obs = Hlts_obs
+module Trace_ctx = Hlts_obs.Trace_ctx
 
 type t = { fd : Unix.file_descr }
 
@@ -47,6 +49,39 @@ let rpc_many t envelopes =
           | Error _ as e -> e))
       (Ok []) envelopes
     |> Result.map List.rev
+
+let attach_trace ctx envelope =
+  match envelope with
+  | Json.Obj fields ->
+    Json.Obj (fields @ [ ("trace", Trace_ctx.to_json ctx) ])
+  | j -> j
+
+let reply_spans reply =
+  match Json.member "trace" reply with
+  | Some tj -> (
+    match Json.member "spans" tj with
+    | Some (Json.List l) -> List.filter_map Trace_ctx.span_of_json l
+    | _ -> [])
+  | None -> []
+
+let traced_rpc t ctx envelope =
+  let t0 = Obs.Clock.now_ns () in
+  match rpc t (attach_trace ctx envelope) with
+  | Error _ as e -> e
+  | Ok reply ->
+    let t1 = Obs.Clock.now_ns () in
+    let wait =
+      {
+        Trace_ctx.sp_lane = 0;
+        sp_label = "client";
+        sp_name = "client.rpc";
+        sp_cat = "client";
+        sp_ts_ns = t1;
+        sp_dur_ns = Int64.sub t1 t0;
+        sp_args = [ ("trace", Obs.Str ctx.Trace_ctx.trace_id) ];
+      }
+    in
+    Ok (reply, wait :: reply_spans reply)
 
 let with_connection addr f =
   match connect addr with

@@ -19,6 +19,25 @@ val rpc_many :
     order — this is what makes queue-full backpressure deterministic).
     Replies come back in request order. *)
 
+val attach_trace : Hlts_obs.Trace_ctx.t -> Hlts_obs.Json.t -> Hlts_obs.Json.t
+(** Appends the context as the envelope's ["trace"] field (a no-op on
+    non-object envelopes). *)
+
+val reply_spans : Hlts_obs.Json.t -> Hlts_obs.Trace_ctx.span list
+(** The spans shipped in a reply's ["trace"] object; [[]] when the
+    reply is untraced. Malformed span records are dropped. *)
+
+val traced_rpc :
+  t ->
+  Hlts_obs.Trace_ctx.t ->
+  Hlts_obs.Json.t ->
+  (Hlts_obs.Json.t * Hlts_obs.Trace_ctx.span list, string) result
+(** {!rpc} with the context attached; on success returns the reply plus
+    the merged span list — a lane-0 ["client.rpc"] span covering the
+    whole round-trip (daemon queue wait included) followed by whatever
+    lanes the daemon shipped back. Feed the list (plus any spans of
+    your own) to {!Hlts_obs.Trace_ctx.chrome_trace}. *)
+
 val with_connection :
   Wire.addr -> (t -> ('a, string) result) -> ('a, string) result
 

@@ -76,6 +76,8 @@ type result = {
   response : response;
   journal : Obs.Journal.event list;
   cached : bool;
+  probe_s : float;
+  compute_s : float;
 }
 
 (* --- digests -------------------------------------------------------- *)
@@ -538,12 +540,12 @@ let atpg_row t ?jobs s =
    in-process (they are shared across widths), then each cell evaluates
    its (outcome, width) on a pooled worker. Cached cells skip the pool
    entirely. *)
-let run_sweep t cells =
+let run_sweep t ~find cells =
   let keyed =
     List.map
       (fun s ->
         let key = spec_digest ~op:"atpg" s in
-        (s, key, Cache.find t.cache ~kind:"result" key))
+        (s, key, find ~kind:"result" key))
       cells
   in
   let missing =
@@ -586,16 +588,33 @@ let run_sweep t cells =
 
 let run t req =
   Obs.count "engine.requests";
+  let t0 = Obs.Clock.now_ns () in
+  (* Result-tier probe wall, summed across a sweep's cells: the
+     "cache" phase of the daemon's per-request breakdown. Timing a
+     cache probe never changes what it returns, so this stays outside
+     every determinism contract. *)
+  let probe_ns = ref 0L in
+  let find ~kind key =
+    let p0 = Obs.Clock.now_ns () in
+    let r = Cache.find t.cache ~kind key in
+    probe_ns := Int64.add !probe_ns (Int64.sub (Obs.Clock.now_ns ()) p0);
+    r
+  in
   let digest = request_digest req in
   let finish (response, journal, cached) =
     Obs.count (if cached then "engine.cache_hits" else "engine.cache_misses");
-    { digest; response; journal; cached }
+    let total_s = Obs.Clock.seconds_since t0 in
+    let probe_s = Int64.to_float !probe_ns /. 1e9 in
+    {
+      digest; response; journal; cached; probe_s;
+      compute_s = Float.max 0.0 (total_s -. probe_s);
+    }
   in
   match req with
-  | Sweep cells -> finish (run_sweep t cells)
+  | Sweep cells -> finish (run_sweep t ~find cells)
   | Synth s ->
     finish
-      (match Cache.find t.cache ~kind:"result" digest with
+      (match find ~kind:"result" digest with
       | Some (response, journal) -> (response, journal, true)
       | None ->
         let o, journal, _ = outcome t ?jobs:t.jobs s in
@@ -604,7 +623,7 @@ let run t req =
         (response, journal, false))
   | Testability s ->
     finish
-      (match Cache.find t.cache ~kind:"result" digest with
+      (match find ~kind:"result" digest with
       | Some (response, journal) -> (response, journal, true)
       | None ->
         let o, journal, _ = outcome t s in
@@ -613,7 +632,7 @@ let run t req =
         (response, journal, false))
   | Atpg s ->
     finish
-      (match Cache.find t.cache ~kind:"result" digest with
+      (match find ~kind:"result" digest with
       | Some (row, journal) -> (Row row, journal, true)
       | None ->
         let row, journal = atpg_row t ?jobs:t.jobs s in

@@ -93,6 +93,14 @@ type result = {
           would have run — cache hits return the stored journal),
           byte-identical cold or warm, at any job count *)
   cached : bool;  (** everything was served from the cache *)
+  probe_s : float;
+      (** wall seconds spent probing the result cache tier — the
+          daemon's "cache" phase. Telemetry only: never serialized,
+          never part of any digest. *)
+  compute_s : float;
+      (** wall seconds of everything else [run] did (synthesis, ATPG,
+          inner cache tiers). [probe_s +. compute_s] is the total wall
+          of the call. Telemetry only. *)
 }
 
 (** {1 Digests} *)

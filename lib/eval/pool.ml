@@ -87,6 +87,24 @@ let create ?(name = "pool") ?backend ~jobs f =
   let backend = match backend with Some b -> b | None -> default_backend () in
   if in_worker () then invalid_arg "Pool.create: nested pool in a worker";
   let jobs = max 1 jobs in
+  (* Per-task wall time, measured worker-side inside the task's capture
+     context so it rides the tally home and replays per ticket — as a
+     span (so a traced request shows one block per task on its worker
+     lane, even when the task body has no instrumentation of its own)
+     and as a sample (so the parent's --metrics exposes a
+     hlts_<name>_task_seconds_bucket latency histogram). Passive when
+     the task runs uninstrumented, like every other probe. *)
+  let sample_name = name ^ ".task_seconds" in
+  let span_name = name ^ ".task" in
+  let f task =
+    if Obs.enabled () then
+      Obs.span ~cat:"pool" span_name (fun _ ->
+          let t0 = Obs.Clock.now_ns () in
+          let r = f task in
+          Obs.sample sample_name (Obs.Clock.seconds_since t0);
+          r)
+    else f task
+  in
   match backend with
   | Fork ->
     if not Pool_fork.available then invalid_arg "Pool.create: fork unavailable";

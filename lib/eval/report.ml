@@ -644,3 +644,130 @@ let to_html t =
 let iterations t = List.length t.iters
 let decisions t = t.decisions
 let skipped t = t.skipped
+
+(* --- service mode: access-log timeline ----------------------------------- *)
+
+(* Renders a [serve --access-log] file (parsed by {!Top}) as a service
+   report: latency timeline split hit/miss, bucketed throughput and
+   hit-rate series, and a per-op percentile table. *)
+let serve_html ~file ~final ~skipped (accs : Top.access list) =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n\
+     <title>hlts service report</title>\n<style>";
+  Buffer.add_string buf style;
+  Buffer.add_string buf "</style></head><body>\n<h1>hlts service report</h1>\n";
+  let engine =
+    List.filter
+      (fun (a : Top.access) -> a.Top.ac_verdict = "hit" || a.Top.ac_verdict = "miss")
+      accs
+  in
+  let t_max =
+    List.fold_left (fun acc (a : Top.access) -> Float.max acc a.Top.ac_t_s) 0.0 accs
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<p class=\"muted\">%s — %d request record(s), %d engine \
+        execution(s), %.1fs of service, %s%s.</p>\n"
+       (esc file) (List.length accs) (List.length engine) t_max
+       (if final then "daemon drained" else "daemon still serving")
+       (if skipped > 0 then
+          Printf.sprintf " (%d unparseable lines skipped)" skipped
+        else ""));
+  (* latency timeline *)
+  let lat_series verdict color =
+    ( verdict,
+      color,
+      engine
+      |> List.filter (fun (a : Top.access) -> a.Top.ac_verdict = verdict)
+      |> List.map (fun (a : Top.access) ->
+             (a.Top.ac_t_s, a.Top.ac_total_s *. 1000.0)) )
+  in
+  Buffer.add_string buf "<h2>Latency</h2>\n";
+  Buffer.add_string buf
+    (svg_chart ~title:"request latency (ms) over time (s)" ~width:640
+       ~height:200
+       [ lat_series "miss" "#bb4a4a"; lat_series "hit" "#4a7ebb" ]);
+  (* bucketed throughput + hit rate *)
+  if accs <> [] && t_max > 0.0 then begin
+    let nb = 30 in
+    let wb = t_max /. float_of_int nb in
+    let reqs = Array.make nb 0 and hits = Array.make nb 0 in
+    let hitmiss = Array.make nb 0 in
+    List.iter
+      (fun (a : Top.access) ->
+        let i = min (nb - 1) (int_of_float (a.Top.ac_t_s /. wb)) in
+        reqs.(i) <- reqs.(i) + 1;
+        if a.Top.ac_verdict = "hit" || a.Top.ac_verdict = "miss" then begin
+          hitmiss.(i) <- hitmiss.(i) + 1;
+          if a.Top.ac_verdict = "hit" then hits.(i) <- hits.(i) + 1
+        end)
+      accs;
+    let series_of arr f =
+      Array.to_list (Array.mapi (fun i v -> (float_of_int i *. wb, f v)) arr)
+    in
+    Buffer.add_string buf "<h2>Throughput and hit rate</h2>\n";
+    Buffer.add_string buf
+      (svg_chart ~title:"requests per second over time (s)" ~width:640
+         ~height:160
+         [
+           ( "req/s",
+             "#4a7ebb",
+             series_of reqs (fun v -> float_of_int v /. wb) );
+         ]);
+    let rate_pts =
+      List.filter_map
+        (fun i ->
+          if hitmiss.(i) = 0 then None
+          else
+            Some
+              ( float_of_int i *. wb,
+                100.0 *. float_of_int hits.(i) /. float_of_int hitmiss.(i) ))
+        (List.init nb Fun.id)
+    in
+    Buffer.add_string buf
+      (svg_chart ~title:"cache hit rate (%) over time (s)" ~width:640
+         ~height:160
+         [ ("hit %", "#4aa86a", rate_pts) ])
+  end;
+  (* per-op table *)
+  let ops = ref [] in
+  List.iter
+    (fun (a : Top.access) ->
+      if not (List.mem a.Top.ac_op !ops) then ops := a.Top.ac_op :: !ops)
+    accs;
+  let ops = List.rev !ops in
+  if ops <> [] then begin
+    Buffer.add_string buf
+      "<h2>Requests</h2><table>\n<tr><th class=\"l\">op</th><th>count</th>\
+       <th>hits</th><th>misses</th><th>busy</th><th>p50 ms</th><th>p95 \
+       ms</th><th>p99 ms</th></tr>\n";
+    List.iter
+      (fun op ->
+        let rows =
+          List.filter (fun (a : Top.access) -> a.Top.ac_op = op) accs
+        in
+        let count v =
+          List.length
+            (List.filter (fun (a : Top.access) -> a.Top.ac_verdict = v) rows)
+        in
+        let lat =
+          rows
+          |> List.filter (fun (a : Top.access) ->
+                 a.Top.ac_verdict = "hit" || a.Top.ac_verdict = "miss")
+          |> List.map (fun (a : Top.access) -> a.Top.ac_total_s)
+          |> Array.of_list
+        in
+        Array.sort compare lat;
+        let p q = Top.percentile lat q *. 1000.0 in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<tr><td class=\"l\">%s</td><td>%d</td><td>%d</td><td>%d</td>\
+              <td>%d</td><td>%.2f</td><td>%.2f</td><td>%.2f</td></tr>\n"
+             (esc op) (List.length rows) (count "hit") (count "miss")
+             (count "busy") (p 0.50) (p 0.95) (p 0.99)))
+      ops;
+    Buffer.add_string buf "</table>\n"
+  end;
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf

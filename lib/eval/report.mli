@@ -31,3 +31,11 @@ val decisions : t -> int
 
 val skipped : t -> int
 (** Lines that failed to parse or decode. *)
+
+val serve_html :
+  file:string -> final:bool -> skipped:int -> Top.access list -> string
+(** [hlts report --serve]: render a [serve --access-log] file (parsed
+    with {!Top.read_access_file}) as a service report — latency
+    timeline split by cache hit/miss, bucketed request-rate and
+    hit-rate charts, and a per-op latency-percentile table. Same
+    inline-asset and tolerance story as {!to_html}. *)

@@ -211,6 +211,236 @@ let once ~file =
    [frames] frames when [frames > 0]. An existing-but-still-empty file
    is polled (the producer opens it before the first event), with a
    bound so a crashed producer cannot hang us forever. *)
+(* ---- serve mode: access-log dashboard ----------------------------------- *)
+
+(* One request record from a [serve --access-log] file. *)
+type access = {
+  ac_t_s : float;
+  ac_trace : string;
+  ac_op : string;
+  ac_digest : string;
+  ac_verdict : string;
+  ac_async : bool;
+  ac_bytes_out : int;
+  ac_queue_s : float;
+  ac_cache_s : float;
+  ac_compute_s : float;
+  ac_reply_s : float;
+  ac_total_s : float;
+}
+
+type access_line =
+  | Request of access
+  | Lifecycle of { lc_event : string; lc_final : bool }
+
+let parse_access_line line =
+  match Json.of_string line with
+  | Error e -> Error e
+  | Ok j -> (
+    match Json.member "serve" j with
+    | Some (Json.Str lc_event) ->
+      Ok
+        (Lifecycle
+           { lc_event; lc_final = Json.member "final" j = Some (Json.Bool true) })
+    | Some _ -> Error "bad lifecycle line"
+    | None -> (
+      match (Json.member "op" j, Json.member "verdict" j) with
+      | Some (Json.Str ac_op), Some (Json.Str ac_verdict) ->
+        let f name =
+          Option.value ~default:0.0 (Option.bind (Json.member name j) num)
+        in
+        let s name =
+          match Json.member name j with Some (Json.Str v) -> v | _ -> "-"
+        in
+        Ok
+          (Request
+             {
+               ac_t_s = f "t_s";
+               ac_trace = s "trace";
+               ac_op;
+               ac_digest = s "digest";
+               ac_verdict;
+               ac_async = Json.member "async" j = Some (Json.Bool true);
+               ac_bytes_out =
+                 (match Json.member "bytes_out" j with
+                 | Some (Json.Int n) -> n
+                 | _ -> 0);
+               ac_queue_s = f "queue_s";
+               ac_cache_s = f "cache_s";
+               ac_compute_s = f "compute_s";
+               ac_reply_s = f "reply_s";
+               ac_total_s = f "total_s";
+             })
+      | _ -> Error "not an access record"))
+
+(* Same tolerance contract as [read_file]: torn trailing fragment and
+   unparseable lines are skipped, never fatal. Returns the request
+   records in file order, whether a final lifecycle line was seen, and
+   the skipped count. *)
+let read_access_file file =
+  match open_in_bin file with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let skipped = ref 0 in
+    let n = String.length content in
+    let rec lines acc start =
+      if start >= n then List.rev acc
+      else
+        match String.index_from_opt content start '\n' with
+        | None ->
+          incr skipped;  (* torn trailing write *)
+          List.rev acc
+        | Some nl ->
+          lines (String.sub content start (nl - start) :: acc) (nl + 1)
+    in
+    let final = ref false in
+    let accs =
+      List.filter_map
+        (fun line ->
+          if String.trim line = "" then None
+          else
+            match parse_access_line line with
+            | Ok (Request a) -> Some a
+            | Ok (Lifecycle l) ->
+              if l.lc_final then final := true;
+              None
+            | Error _ ->
+              incr skipped;
+              None)
+        (lines [] 0)
+    in
+    Ok (accs, !final, !skipped)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let i = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) i))
+
+let ms v = v *. 1000.0
+
+(* Render the access log as a service panel: RPS, latency percentiles,
+   hit rate, inferred queue depth (accepted not yet executed), busy
+   rejects and a per-op breakdown. *)
+let render_serve ~file ~skipped ~final accs =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let n = List.length accs in
+  let t_max = List.fold_left (fun acc a -> Float.max acc a.ac_t_s) 0.0 accs in
+  let engine =
+    List.filter (fun a -> a.ac_verdict = "hit" || a.ac_verdict = "miss") accs
+  in
+  let hits = List.length (List.filter (fun a -> a.ac_verdict = "hit") engine) in
+  let misses = List.length engine - hits in
+  let busy = List.length (List.filter (fun a -> a.ac_verdict = "busy") accs) in
+  let accepted =
+    List.length (List.filter (fun a -> a.ac_verdict = "accepted") accs)
+  in
+  let async_done = List.length (List.filter (fun a -> a.ac_async) accs) in
+  let lat =
+    engine |> List.map (fun a -> a.ac_total_s) |> Array.of_list
+  in
+  Array.sort compare lat;
+  let wall = if t_max > 0.0 then t_max else 1.0 in
+  let recent =
+    List.length (List.filter (fun a -> a.ac_t_s >= t_max -. 10.0) accs)
+  in
+  line "hlts top --serve — %s · %d request(s) · t=%.1fs · %s%s" file n t_max
+    (if final then "STOPPED" else "SERVING")
+    (if skipped > 0 then Printf.sprintf " · %d line(s) skipped" skipped else "");
+  line "rate   %6.1f req/s overall   %6.1f req/s last 10s"
+    (float_of_int n /. wall)
+    (float_of_int recent /. Float.min 10.0 wall);
+  line "lat    p50 %8.2f ms   p95 %8.2f ms   p99 %8.2f ms   max %8.2f ms"
+    (ms (percentile lat 0.50))
+    (ms (percentile lat 0.95))
+    (ms (percentile lat 0.99))
+    (ms (percentile lat 1.0));
+  line "cache  hits %d   misses %d   hit-rate %.0f%%" hits misses
+    (if hits + misses > 0 then
+       100.0 *. float_of_int hits /. float_of_int (hits + misses)
+     else 0.0);
+  line "queue  depth %d (accepted %d, completed %d)   busy rejects %d"
+    (max 0 (accepted - async_done))
+    accepted async_done busy;
+  if engine <> [] then begin
+    let mean f =
+      List.fold_left (fun acc a -> acc +. f a) 0.0 engine
+      /. float_of_int (List.length engine)
+    in
+    line
+      "phases queue %8.2f ms   cache %8.2f ms   compute %8.2f ms   reply \
+       %8.2f ms (means)"
+      (ms (mean (fun a -> a.ac_queue_s)))
+      (ms (mean (fun a -> a.ac_cache_s)))
+      (ms (mean (fun a -> a.ac_compute_s)))
+      (ms (mean (fun a -> a.ac_reply_s)))
+  end;
+  (* per-op rows, first-seen order *)
+  let ops = ref [] in
+  List.iter
+    (fun a -> if not (List.mem a.ac_op !ops) then ops := a.ac_op :: !ops)
+    accs;
+  let ops = List.rev !ops in
+  if ops <> [] then begin
+    line "ops    %-14s %8s %8s %8s %12s" "op" "count" "hits" "misses"
+      "p95 ms";
+    List.iter
+      (fun op ->
+        let rows = List.filter (fun a -> a.ac_op = op) accs in
+        let h = List.length (List.filter (fun a -> a.ac_verdict = "hit") rows) in
+        let m =
+          List.length (List.filter (fun a -> a.ac_verdict = "miss") rows)
+        in
+        let l =
+          rows
+          |> List.filter (fun a -> a.ac_verdict = "hit" || a.ac_verdict = "miss")
+          |> List.map (fun a -> a.ac_total_s)
+          |> Array.of_list
+        in
+        Array.sort compare l;
+        line "       %-14s %8d %8d %8d %12.2f" op (List.length rows) h m
+          (ms (percentile l 0.95)))
+      ops
+  end;
+  Buffer.contents b
+
+let once_serve ~file =
+  match read_access_file file with
+  | Error e -> Error e
+  | Ok ([], false, _) -> Error (file ^ ": no complete access-log record")
+  | Ok (accs, final, skipped) -> Ok (render_serve ~file ~skipped ~final accs)
+
+let follow_serve ?(frames = 0) ?(interval_ms = 250) ~file write =
+  let sleep () = Unix.sleepf (float_of_int (max 1 interval_ms) /. 1000.0) in
+  let max_empty_polls = 1 + (60_000 / max 1 interval_ms) in
+  let rec loop ~rendered ~empty =
+    match read_access_file file with
+    | Error e -> Error e
+    | Ok ([], false, _) ->
+      if empty >= max_empty_polls then
+        Error (file ^ ": no access-log record appeared")
+      else begin
+        sleep ();
+        loop ~rendered ~empty:(empty + 1)
+      end
+    | Ok (accs, final, skipped) ->
+      write ("\027[2J\027[H" ^ render_serve ~file ~skipped ~final accs);
+      let rendered = rendered + 1 in
+      if final || (frames > 0 && rendered >= frames) then Ok ()
+      else begin
+        sleep ();
+        loop ~rendered ~empty:0
+      end
+  in
+  loop ~rendered:0 ~empty:0
+
 let follow ?(frames = 0) ?(interval_ms = 250) ~file write =
   let sleep () = Unix.sleepf (float_of_int (max 1 interval_ms) /. 1000.0) in
   let max_empty_polls = 1 + (60_000 / max 1 interval_ms) in

@@ -51,3 +51,59 @@ val follow :
     when [frames > 0]. An existing-but-empty file is polled (bounded),
     so starting concurrently with the producer is safe; a missing file
     is an immediate [Error]. *)
+
+(** {1 Serve mode} ([hlts top --serve])
+
+    The same dashboard idea over a [serve --access-log] file: requests
+    per second, latency percentiles, cache hit rate, inferred queue
+    depth and busy rejects. Same tolerance contract as heartbeat
+    mode. *)
+
+(** One request record of an access log. *)
+type access = {
+  ac_t_s : float;        (** seconds since daemon start *)
+  ac_trace : string;     (** trace id, or ["-"] when untraced *)
+  ac_op : string;
+  ac_digest : string;
+  ac_verdict : string;   (** [hit]/[miss]/[accepted]/[busy]/[ok]/[error] *)
+  ac_async : bool;       (** a queued job's execution record *)
+  ac_bytes_out : int;
+  ac_queue_s : float;
+  ac_cache_s : float;
+  ac_compute_s : float;
+  ac_reply_s : float;
+  ac_total_s : float;
+}
+
+(** A parsed access-log line: a request record or a daemon lifecycle
+    marker ([listening]/[drained]). *)
+type access_line =
+  | Request of access
+  | Lifecycle of { lc_event : string; lc_final : bool }
+
+val parse_access_line : string -> (access_line, string) result
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] is the [q]-quantile ([0..1]) of an
+    ascending-sorted array by the nearest-rank method; [0.] when
+    empty. Shared with [hlts report --serve]. *)
+
+val read_access_file : string -> (access list * bool * int, string) result
+(** [read_access_file f] is every complete request record currently in
+    [f] in file order, whether a final lifecycle line ([drained]) was
+    seen, and the skipped-line count (torn trailing fragment,
+    unparseable lines). [Error] only when the file cannot be opened. *)
+
+val render_serve :
+  file:string -> skipped:int -> final:bool -> access list -> string
+(** Render the service panel over all records so far. *)
+
+val once_serve : file:string -> (string, string) result
+(** Render the access log once, or an error for a missing/empty
+    file. *)
+
+val follow_serve :
+  ?frames:int -> ?interval_ms:int -> file:string -> (string -> unit) ->
+  (unit, string) result
+(** Like {!follow}, over an access log: stops after rendering a panel
+    that saw the final [drained] line, or after [frames] frames. *)

@@ -32,6 +32,11 @@ let sockaddr = function
 
 let max_frame = 64 * 1024 * 1024
 
+(* Protocol schema: bumped when a frame shape changes incompatibly.
+   Additive envelope fields (like "trace") do NOT bump it — both ends
+   ignore fields they don't know. *)
+let schema_version = 1
+
 let rec write_all fd b off len =
   if len > 0 then begin
     let n = Unix.write fd b off len in
@@ -52,11 +57,14 @@ let decode_prefix b off =
   lor (Char.code (Bytes.get b (off + 2)) lsl 8)
   lor Char.code (Bytes.get b (off + 3))
 
-let write_frame fd json =
+let write_frame' fd json =
   let payload = Bytes.of_string (Json.to_string json) in
   let n = Bytes.length payload in
   write_all fd (prefix n) 0 4;
-  write_all fd payload 0 n
+  write_all fd payload 0 n;
+  4 + n
+
+let write_frame fd json = ignore (write_frame' fd json)
 
 (* Reads exactly [len] bytes; [`Eof_at_start] distinguishes a peer that
    closed cleanly between frames from one that died mid-frame. *)

@@ -23,9 +23,19 @@ val max_frame : int
 (** Frames larger than this (64 MiB) are protocol errors, not
     allocations: a garbage prefix must not OOM the daemon. *)
 
+val schema_version : int
+(** Protocol schema version, reported by the daemon in [ping]/[stats]
+    replies so clients can detect skew. Bumped only on incompatible
+    frame-shape changes; additive envelope fields (e.g. ["trace"]) do
+    not bump it. *)
+
 val write_frame : Unix.file_descr -> Hlts_obs.Json.t -> unit
 (** Writes one complete frame, retrying short writes.
     @raise Unix.Unix_error on a closed/broken peer. *)
+
+val write_frame' : Unix.file_descr -> Hlts_obs.Json.t -> int
+(** Like {!write_frame} but returns the bytes written (prefix +
+    payload) — the access log records reply sizes. *)
 
 val read_frame : Unix.file_descr -> Hlts_obs.Json.t option
 (** Blocking read of one frame; [None] on clean EOF before the first

@@ -713,6 +713,23 @@ let us_of_ns ns = Int64.to_float ns /. 1000.0
 
 (* ---- summary sink ----------------------------------------------------- *)
 
+(* Fixed latency ladder shared by every "…seconds" sample: sub-ms cache
+   hits at one end, multi-second cold synthesis runs at the other. The
+   ladder is part of the exposition contract (DESIGN.md §7.1), so it is
+   a constant, not a per-histogram choice. *)
+let latency_buckets =
+  [|
+    0.0005; 0.001; 0.0025; 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.0;
+    2.5; 5.0; 10.0; 30.0;
+  |]
+
+(* Samples whose names end in "seconds" carry latencies and get
+   fixed-bucket histogram treatment; everything else stays a summary. *)
+let is_latency_name name =
+  let suffix = "seconds" in
+  let ln = String.length name and ls = String.length suffix in
+  ln >= ls && String.sub name (ln - ls) ls = suffix
+
 module Summary = struct
   type span_stat = {
     spans : int;
@@ -735,6 +752,9 @@ module Summary = struct
     mutable gauge_order : string list;
     samples_tbl : (string, sample_stat) Hashtbl.t;
     mutable sample_order : string list;
+    (* per-bucket (non-cumulative) counts for latency samples; the
+       extra final slot counts observations above the last bucket *)
+    hists_tbl : (string, int array) Hashtbl.t;
   }
 
   let create () =
@@ -748,6 +768,7 @@ module Summary = struct
       gauge_order = [];
       samples_tbl = Hashtbl.create 16;
       sample_order = [];
+      hists_tbl = Hashtbl.create 8;
     }
 
   let emit t = function
@@ -802,7 +823,21 @@ module Summary = struct
           sum = prev.sum +. v;
           min_v = min prev.min_v v;
           max_v = max prev.max_v v;
-        }
+        };
+      if is_latency_name name then begin
+        let nb = Array.length latency_buckets in
+        let counts =
+          match Hashtbl.find_opt t.hists_tbl name with
+          | Some c -> c
+          | None ->
+            let c = Array.make (nb + 1) 0 in
+            Hashtbl.add t.hists_tbl name c;
+            c
+        in
+        let i = ref 0 in
+        while !i < nb && v > latency_buckets.(!i) do incr i done;
+        counts.(!i) <- counts.(!i) + 1
+      end
     | Instant _ -> ()
     (* decisions are content, not time; worker spans already account
        their wall time inside the worker — folding them into the
@@ -842,6 +877,15 @@ module Summary = struct
 
   let samples t =
     List.rev_map (fun name -> (name, Hashtbl.find t.samples_tbl name)) t.sample_order
+
+  (* Latency samples only (see [is_latency_name]), first-seen order.
+     Each array has [Array.length latency_buckets + 1] per-bucket
+     counts, the last slot being the above-ladder overflow. *)
+  let histograms t =
+    List.filter_map
+      (fun (name, _) ->
+        Option.map (fun c -> (name, Array.copy c)) (Hashtbl.find_opt t.hists_tbl name))
+      (samples t)
 
   let pp ppf t =
     let open Format in
@@ -913,6 +957,8 @@ module Metrics = struct
     | FP_infinite -> if f > 0.0 then "+Inf" else "-Inf"
     | FP_normal | FP_subnormal | FP_zero -> float_repr f
 
+  let latency_buckets = latency_buckets
+
   let escape_label_value v =
     let buf = Buffer.create (String.length v) in
     String.iter
@@ -971,16 +1017,37 @@ module Metrics = struct
           sample_line buf m v
         end)
       (Summary.gauges summary);
+    let hists = Summary.histograms summary in
     List.iter
       (fun (name, (st : Summary.sample_stat)) ->
         let m = "hlts_" ^ metric_name name in
-        header buf m ~help:(Printf.sprintf "Sample summary %s." name) ~typ:"summary";
-        if st.n > 0 then begin
-          sample_line buf m ~labels:[ ("quantile", "0") ] st.min_v;
-          sample_line buf m ~labels:[ ("quantile", "1") ] st.max_v
-        end;
-        sample_line buf (m ^ "_sum") st.sum;
-        sample_line buf (m ^ "_count") (float_of_int st.n))
+        match List.assoc_opt name hists with
+        | Some counts ->
+          (* latency sample: proper cumulative-bucket histogram *)
+          header buf m
+            ~help:(Printf.sprintf "Latency histogram %s." name)
+            ~typ:"histogram";
+          let cum = ref 0 in
+          Array.iteri
+            (fun i le ->
+              cum := !cum + counts.(i);
+              sample_line buf (m ^ "_bucket")
+                ~labels:[ ("le", prom_float le) ]
+                (float_of_int !cum))
+            latency_buckets;
+          sample_line buf (m ^ "_bucket")
+            ~labels:[ ("le", "+Inf") ]
+            (float_of_int st.n);
+          sample_line buf (m ^ "_sum") st.sum;
+          sample_line buf (m ^ "_count") (float_of_int st.n)
+        | None ->
+          header buf m ~help:(Printf.sprintf "Sample summary %s." name) ~typ:"summary";
+          if st.n > 0 then begin
+            sample_line buf m ~labels:[ ("quantile", "0") ] st.min_v;
+            sample_line buf m ~labels:[ ("quantile", "1") ] st.max_v
+          end;
+          sample_line buf (m ^ "_sum") st.sum;
+          sample_line buf (m ^ "_count") (float_of_int st.n))
       (Summary.samples summary);
     (match Summary.phases summary with
     | [] -> ()
@@ -1362,3 +1429,205 @@ let chrome_sink write =
     end
   in
   { emit; flush }
+
+(* ---- request-scoped trace context -------------------------------------- *)
+
+module Trace_ctx = struct
+  type t = { trace_id : string; span_id : string; sampled : bool }
+
+  (* splitmix64, seeded once per process from the monotonic clock and
+     the pid. Trace ids only need to be unique, never reproducible, so
+     this deliberately does NOT ride Util.Rng (obs is a leaf library
+     and trace ids must not perturb any seeded stream). *)
+  let prng = ref 0L
+  let seeded = ref false
+
+  let next64 () =
+    if not !seeded then begin
+      seeded := true;
+      prng :=
+        Int64.logxor (Clock.now_ns ())
+          (Int64.mul (Int64.of_int (Unix.getpid ())) 0x9E3779B97F4A7C15L)
+    end;
+    prng := Int64.add !prng 0x9E3779B97F4A7C15L;
+    let z = !prng in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let hex64 v = Printf.sprintf "%016Lx" v
+
+  let generate ?(sampled = true) () =
+    {
+      trace_id = hex64 (next64 ()) ^ hex64 (next64 ());
+      span_id = hex64 (next64 ());
+      sampled;
+    }
+
+  let child t = { t with span_id = hex64 (next64 ()) }
+
+  let is_hex s =
+    String.for_all
+      (fun c -> match c with '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+      s
+
+  let valid t =
+    String.length t.trace_id = 32
+    && is_hex t.trace_id
+    && String.length t.span_id = 16
+    && is_hex t.span_id
+
+  let to_json t =
+    Json.Obj
+      [
+        ("id", Json.Str t.trace_id); ("span", Json.Str t.span_id);
+        ("sampled", Json.Bool t.sampled);
+      ]
+
+  let of_json j =
+    match (Json.member "id" j, Json.member "span" j) with
+    | Some (Json.Str trace_id), Some (Json.Str span_id) ->
+      let sampled =
+        match Json.member "sampled" j with
+        | Some (Json.Bool b) -> b
+        | Some _ | None -> true
+      in
+      let t = { trace_id; span_id; sampled } in
+      if valid t then Some t else None
+    | _ -> None
+
+  (* Tolerant by design: frames from clients that predate tracing carry
+     no "trace" field, and foreign callers may send malformed ones —
+     both decode to None and the request proceeds untraced. *)
+  let of_envelope j =
+    match Json.member "trace" j with
+    | Some tj -> of_json tj
+    | None -> None
+
+  (* -- shipped spans ---------------------------------------------------- *)
+
+  type span = {
+    sp_lane : int;
+    sp_label : string;
+    sp_name : string;
+    sp_cat : string;
+    sp_ts_ns : int64;
+    sp_dur_ns : int64;
+    sp_args : (string * value) list;
+  }
+
+  let span_to_json s =
+    Json.Obj
+      [
+        ("lane", Json.Int s.sp_lane); ("label", Json.Str s.sp_label);
+        ("name", Json.Str s.sp_name); ("cat", Json.Str s.sp_cat);
+        ("ts_ns", Json.Int (Int64.to_int s.sp_ts_ns));
+        ("dur_ns", Json.Int (Int64.to_int s.sp_dur_ns));
+        ("args", json_of_args s.sp_args);
+      ]
+
+  let value_of_json = function
+    | Json.Int i -> Some (Int i)
+    | Json.Float f -> Some (Float f)
+    | Json.Str s -> Some (Str s)
+    | Json.Bool b -> Some (Bool b)
+    | Json.Null | Json.List _ | Json.Obj _ -> None
+
+  let span_of_json j =
+    match
+      ( Json.member "lane" j, Json.member "label" j, Json.member "name" j,
+        Json.member "cat" j, Json.member "ts_ns" j, Json.member "dur_ns" j )
+    with
+    | ( Some (Json.Int sp_lane), Some (Json.Str sp_label),
+        Some (Json.Str sp_name), Some (Json.Str sp_cat),
+        Some (Json.Int ts), Some (Json.Int dur) ) ->
+      let sp_args =
+        match Json.member "args" j with
+        | Some (Json.Obj fields) ->
+          List.filter_map
+            (fun (k, v) -> Option.map (fun v -> (k, v)) (value_of_json v))
+            fields
+        | _ -> []
+      in
+      Some
+        {
+          sp_lane; sp_label; sp_name; sp_cat;
+          sp_ts_ns = Int64.of_int ts;
+          sp_dur_ns = Int64.of_int dur;
+          sp_args;
+        }
+    | _ -> None
+
+  (* A capture sink that turns the process's own Span_end events into
+     lane [lane] spans and pool Worker_span events into lanes
+     [lane + 1 + worker], for shipping with a reply. *)
+  let collector ~lane ~label () =
+    let acc = ref [] in
+    let emit = function
+      | Span_end { name; cat; ts_ns; dur_ns; args; _ } ->
+        acc :=
+          {
+            sp_lane = lane; sp_label = label; sp_name = name; sp_cat = cat;
+            sp_ts_ns = ts_ns; sp_dur_ns = dur_ns; sp_args = args;
+          }
+          :: !acc
+      | Worker_span { worker; ticket; span } ->
+        acc :=
+          {
+            sp_lane = lane + 1 + worker;
+            sp_label = Printf.sprintf "pool worker %d" worker;
+            sp_name = span.w_name;
+            sp_cat = span.w_cat;
+            sp_ts_ns = span.w_ts_ns;
+            sp_dur_ns = span.w_dur_ns;
+            sp_args = ("ticket", Int ticket) :: span.w_args;
+          }
+          :: !acc
+      | Span_begin _ | Count _ | Gauge _ | Sample _ | Instant _ | Decision _ ->
+        ()
+    in
+    ({ emit; flush = (fun () -> ()) }, fun () -> List.rev !acc)
+
+  (* -- merged Chrome trace ------------------------------------------------ *)
+
+  let chrome_trace ?(meta = []) spans =
+    let start s = Int64.sub s.sp_ts_ns s.sp_dur_ns in
+    let t0 =
+      List.fold_left (fun acc s -> Int64.min acc (start s)) Int64.max_int spans
+    in
+    let t0 = if t0 = Int64.max_int then 0L else t0 in
+    let records = ref [] in
+    let seen_lanes : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+    let lane_meta s =
+      if not (Hashtbl.mem seen_lanes s.sp_lane) then begin
+        Hashtbl.add seen_lanes s.sp_lane ();
+        records :=
+          Json.Obj
+            [
+              ("name", Json.Str "process_name"); ("ph", Json.Str "M");
+              ("pid", Json.Int s.sp_lane); ("tid", Json.Int 1);
+              ("args", Json.Obj [ ("name", Json.Str s.sp_label) ]);
+            ]
+          :: !records
+      end
+    in
+    List.iter
+      (fun s ->
+        lane_meta s;
+        let cat = if s.sp_cat = "" then "default" else s.sp_cat in
+        records :=
+          Json.Obj
+            [
+              ("name", Json.Str s.sp_name); ("ph", Json.Str "X");
+              ("ts", Json.Float (us_of_ns (Int64.sub (start s) t0)));
+              ("dur", Json.Float (us_of_ns s.sp_dur_ns));
+              ("pid", Json.Int s.sp_lane); ("tid", Json.Int 1);
+              ("cat", Json.Str cat); ("args", json_of_args s.sp_args);
+            ]
+          :: !records)
+      spans;
+    Json.Obj
+      (("traceEvents", Json.List (List.rev !records))
+      :: ("displayTimeUnit", Json.Str "ms")
+      :: meta)
+end

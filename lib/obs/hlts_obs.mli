@@ -345,6 +345,13 @@ module Summary : sig
 
   val samples : t -> (string * sample_stat) list
 
+  val histograms : t -> (string * int array) list
+  (** Bucketed counts for latency samples only — those whose name ends
+      in ["seconds"] — keyed like {!samples}, first-seen order. Each
+      array holds per-bucket (non-cumulative) counts against
+      {!Metrics.latency_buckets}, plus one final overflow slot for
+      observations above the last bucket. *)
+
   val pp : Format.formatter -> t -> unit
   (** Human-readable report: per-phase breakdown (self time and
       share), per-span table, counters, gauges and histograms. *)
@@ -360,15 +367,23 @@ module Metrics : sig
       characters outside [[a-zA-Z0-9_:]] map to ['_'] and a leading
       digit is prefixed with ['_']. *)
 
+  val latency_buckets : float array
+  (** The fixed bucket ladder (upper bounds, seconds) every latency
+      histogram uses: 0.5 ms up to 30 s, Prometheus-style. Part of the
+      exposition contract — dashboards may hard-code it. *)
+
   val expose : ?res:bool -> Summary.t -> string
   (** Render the summary in Prometheus text exposition format (with
       [# HELP]/[# TYPE] headers): counters as [hlts_<name>_total]
       counters, gauges as [hlts_<name>] gauges, samples as summaries
       ([quantile="0"]/[quantile="1"] extremes plus [_sum]/[_count]) and
       per-phase self time as [hlts_phase_self_seconds{phase="..."}].
-      When [res] is true (default) a fresh {!Res.snapshot} is appended
-      as gauges and any recorded ["res.*"] gauges in the summary are
-      dropped in its favour. *)
+      Latency samples — names ending in ["seconds"] — render instead as
+      proper histograms: cumulative [hlts_<name>_bucket{le="..."}]
+      lines over {!latency_buckets}, a [le="+Inf"] line, then
+      [_sum]/[_count]. When [res] is true (default) a fresh
+      {!Res.snapshot} is appended as gauges and any recorded ["res.*"]
+      gauges in the summary are dropped in its favour. *)
 
   type sample = {
     m_name : string;
@@ -421,3 +436,76 @@ val chrome_sink : (string -> unit) -> sink
     metadata record, so pool workers appear as separate lanes.
     {!Decision} events render as instants in the ["journal"]
     category. *)
+
+(** Request-scoped trace context, propagated through the [hlts serve]
+    wire protocol: a 128-bit trace id plus a 64-bit span id (both
+    lower-case hex) and a sampling flag. The client generates a context
+    per request (or accepts one from its caller), the daemon echoes it
+    in the reply together with the spans the request produced, and the
+    client merges its own spans with the shipped ones into a single
+    Chrome trace — client wait, daemon work and pool-worker lanes on
+    one timeline.
+
+    Everything here is telemetry, never content: trace ids come from a
+    private splitmix64 stream (not {!Hlts_util.Rng}), request digests
+    ignore the envelope's ["trace"] field, and journals are
+    byte-identical with tracing on or off. *)
+module Trace_ctx : sig
+  type t = {
+    trace_id : string;  (** 32 hex chars *)
+    span_id : string;   (** 16 hex chars *)
+    sampled : bool;     (** false = propagate ids but capture no spans *)
+  }
+
+  val generate : ?sampled:bool -> unit -> t
+  (** Fresh random context ([sampled] defaults to [true]). Unique per
+      call; deliberately not reproducible from any seed. *)
+
+  val child : t -> t
+  (** Same trace id, fresh span id — the context to hand to a
+      downstream hop. *)
+
+  val to_json : t -> Json.t
+  (** [{"id":<32 hex>, "span":<16 hex>, "sampled":bool}]. *)
+
+  val of_json : Json.t -> t option
+  (** Inverse of {!to_json}; [None] on malformed ids. A missing
+      ["sampled"] defaults to [true]. *)
+
+  val of_envelope : Json.t -> t option
+  (** Read the optional ["trace"] field of a request envelope. [None]
+      when absent or malformed — frames from clients that predate
+      tracing parse exactly as before. *)
+
+  (** One completed span on some lane of the merged trace. Lanes:
+      0 = client, 1 = daemon, [2 + w] = pool worker [w]. Timestamps are
+      {!Clock} readings (end-of-span, like {!span_rec}) — meaningful
+      across processes on one host, rebased by {!chrome_trace}. *)
+  type span = {
+    sp_lane : int;
+    sp_label : string;  (** lane display name, e.g. ["daemon"] *)
+    sp_name : string;
+    sp_cat : string;
+    sp_ts_ns : int64;
+    sp_dur_ns : int64;
+    sp_args : (string * value) list;
+  }
+
+  val span_to_json : span -> Json.t
+  val span_of_json : Json.t -> span option
+  (** Wire codec for shipped spans; [span_of_json] drops non-scalar
+      argument values and returns [None] on missing fields. *)
+
+  val collector : lane:int -> label:string -> unit -> sink * (unit -> span list)
+  (** [collector ~lane ~label ()] is a sink that records the process's
+      own [Span_end] events as lane [lane] spans and pool
+      [Worker_span] events as lane [lane + 1 + worker] spans, plus a
+      function returning everything captured so far in completion
+      order. *)
+
+  val chrome_trace : ?meta:(string * Json.t) list -> span list -> Json.t
+  (** Render spans (any mix of lanes) as one complete Chrome
+      [trace_event] document: per-lane ["process_name"] metadata, ["X"]
+      records with microsecond timestamps rebased to the earliest span
+      start. [meta] fields are appended to the top-level object. *)
+end

@@ -223,7 +223,7 @@ let test_worker_span_restamp () =
         | _ -> None)
       (events ())
   in
-  Alcotest.(check int) "wspan count" 12 (List.length wspans);
+  Alcotest.(check int) "wspan count" 18 (List.length wspans);
   List.iter
     (fun (worker, ticket, span) ->
       Alcotest.(check int) "round-robin lane" (ticket mod jobs) worker;

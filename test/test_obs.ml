@@ -490,6 +490,172 @@ let test_heartbeat_sink () =
       (Obs.Json.member "res.fake" g = None)
   | None -> Alcotest.fail "no gauges object"
 
+(* --- latency histograms --------------------------------------------------- *)
+
+let test_histogram_exposition () =
+  let s = Obs.Summary.create () in
+  Obs.with_sink (Obs.Summary.sink s) (fun () ->
+      List.iter
+        (Obs.sample "lat.seconds")
+        [ 0.0007; 0.003; 0.003; 12.0; 100.0 ];
+      (* a non-"seconds" sample must keep the summary exposition *)
+      Obs.sample "lat.items" 3.0);
+  let text = Obs.Metrics.expose ~res:false s in
+  Alcotest.(check bool) "histogram TYPE header" true
+    (contains ~needle:"# TYPE hlts_lat_seconds histogram" text);
+  Alcotest.(check bool) "non-latency sample stays a summary" true
+    (contains ~needle:"# TYPE hlts_lat_items summary" text);
+  match Obs.Metrics.parse text with
+  | Error e -> Alcotest.failf "exposition does not parse: %s" e
+  | Ok samples ->
+    let buckets =
+      List.filter
+        (fun s -> s.Obs.Metrics.m_name = "hlts_lat_seconds_bucket")
+        samples
+    in
+    Alcotest.(check int) "one line per ladder bound plus +Inf"
+      (Array.length Obs.Metrics.latency_buckets + 1)
+      (List.length buckets);
+    let value le =
+      match
+        List.find_opt
+          (fun s -> s.Obs.Metrics.m_labels = [ ("le", le) ])
+          buckets
+      with
+      | Some s -> s.Obs.Metrics.m_value
+      | None -> Alcotest.failf "no le=%s bucket" le
+    in
+    Alcotest.(check (float 0.0)) "nothing under 0.5 ms" 0.0 (value "0.0005");
+    Alcotest.(check (float 0.0)) "0.7 ms lands in le=0.001" 1.0
+      (value "0.001");
+    Alcotest.(check (float 0.0)) "cumulative through 5 ms" 3.0
+      (value "0.005");
+    Alcotest.(check (float 0.0)) "30 s catches the 12 s sample" 4.0
+      (value "30");
+    Alcotest.(check (float 0.0)) "+Inf = total count" 5.0 (value "+Inf");
+    (* cumulative: counts never decrease in file order *)
+    ignore
+      (List.fold_left
+         (fun prev b ->
+           Alcotest.(check bool) "buckets cumulative" true
+             (b.Obs.Metrics.m_value >= prev);
+           b.Obs.Metrics.m_value)
+         0.0 buckets);
+    (match
+       List.find_opt
+         (fun s -> s.Obs.Metrics.m_name = "hlts_lat_seconds_count")
+         samples
+     with
+    | Some s -> Alcotest.(check (float 0.0)) "count" 5.0 s.Obs.Metrics.m_value
+    | None -> Alcotest.fail "no _count");
+    match
+      List.find_opt
+        (fun s -> s.Obs.Metrics.m_name = "hlts_lat_seconds_sum")
+        samples
+    with
+    | Some s ->
+      Alcotest.(check (float 1e-6)) "sum" 112.0067 s.Obs.Metrics.m_value
+    | None -> Alcotest.fail "no _sum"
+
+(* --- trace context -------------------------------------------------------- *)
+
+module Trace_ctx = Obs.Trace_ctx
+
+(* Arbitrary well-formed contexts, built from raw 64-bit halves so the
+   generator covers the full hex surface, not just what [generate]
+   happens to produce. *)
+let trace_ctx_arb =
+  QCheck.make
+    ~print:(fun c ->
+      Printf.sprintf "%s/%s/%b" c.Trace_ctx.trace_id c.Trace_ctx.span_id
+        c.Trace_ctx.sampled)
+    QCheck.Gen.(
+      map3
+        (fun hi lo (sp, sampled) ->
+          {
+            Trace_ctx.trace_id = Printf.sprintf "%016Lx%016Lx" hi lo;
+            span_id = Printf.sprintf "%016Lx" sp;
+            sampled;
+          })
+        ui64 ui64
+        (pair ui64 bool))
+
+let prop_trace_ctx_roundtrip =
+  QCheck.Test.make ~name:"trace context wire codec round-trips" ~count:200
+    trace_ctx_arb
+    (fun ctx ->
+      match Trace_ctx.of_json (Trace_ctx.to_json ctx) with
+      | Some ctx' -> ctx' = ctx
+      | None -> false)
+
+let test_trace_envelope () =
+  let ctx = Trace_ctx.generate () in
+  Alcotest.(check int) "trace id width" 32 (String.length ctx.Trace_ctx.trace_id);
+  Alcotest.(check int) "span id width" 16 (String.length ctx.Trace_ctx.span_id);
+  Alcotest.(check bool) "generated sampled" true ctx.Trace_ctx.sampled;
+  let child = Trace_ctx.child ctx in
+  Alcotest.(check string) "child keeps the trace id" ctx.Trace_ctx.trace_id
+    child.Trace_ctx.trace_id;
+  Alcotest.(check bool) "child gets a fresh span id" true
+    (child.Trace_ctx.span_id <> ctx.Trace_ctx.span_id);
+  (* an envelope with foreign fields and a trace still yields the trace *)
+  let envelope extra =
+    Obs.Json.Obj
+      ([ ("op", Obs.Json.Str "synth"); ("future_field", Obs.Json.Int 42) ]
+      @ extra)
+  in
+  (match Trace_ctx.of_envelope (envelope [ ("trace", Trace_ctx.to_json ctx) ])
+   with
+  | Some c -> Alcotest.(check string) "ids survive" ctx.Trace_ctx.trace_id
+      c.Trace_ctx.trace_id
+  | None -> Alcotest.fail "trace dropped from envelope");
+  (* no trace field: an untraced frame, not an error *)
+  Alcotest.(check bool) "untraced envelope" true
+    (Trace_ctx.of_envelope (envelope []) = None);
+  (* malformed ids are rejected, not propagated *)
+  Alcotest.(check bool) "short id rejected" true
+    (Trace_ctx.of_json
+       (Obs.Json.Obj
+          [ ("id", Obs.Json.Str "abc"); ("span", Obs.Json.Str "0123456789abcdef") ])
+    = None);
+  Alcotest.(check bool) "non-hex rejected" true
+    (Trace_ctx.of_json
+       (Obs.Json.Obj
+          [
+            ("id", Obs.Json.Str (String.make 32 'g'));
+            ("span", Obs.Json.Str (String.make 16 '0'));
+          ])
+    = None);
+  (* a peer that omits "sampled" means: sampled *)
+  match
+    Trace_ctx.of_json
+      (Obs.Json.Obj
+         [
+           ("id", Obs.Json.Str ctx.Trace_ctx.trace_id);
+           ("span", Obs.Json.Str ctx.Trace_ctx.span_id);
+         ])
+  with
+  | Some c -> Alcotest.(check bool) "defaults to sampled" true c.Trace_ctx.sampled
+  | None -> Alcotest.fail "sampled-less context rejected"
+
+let test_trace_span_roundtrip () =
+  let sp =
+    {
+      Trace_ctx.sp_lane = 3;
+      sp_label = "pool worker 1";
+      sp_name = "synth.pool.task";
+      sp_cat = "pool";
+      sp_ts_ns = 123456789L;
+      sp_dur_ns = 42L;
+      sp_args = [ ("ticket", Obs.Int 7); ("note", Obs.Str "x") ];
+    }
+  in
+  (match Trace_ctx.span_of_json (Trace_ctx.span_to_json sp) with
+  | Some sp' -> Alcotest.(check bool) "span round-trips" true (sp = sp')
+  | None -> Alcotest.fail "span did not round-trip");
+  Alcotest.(check bool) "garbage span rejected" true
+    (Trace_ctx.span_of_json (Obs.Json.Str "nope") = None)
+
 (* --- overhead budget ----------------------------------------------------- *)
 
 (* With no sink installed every entry point must degenerate to a list
@@ -592,5 +758,14 @@ let () =
           Alcotest.test_case "prometheus parse edges" `Quick
             test_metrics_parse_errors;
           Alcotest.test_case "heartbeat sink" `Quick test_heartbeat_sink;
+          Alcotest.test_case "latency histogram exposition" `Quick
+            test_histogram_exposition;
+        ] );
+      ( "trace-context",
+        [
+          QCheck_alcotest.to_alcotest prop_trace_ctx_roundtrip;
+          Alcotest.test_case "envelope tolerance" `Quick test_trace_envelope;
+          Alcotest.test_case "span json round-trip" `Quick
+            test_trace_span_roundtrip;
         ] );
     ]

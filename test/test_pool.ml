@@ -184,8 +184,9 @@ let test_worker_span_restamp () =
         | _ -> None)
       (events ())
   in
-  (* two spans per task, shipped back and re-stamped *)
-  Alcotest.(check int) "wspan count" 12 (List.length wspans);
+  (* two task-body spans plus the pool's own per-task span, shipped
+     back and re-stamped *)
+  Alcotest.(check int) "wspan count" 18 (List.length wspans);
   List.iter
     (fun (worker, ticket, span) ->
       Alcotest.(check bool) "worker lane in range" true

@@ -12,6 +12,8 @@ module Wire = Hlts_eval.Wire
 module Flows = Hlts_synth.Flows
 module Atpg = Hlts_atpg.Atpg
 module Json = Hlts_obs.Json
+module Trace_ctx = Hlts_obs.Trace_ctx
+module Pool = Hlts_pool.Pool
 
 let cheap_atpg =
   { Atpg.default_config with
@@ -37,7 +39,7 @@ let spec ?(bits = 4) ?(approach = Flows.Ours) () =
 
 (* --- daemon harness ------------------------------------------------- *)
 
-let start_daemon ?(queue_limit = 64) ~dir () =
+let start_daemon ?(queue_limit = 64) ?(jobs = 1) ?backend ?access_log ~dir () =
   let sock = Serve.default_socket_path dir in
   let addr = Wire.Unix_path sock in
   match Unix.fork () with
@@ -45,14 +47,26 @@ let start_daemon ?(queue_limit = 64) ~dir () =
     (* the daemon: never returns to Alcotest *)
     let code =
       try
+        let access_log =
+          Option.map
+            (fun path ->
+              let oc = open_out path in
+              fun line ->
+                output_string oc line;
+                flush oc)
+            access_log
+        in
         Serve.run
           {
             Serve.addr;
             cache = Cache.create ~dir:(Some dir) ();
-            jobs = Some 1;
-            backend = None;
+            jobs = Some jobs;
+            backend;
             queue_limit;
             log = ignore;
+            access_log;
+            metrics = None;
+            slow_k = 4;
           };
         0
       with _ -> 1
@@ -84,9 +98,11 @@ let expect_clean_exit pid =
   | _, Unix.WSIGNALED s -> Alcotest.failf "daemon killed by signal %d" s
   | _, Unix.WSTOPPED _ -> Alcotest.fail "daemon stopped"
 
-let with_daemon ?queue_limit f =
+let with_daemon ?queue_limit ?jobs ?backend ?access_log f =
   let dir = temp_dir () in
-  let pid, addr, sock = start_daemon ?queue_limit ~dir () in
+  let pid, addr, sock =
+    start_daemon ?queue_limit ?jobs ?backend ?access_log ~dir ()
+  in
   Fun.protect
     ~finally:(fun () ->
       (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
@@ -263,6 +279,126 @@ let test_sigterm_drains () =
         (on_disk dir (Engine.request_digest req));
       Alcotest.(check bool) "socket removed" false (Sys.file_exists sock))
 
+(* --- tracing and SLO surface ---------------------------------------- *)
+
+let test_ping_identity () =
+  with_daemon (fun ~pid:_ ~addr ~sock:_ ~dir:_ ->
+      let c = Result.get_ok (Client.connect addr) in
+      let pong = rpc_exn c (Json.Obj [ ("op", Json.Str "ping") ]) in
+      Alcotest.(check string) "version" Serve.version (jstr "version" pong);
+      (match jmem "schema" pong with
+      | Json.Int v ->
+        Alcotest.(check int) "schema" Wire.schema_version v
+      | j -> Alcotest.failf "schema: %s" (Json.to_string j));
+      (match jmem "uptime_s" pong with
+      | Json.Float f when f >= 0.0 -> ()
+      | j -> Alcotest.failf "uptime_s: %s" (Json.to_string j));
+      (* no engine request answered yet: all cumulative counts at zero *)
+      let stats = rpc_exn c (Json.Obj [ ("op", Json.Str "stats") ]) in
+      (match
+         (jmem "served" stats, jmem "accepted" stats,
+          jmem "busy_rejects" stats)
+       with
+      | Json.Int 0, Json.Int 0, Json.Int 0 -> ()
+      | s, a, b ->
+        Alcotest.failf "counters: %s %s %s" (Json.to_string s)
+          (Json.to_string a) (Json.to_string b));
+      let reply = rpc_exn c (envelope (Engine.Synth (spec ()))) in
+      Alcotest.(check bool) "synth ok" true (jbool "ok" reply);
+      let stats = rpc_exn c (Json.Obj [ ("op", Json.Str "stats") ]) in
+      (match jmem "served" stats with
+      | Json.Int 1 -> ()
+      | j -> Alcotest.failf "served after one request: %s" (Json.to_string j));
+      shutdown c;
+      Client.close c)
+
+(* One traced cache-miss request against a 2-worker fork-backend daemon
+   must come back with spans on the client, daemon and worker lanes —
+   and byte-identical result digests to the same request untraced. *)
+let test_merged_trace () =
+  let req = Engine.Synth (spec ()) in
+  let run_one ~traced =
+    let result = ref None in
+    with_daemon ~jobs:2 ~backend:Pool.Fork
+      (fun ~pid:_ ~addr ~sock:_ ~dir:_ ->
+        let c = Result.get_ok (Client.connect addr) in
+        (if traced then
+           let ctx = Trace_ctx.generate () in
+           match Client.traced_rpc c ctx (envelope req) with
+           | Ok (reply, spans) -> result := Some (reply, spans)
+           | Error e -> Alcotest.failf "traced rpc: %s" e
+         else result := Some (rpc_exn c (envelope req), []));
+        shutdown c;
+        Client.close c);
+    Option.get !result
+  in
+  let traced_reply, spans = run_one ~traced:true in
+  let plain_reply, _ = run_one ~traced:false in
+  Alcotest.(check bool) "cold computes" false (jbool "cached" traced_reply);
+  let lanes =
+    List.sort_uniq compare
+      (List.map (fun s -> s.Trace_ctx.sp_lane) spans)
+  in
+  Alcotest.(check bool) "client lane present" true (List.mem 0 lanes);
+  Alcotest.(check bool) "daemon lane present" true (List.mem 1 lanes);
+  Alcotest.(check bool) "pool-worker lane present" true
+    (List.exists (fun l -> l >= 2) lanes);
+  (* tracing must not perturb the computation *)
+  List.iter
+    (fun f ->
+      Alcotest.(check string) f (jstr f plain_reply) (jstr f traced_reply))
+    [ "digest"; "response_digest" ];
+  (* and the merged document is a well-formed Chrome trace *)
+  match Trace_ctx.chrome_trace spans with
+  | Json.Obj fields ->
+    Alcotest.(check bool) "traceEvents present" true
+      (List.mem_assoc "traceEvents" fields)
+  | j -> Alcotest.failf "chrome_trace: %s" (Json.to_string j)
+
+(* Every request answered = exactly one access-log record, with phase
+   walls that add up to (at most) the total. *)
+let test_access_log_records () =
+  let dir = temp_dir () in
+  let log_file = Filename.concat dir "access.log" in
+  let req = Engine.Synth (spec ()) in
+  with_daemon ~access_log:log_file (fun ~pid ~addr ~sock:_ ~dir:_ ->
+      let c = Result.get_ok (Client.connect addr) in
+      ignore (rpc_exn c (Json.Obj [ ("op", Json.Str "ping") ]));
+      let cold = rpc_exn c (envelope req) in
+      let warm = rpc_exn c (envelope req) in
+      Alcotest.(check bool) "cold computes" false (jbool "cached" cold);
+      Alcotest.(check bool) "warm recalls" true (jbool "cached" warm);
+      shutdown c;
+      Client.close c;
+      expect_clean_exit pid;
+      match Hlts_eval.Top.read_access_file log_file with
+      | Error e -> Alcotest.failf "access log unreadable: %s" e
+      | Ok (recs, final, skipped) ->
+        Alcotest.(check int) "no skipped lines" 0 skipped;
+        Alcotest.(check bool) "drained marker seen" true final;
+        (* ping + synth miss + synth hit + shutdown *)
+        Alcotest.(check int) "one record per request" 4 (List.length recs);
+        let verdicts = List.map (fun a -> a.Hlts_eval.Top.ac_verdict) recs in
+        Alcotest.(check (list string))
+          "verdicts in request order"
+          [ "ok"; "miss"; "hit"; "ok" ] verdicts;
+        List.iter
+          (fun a ->
+            let open Hlts_eval.Top in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: phases bounded by total" a.ac_verdict)
+              true
+              (a.ac_queue_s +. a.ac_cache_s +. a.ac_compute_s
+               +. a.ac_reply_s
+               <= a.ac_total_s +. 1e-3);
+            Alcotest.(check bool) "bytes out" true (a.ac_bytes_out > 0))
+          recs;
+        let miss =
+          List.find (fun a -> a.Hlts_eval.Top.ac_verdict = "miss") recs
+        in
+        Alcotest.(check bool) "miss spent compute time" true
+          (miss.Hlts_eval.Top.ac_compute_s > 0.0))
+
 let test_stale_socket_replaced () =
   let dir = temp_dir () in
   let pid, _, sock = start_daemon ~dir () in
@@ -305,5 +441,12 @@ let () =
         [
           Alcotest.test_case "busy backpressure" `Quick test_backpressure_busy;
           Alcotest.test_case "async completes" `Quick test_async_completes;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "ping identity fields" `Quick test_ping_identity;
+          Alcotest.test_case "merged trace lanes" `Quick test_merged_trace;
+          Alcotest.test_case "access-log records" `Quick
+            test_access_log_records;
         ] );
     ]

@@ -148,6 +148,118 @@ let test_follow_frames_bound () =
   | Error e -> Alcotest.failf "follow failed: %s" e
   | Ok () -> Alcotest.(check int) "stopped at the frame bound" 3 !n
 
+(* --- serve mode (access log) --------------------------------------------- *)
+
+(* A realistic access log: the same line shapes [serve --access-log]
+   writes — lifecycle markers bracketing one record per request. *)
+let access_content =
+  String.concat "\n"
+    [
+      {|{"t_s":0.001,"serve":"listening"}|};
+      {|{"t_s":0.5,"trace":"-","op":"ping","digest":"-","verdict":"ok","bytes_out":64,"queue_s":0,"cache_s":0,"compute_s":0,"reply_s":0.0001,"total_s":0.0002}|};
+      {|{"t_s":1.0,"trace":"00112233445566778899aabbccddeeff","op":"synth","digest":"abc","verdict":"miss","bytes_out":2048,"queue_s":0,"cache_s":0.001,"compute_s":0.2,"reply_s":0.001,"total_s":0.21}|};
+      {|{"t_s":1.5,"trace":"-","op":"synth","digest":"abc","verdict":"hit","bytes_out":2048,"queue_s":0,"cache_s":0.0005,"compute_s":0,"reply_s":0.001,"total_s":0.002}|};
+      {|{"t_s":2.0,"trace":"-","op":"atpg","digest":"def","verdict":"accepted","bytes_out":128,"queue_s":0,"cache_s":0,"compute_s":0,"reply_s":0.0001,"total_s":0.0003}|};
+      {|{"t_s":2.5,"trace":"-","op":"atpg","digest":"def","verdict":"miss","async":true,"bytes_out":0,"queue_s":0.4,"cache_s":0.001,"compute_s":0.3,"reply_s":0,"total_s":0.701}|};
+      {|{"t_s":3.0,"serve":"drained","final":true,"served":4}|};
+      "";
+    ]
+
+let test_parse_access_line () =
+  (match
+     Top.parse_access_line
+       {|{"t_s":1.0,"trace":"t","op":"synth","digest":"d","verdict":"miss","bytes_out":9,"queue_s":0,"cache_s":0.25,"compute_s":0.5,"reply_s":0.25,"total_s":1.0}|}
+   with
+  | Ok (Top.Request a) ->
+    Alcotest.(check string) "op" "synth" a.Top.ac_op;
+    Alcotest.(check string) "verdict" "miss" a.Top.ac_verdict;
+    Alcotest.(check bool) "not async" false a.Top.ac_async;
+    Alcotest.(check int) "bytes" 9 a.Top.ac_bytes_out;
+    Alcotest.(check (float 0.0)) "compute wall" 0.5 a.Top.ac_compute_s;
+    Alcotest.(check (float 0.0)) "total wall" 1.0 a.Top.ac_total_s
+  | Ok (Top.Lifecycle _) -> Alcotest.fail "request parsed as lifecycle"
+  | Error e -> Alcotest.failf "good record rejected: %s" e);
+  (match Top.parse_access_line {|{"t_s":0.0,"serve":"drained","final":true}|}
+   with
+  | Ok (Top.Lifecycle { lc_event; lc_final }) ->
+    Alcotest.(check string) "event" "drained" lc_event;
+    Alcotest.(check bool) "final" true lc_final
+  | Ok (Top.Request _) -> Alcotest.fail "lifecycle parsed as request"
+  | Error e -> Alcotest.failf "lifecycle rejected: %s" e);
+  (match Top.parse_access_line {|{"t_s":1.0,"op":"synth"}|} with
+  | Ok _ -> Alcotest.fail "verdict-less line accepted"
+  | Error _ -> ());
+  match Top.parse_access_line {|{"t_s":1.0,"op":|} with
+  | Ok _ -> Alcotest.fail "torn access json accepted"
+  | Error _ -> ()
+
+let test_read_access_torn_tail () =
+  (* the drained marker's tail torn off mid-write: the reader must keep
+     every complete record, count one skip, and report the daemon as
+     still serving *)
+  let torn = String.sub access_content 0 (String.length access_content - 12) in
+  (match Top.read_access_file (write_file torn) with
+  | Error e -> Alcotest.failf "torn access log fatal: %s" e
+  | Ok (recs, final, skipped) ->
+    Alcotest.(check int) "complete records kept" 5 (List.length recs);
+    Alcotest.(check bool) "no final marker seen" false final;
+    Alcotest.(check int) "torn fragment counted" 1 skipped);
+  (* intact file: all records, final seen, nothing skipped *)
+  (match Top.read_access_file (write_file access_content) with
+  | Error e -> Alcotest.failf "access log fatal: %s" e
+  | Ok (recs, final, skipped) ->
+    Alcotest.(check int) "records" 5 (List.length recs);
+    Alcotest.(check bool) "final" true final;
+    Alcotest.(check int) "skipped" 0 skipped;
+    let async = List.filter (fun a -> a.Top.ac_async) recs in
+    Alcotest.(check int) "async execution record" 1 (List.length async));
+  (* a complete-but-garbage line is skipped, not fatal *)
+  match Top.read_access_file (write_file (access_content ^ "not json\n")) with
+  | Error e -> Alcotest.failf "garbage line fatal: %s" e
+  | Ok (recs, _, skipped) ->
+    Alcotest.(check int) "records survive" 5 (List.length recs);
+    Alcotest.(check int) "garbage counted" 1 skipped
+
+let test_once_serve_renders () =
+  match Top.once_serve ~file:(write_file access_content) with
+  | Error e -> Alcotest.failf "once_serve failed: %s" e
+  | Ok panel ->
+    Alcotest.(check bool) "names the mode" true
+      (contains ~needle:"hlts top --serve" panel);
+    Alcotest.(check bool) "daemon stopped" true
+      (contains ~needle:"STOPPED" panel);
+    Alcotest.(check bool) "latency percentiles" true
+      (contains ~needle:"p95" panel);
+    Alcotest.(check bool) "hit rate" true
+      (contains ~needle:"hit-rate 33%" panel);
+    Alcotest.(check bool) "per-op table" true (contains ~needle:"synth" panel);
+    Alcotest.(check bool) "busy rejects surfaced" true
+      (contains ~needle:"busy rejects 0" panel)
+
+let test_once_serve_empty () =
+  (match Top.once_serve ~file:(write_file "") with
+  | Ok _ -> Alcotest.fail "empty access log rendered"
+  | Error _ -> ());
+  match Top.once_serve ~file:"/nonexistent/access.log" with
+  | Ok _ -> Alcotest.fail "missing access log rendered"
+  | Error _ -> ()
+
+let test_follow_serve_stops_on_final () =
+  let frames = ref [] in
+  match
+    Top.follow_serve ~interval_ms:10 ~file:(write_file access_content)
+      (fun s -> frames := s :: !frames)
+  with
+  | Error e -> Alcotest.failf "follow_serve failed: %s" e
+  | Ok () ->
+    (match !frames with
+    | [ frame ] ->
+      Alcotest.(check bool) "clear-screen prefix" true
+        (String.length frame > 4 && String.sub frame 0 2 = "\027[");
+      Alcotest.(check bool) "rendered the drained state" true
+        (contains ~needle:"STOPPED" frame)
+    | l -> Alcotest.failf "expected one frame, got %d" (List.length l))
+
 let () =
   Alcotest.run "hlts_top"
     [
@@ -173,5 +285,17 @@ let () =
             test_follow_stops_on_final;
           Alcotest.test_case "follow honors frame bound" `Quick
             test_follow_frames_bound;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "access line" `Quick test_parse_access_line;
+          Alcotest.test_case "access torn tail skipped" `Quick
+            test_read_access_torn_tail;
+          Alcotest.test_case "serve panel renders" `Quick
+            test_once_serve_renders;
+          Alcotest.test_case "serve empty and missing error" `Quick
+            test_once_serve_empty;
+          Alcotest.test_case "follow_serve stops on final" `Quick
+            test_follow_serve_stops_on_final;
         ] );
     ]
